@@ -1,0 +1,42 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+GO ?= go
+
+.PHONY: all build vet test race bench tables examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation into results/.
+tables:
+	mkdir -p results
+	$(GO) run ./cmd/sbd-effort             | tee results/table5.txt
+	$(GO) run ./cmd/sbd-micro              | tee results/table6.txt
+	$(GO) run ./cmd/sbd-stats              | tee results/tables78.txt
+	$(GO) run ./cmd/sbd-bench              | tee results/table9.txt
+	$(GO) run ./cmd/sbd-bench -figure7     | tee results/figure7.txt
+	$(GO) run ./cmd/sbdc -ablate           | tee results/ablation.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/barrier
+	$(GO) run ./examples/webshop
+	$(GO) run ./examples/transfer
+	$(GO) run ./examples/pingpong
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

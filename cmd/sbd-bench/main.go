@@ -1,0 +1,129 @@
+// Command sbd-bench regenerates Table 9 (runtime overhead of the SBD
+// approach vs. explicit locking at 1–32 threads, plus abort rate,
+// contended acquires, and CAS failures) and Figure 7 (speedup curves of
+// both variants over the single-threaded baseline).
+//
+// Methodology follows the paper's §5.1 (Georges-style steady state); the
+// iteration counts are configurable because the full paper configuration
+// (10 JVM invocations × up to 60 iterations) is a multi-hour run.
+//
+// Shape notes for single-core machines: speedups plateau at ~1× for both
+// variants (there is no parallel hardware), but the overhead column —
+// SBD vs. baseline at equal thread count — remains meaningful because
+// both variants time-share the same core.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+var (
+	scale    = flag.Int("scale", 2, "workload input scale")
+	bench    = flag.String("bench", "", "run only this benchmark")
+	threads  = flag.String("threads", "1,2,4,8,16,32", "thread counts")
+	window   = flag.Int("window", 4, "steady-state window (paper: 30)")
+	maxIters = flag.Int("maxiters", 8, "max iterations (paper: 60)")
+	maxCoV   = flag.Float64("cov", 0.08, "CoV threshold (paper: 0.01)")
+	figure7  = flag.Bool("figure7", false, "print Figure 7 speedup series instead of Table 9")
+)
+
+func parseThreads(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		fmt.Sscanf(strings.TrimSpace(part), "%d", &n)
+		if n > 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+type cell struct {
+	threads   int
+	base, sbd time.Duration
+	overhead  float64
+	abortRate float64
+	contended uint64
+	casFail   uint64
+}
+
+func main() {
+	flag.Parse()
+	cfg := harness.Config{Window: *window, MaxCoV: *maxCoV, MaxIters: *maxIters}
+	counts := parseThreads(*threads)
+
+	var overheads []float64
+	for _, w := range workloads.All() {
+		if *bench != "" && w.Name != *bench {
+			continue
+		}
+		in := w.Prepare(*scale)
+		var cells []cell
+		for _, tc := range counts {
+			n := w.Threads(tc)
+			baseRes := harness.Measure(cfg, func() { w.Baseline(in, n) })
+
+			var last *core.Runtime
+			sbdRes := harness.Measure(cfg, func() {
+				rt := core.New()
+				w.SBD(rt, in, n)
+				last = rt
+			})
+			snap := last.Stats().Snapshot()
+			c := cell{
+				threads:   tc,
+				base:      baseRes.Mean,
+				sbd:       sbdRes.Mean,
+				overhead:  harness.OverheadPercent(baseRes.Mean, sbdRes.Mean),
+				abortRate: snap.AbortRate() * 100,
+				contended: snap.Contended,
+				casFail:   snap.CASFail,
+			}
+			cells = append(cells, c)
+			overheads = append(overheads, float64(sbdRes.Mean)/float64(baseRes.Mean))
+			if w.FixedThreads > 0 {
+				break // LuIndex: single row
+			}
+		}
+
+		if *figure7 {
+			if w.FixedThreads > 0 {
+				continue // the paper's Figure 7 excludes LuIndex
+			}
+			fmt.Printf("Figure 7 — %s (speedup over single-threaded baseline)\n", w.Name)
+			base1 := cells[0].base
+			tbl := harness.NewTable("Threads", "Baseline", "SBD")
+			for _, c := range cells {
+				tbl.Row(c.threads,
+					fmt.Sprintf("%.2fx", harness.Speedup(base1, c.base)),
+					fmt.Sprintf("%.2fx", harness.Speedup(base1, c.sbd)))
+			}
+			fmt.Print(tbl.String())
+			fmt.Println()
+			continue
+		}
+
+		fmt.Printf("Table 9 — %s\n", w.Name)
+		tbl := harness.NewTable("Thr", "Base", "Sbd", "Ovr%", "Abr%", "Con", "Fail")
+		for _, c := range cells {
+			tbl.Row(c.threads, c.base.Round(time.Microsecond).String(),
+				c.sbd.Round(time.Microsecond).String(),
+				c.overhead, c.abortRate, c.contended, c.casFail)
+		}
+		fmt.Print(tbl.String())
+		fmt.Println()
+	}
+
+	if !*figure7 && len(overheads) > 0 {
+		fmt.Printf("Geometric-mean SBD/baseline ratio: %.3f (paper: 1.239 overall, "+
+			"0.4%%..102%% per cell)\n", harness.GeoMean(overheads))
+	}
+}

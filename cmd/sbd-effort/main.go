@@ -1,0 +1,33 @@
+// Command sbd-effort regenerates Table 5 of the paper: the
+// programming-effort comparison between the SBD adaptation (splits,
+// custom modifications, canSplit properties, final fields) and the
+// baseline's explicit synchronization (synchronized regions, volatiles).
+//
+// The counts are the recorded modification inventory of this
+// repository's six workload adaptations (see each workload's Effort
+// record and the commentary in internal/workloads/*.go); the LOC column
+// reproduces the paper's own numbers for scale context.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+func main() {
+	fmt.Println("Table 5: number of benchmark modifications")
+	fmt.Println()
+	tbl := harness.NewTable("Benchmark", "LOC", "Split", "Custom", "CanSplit", "Final",
+		"Synchronized", "Volatile")
+	for _, w := range workloads.All() {
+		e := w.Effort
+		tbl.Row(w.Name, e.LOC, e.Split, e.Custom, e.CanSplit, e.Final, e.Synchronized, e.Volatile)
+	}
+	fmt.Print(tbl.String())
+	fmt.Println()
+	fmt.Println("Reading guide (paper §5.2): split+custom vs synchronized+volatile is")
+	fmt.Println("usually comparable; LuSearch/Tomcat need less synchronization code but")
+	fmt.Println("more custom modifications — the asymmetry of SBD (§2.1).")
+}

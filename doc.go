@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of Bättig & Gross,
+// "Synchronized-by-Default Concurrency for Shared-Memory Systems"
+// (PPoPP 2017). See README.md for the architecture, DESIGN.md for the
+// system inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured record.
+//
+// The root package exists to host the benchmark harness (bench_test.go):
+// one benchmark per table and figure of the paper's evaluation.
+package repro

@@ -1,0 +1,87 @@
+// Barrier: the notifyAll/wait example of paper Figure 6.
+//
+// N threads synchronize at a reusable barrier built from SBD condition
+// variables: each arrival increments a shared counter inside an atomic
+// section; the last arrival signals (the signal is deferred to the
+// section's end, when the counter's lock is already free) and waiters
+// re-check the condition in a fresh section after waking.
+//
+// Run: go run ./examples/barrier
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stm"
+)
+
+// Barrier mirrors the paper's class: `expected` is final (a plain Go
+// field needs no synchronization, exactly like a final field), `arrived`
+// is the shared condition.
+type Barrier struct {
+	expected int64
+	arrived  *stm.Object
+	cond     *core.Cond
+}
+
+var barrierClass = stm.NewClass("Barrier",
+	stm.FieldSpec{Name: "arrived", Kind: stm.KindWord},
+)
+
+var arrivedF = barrierClass.Field("arrived")
+
+// NewBarrier builds a barrier for n parties.
+func NewBarrier(n int) *Barrier {
+	return &Barrier{
+		expected: int64(n),
+		arrived:  stm.NewCommitted(barrierClass),
+		cond:     core.NewCond(),
+	}
+}
+
+// Sync is the canSplit sync() method of Figure 6: it may split (via
+// Wait or the trailing Split), so it takes the thread — the Go spelling
+// of the canSplit property.
+func (b *Barrier) Sync(th *core.Thread) {
+	var mustWait bool
+	th.Atomic(func(tx *stm.Tx) {
+		n := tx.ReadInt(b.arrived, arrivedF) + 1
+		tx.WriteInt(b.arrived, arrivedF, n)
+		mustWait = n < b.expected
+		if !mustWait {
+			th.NotifyAll(b.cond) // deferred to the section's end
+		}
+	})
+	if mustWait {
+		for core.Fetch(th, func(tx *stm.Tx) bool {
+			return tx.ReadInt(b.arrived, arrivedF) < b.expected
+		}) {
+			th.Wait(b.cond) // splits, blocks, begins a new section
+		}
+	} else {
+		th.Split() // deliver the deferred notifyAll
+	}
+}
+
+func main() {
+	const parties = 4
+	rt := core.New()
+	barrier := NewBarrier(parties)
+
+	rt.Main(func(th *core.Thread) {
+		var kids []*core.Thread
+		for i := 0; i < parties; i++ {
+			id := i
+			kids = append(kids, th.Go(fmt.Sprintf("party-%d", id), func(c *core.Thread) {
+				fmt.Printf("party %d: before barrier\n", id)
+				barrier.Sync(c)
+				fmt.Printf("party %d: after barrier\n", id)
+			}))
+		}
+		for _, k := range kids {
+			th.Join(k)
+		}
+	})
+	fmt.Println("all parties passed the barrier")
+}

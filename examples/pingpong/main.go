@@ -1,0 +1,104 @@
+// Pingpong: transactional network I/O (paper §3.4 and §3.7).
+//
+// A server thread answers requests over an in-memory connection; a
+// client thread sends a request and reads the response. Because writes
+// are buffered until the section ends, a request/response round trip
+// REQUIRES a split between sending and receiving — the reason the
+// paper's noSplit composition needs the splitOptional escape hatch. The
+// client demonstrates both: the working round trip, and the panic that
+// guards against wrapping the round trip in a NoSplit block.
+//
+// Run: go run ./examples/pingpong
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/minihttp"
+	"repro/internal/stm"
+	"repro/internal/txio"
+)
+
+func main() {
+	rt := core.New()
+	listener := minihttp.Listen(1)
+
+	rt.Main(func(th *core.Thread) {
+		server := th.Go("server", func(s *core.Thread) {
+			var conn *minihttp.Conn
+			var err error
+			s.Suspend(func() { conn, err = listener.Accept() })
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			tc := txio.NewConn(conn)
+			for {
+				readable := false
+				s.Suspend(func() { readable = tc.HasReplay() || conn.WaitReadable() })
+				if !readable {
+					return
+				}
+				s.Atomic(func(tx *stm.Tx) {
+					line, err := tc.ReadLine(tx)
+					if err != nil {
+						return
+					}
+					tc.WriteString(tx, strings.ToUpper(line)+"\n") //nolint:errcheck
+				})
+				s.Split() // the response leaves the buffer here
+			}
+		})
+
+		client := th.Go("client", func(c *core.Thread) {
+			var conn *minihttp.Conn
+			var err error
+			c.Suspend(func() { conn, err = listener.Dial() })
+			if err != nil {
+				panic(err)
+			}
+			tc := txio.NewConn(conn)
+			for _, msg := range []string{"ping", "atomic sections", "split to flush"} {
+				m := msg
+				c.Atomic(func(tx *stm.Tx) { tc.WriteString(tx, m+"\n") }) //nolint:errcheck
+				// Without this split the server would never see the
+				// request: the write sits in B_W until the section ends.
+				c.SplitRequired()
+				c.Split()
+				c.Suspend(func() {
+					if !tc.HasReplay() {
+						conn.WaitReadable()
+					}
+				})
+				c.Atomic(func(tx *stm.Tx) {
+					reply, err := tc.ReadLine(tx)
+					if err != nil {
+						panic(err)
+					}
+					fmt.Printf("client: %q -> %q\n", m, reply)
+				})
+				c.Split()
+			}
+			conn.Close()
+
+			// The guard: inside NoSplit, a round trip is impossible and
+			// SplitRequired says so loudly instead of hanging.
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						fmt.Println("client: NoSplit round trip correctly rejected:", r)
+					}
+				}()
+				c.NoSplit(func() {
+					c.SplitRequired()
+				})
+			}()
+		})
+
+		th.Join(client)
+		listener.Close()
+		th.Join(server)
+	})
+}

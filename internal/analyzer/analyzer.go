@@ -1,0 +1,294 @@
+// Package analyzer is the source-analysis substrate behind the PMD
+// benchmark reproduction: a deterministic generator of synthetic syntax
+// trees ("source files") and a rule engine that walks them and reports
+// violations. The PMD benchmark's defining property in the paper — a
+// task-per-file threading model whose only contention is on shared
+// statistics counters — comes from the workload variants; this package
+// is the pure analysis both variants share.
+package analyzer
+
+import "fmt"
+
+// NodeKind classifies syntax-tree nodes.
+type NodeKind uint8
+
+// Node kinds, loosely modeled on a Java-ish syntax tree.
+const (
+	KindFile NodeKind = iota
+	KindClass
+	KindMethod
+	KindBlock
+	KindIf
+	KindLoop
+	KindStmt
+	KindCall
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case KindFile:
+		return "file"
+	case KindClass:
+		return "class"
+	case KindMethod:
+		return "method"
+	case KindBlock:
+		return "block"
+	case KindIf:
+		return "if"
+	case KindLoop:
+		return "loop"
+	case KindStmt:
+		return "stmt"
+	case KindCall:
+		return "call"
+	}
+	return fmt.Sprintf("NodeKind(%d)", uint8(k))
+}
+
+// Node is one syntax-tree node.
+type Node struct {
+	Kind     NodeKind
+	Name     string
+	Children []*Node
+}
+
+// Count returns the number of nodes in the subtree.
+func (n *Node) Count() int {
+	c := 1
+	for _, ch := range n.Children {
+		c += ch.Count()
+	}
+	return c
+}
+
+// Depth returns the height of the subtree (a leaf has depth 1).
+func (n *Node) Depth() int {
+	max := 0
+	for _, ch := range n.Children {
+		if d := ch.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+type rng uint64
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = rng(x)
+	return x
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+var methodNames = []string{
+	"process", "handle", "compute", "update", "getValue", "x", "run",
+	"initAll", "doWork", "tmp1", "parse", "emit", "flushBuffers", "q2",
+}
+
+// GenFile generates a deterministic synthetic source file: a file node
+// with classes, methods, and nested control-flow blocks. Files with the
+// same id and seed are identical.
+func GenFile(id int, seed uint64) *Node {
+	r := rng(seed ^ (uint64(id)+1)*0x9E3779B97F4A7C15)
+	if r == 0 {
+		r = 1
+	}
+	file := &Node{Kind: KindFile, Name: fmt.Sprintf("File%d", id)}
+	nClasses := 1 + r.intn(3)
+	for c := 0; c < nClasses; c++ {
+		class := &Node{Kind: KindClass, Name: fmt.Sprintf("Class%d_%d", id, c)}
+		nMethods := 1 + r.intn(8)
+		for m := 0; m < nMethods; m++ {
+			meth := &Node{Kind: KindMethod, Name: methodNames[r.intn(len(methodNames))]}
+			meth.Children = append(meth.Children, genBlock(&r, 1+r.intn(5)))
+			class.Children = append(class.Children, meth)
+		}
+		file.Children = append(file.Children, class)
+	}
+	return file
+}
+
+func genBlock(r *rng, depth int) *Node {
+	b := &Node{Kind: KindBlock}
+	n := r.intn(6)
+	for i := 0; i < n; i++ {
+		switch r.intn(5) {
+		case 0:
+			if depth > 0 {
+				inner := &Node{Kind: KindIf}
+				inner.Children = append(inner.Children, genBlock(r, depth-1))
+				b.Children = append(b.Children, inner)
+			} else {
+				b.Children = append(b.Children, &Node{Kind: KindStmt})
+			}
+		case 1:
+			if depth > 0 {
+				inner := &Node{Kind: KindLoop}
+				inner.Children = append(inner.Children, genBlock(r, depth-1))
+				b.Children = append(b.Children, inner)
+			} else {
+				b.Children = append(b.Children, &Node{Kind: KindStmt})
+			}
+		case 2:
+			b.Children = append(b.Children, &Node{Kind: KindCall, Name: methodNames[r.intn(len(methodNames))]})
+		default:
+			b.Children = append(b.Children, &Node{Kind: KindStmt})
+		}
+	}
+	return b
+}
+
+// Violation is one rule finding.
+type Violation struct {
+	Rule  string
+	Where string
+}
+
+// Rule checks one property of a file tree.
+type Rule struct {
+	Name  string
+	Check func(file *Node) []Violation
+}
+
+// DefaultRules returns the standard rule set the PMD workload runs.
+func DefaultRules() []Rule {
+	return []Rule{
+		DeepNestingRule(6),
+		LongMethodRule(20),
+		ShortNameRule(),
+		EmptyBlockRule(),
+		TooManyMethodsRule(6),
+	}
+}
+
+// DeepNestingRule flags methods whose tree is deeper than maxDepth.
+func DeepNestingRule(maxDepth int) Rule {
+	return Rule{
+		Name: "DeepNesting",
+		Check: func(file *Node) []Violation {
+			var vs []Violation
+			walkMethods(file, func(class, meth *Node) {
+				if meth.Depth() > maxDepth {
+					vs = append(vs, Violation{"DeepNesting", class.Name + "." + meth.Name})
+				}
+			})
+			return vs
+		},
+	}
+}
+
+// LongMethodRule flags methods with more than maxNodes nodes.
+func LongMethodRule(maxNodes int) Rule {
+	return Rule{
+		Name: "LongMethod",
+		Check: func(file *Node) []Violation {
+			var vs []Violation
+			walkMethods(file, func(class, meth *Node) {
+				if meth.Count() > maxNodes {
+					vs = append(vs, Violation{"LongMethod", class.Name + "." + meth.Name})
+				}
+			})
+			return vs
+		},
+	}
+}
+
+// ShortNameRule flags method names shorter than three characters.
+func ShortNameRule() Rule {
+	return Rule{
+		Name: "ShortName",
+		Check: func(file *Node) []Violation {
+			var vs []Violation
+			walkMethods(file, func(class, meth *Node) {
+				if len(meth.Name) < 3 {
+					vs = append(vs, Violation{"ShortName", class.Name + "." + meth.Name})
+				}
+			})
+			return vs
+		},
+	}
+}
+
+// EmptyBlockRule flags blocks with no children anywhere in the file.
+func EmptyBlockRule() Rule {
+	return Rule{
+		Name: "EmptyBlock",
+		Check: func(file *Node) []Violation {
+			var vs []Violation
+			var walk func(n *Node)
+			walk = func(n *Node) {
+				if n.Kind == KindBlock && len(n.Children) == 0 {
+					vs = append(vs, Violation{"EmptyBlock", file.Name})
+				}
+				for _, ch := range n.Children {
+					walk(ch)
+				}
+			}
+			walk(file)
+			return vs
+		},
+	}
+}
+
+// TooManyMethodsRule flags classes with more than max methods.
+func TooManyMethodsRule(max int) Rule {
+	return Rule{
+		Name: "TooManyMethods",
+		Check: func(file *Node) []Violation {
+			var vs []Violation
+			for _, class := range file.Children {
+				if class.Kind != KindClass {
+					continue
+				}
+				n := 0
+				for _, ch := range class.Children {
+					if ch.Kind == KindMethod {
+						n++
+					}
+				}
+				if n > max {
+					vs = append(vs, Violation{"TooManyMethods", class.Name})
+				}
+			}
+			return vs
+		},
+	}
+}
+
+func walkMethods(file *Node, fn func(class, meth *Node)) {
+	for _, class := range file.Children {
+		if class.Kind != KindClass {
+			continue
+		}
+		for _, m := range class.Children {
+			if m.Kind == KindMethod {
+				fn(class, m)
+			}
+		}
+	}
+}
+
+// Analyze runs all rules over one file.
+func Analyze(file *Node, rules []Rule) []Violation {
+	var all []Violation
+	for _, r := range rules {
+		all = append(all, r.Check(file)...)
+	}
+	return all
+}
+
+// CountByRule tallies violations per rule name (the statistic the PMD
+// workload accumulates in shared counters).
+func CountByRule(vs []Violation) map[string]int {
+	m := make(map[string]int)
+	for _, v := range vs {
+		m[v.Rule]++
+	}
+	return m
+}

@@ -1,0 +1,150 @@
+package analyzer
+
+import "testing"
+
+func TestGenFileDeterministic(t *testing.T) {
+	a := GenFile(3, 42)
+	b := GenFile(3, 42)
+	if a.Count() != b.Count() || a.Depth() != b.Depth() {
+		t.Fatal("generation not deterministic")
+	}
+	c := GenFile(4, 42)
+	if a.Count() == c.Count() && a.Depth() == c.Depth() && len(a.Children) == len(c.Children) {
+		// Extremely unlikely for all three to match if generation varies.
+		t.Log("warning: adjacent files suspiciously similar")
+	}
+}
+
+func TestCountAndDepth(t *testing.T) {
+	leaf := &Node{Kind: KindStmt}
+	block := &Node{Kind: KindBlock, Children: []*Node{leaf, {Kind: KindStmt}}}
+	meth := &Node{Kind: KindMethod, Name: "m", Children: []*Node{block}}
+	if meth.Count() != 4 {
+		t.Fatalf("Count = %d", meth.Count())
+	}
+	if meth.Depth() != 3 {
+		t.Fatalf("Depth = %d", meth.Depth())
+	}
+}
+
+func deepMethod(name string, depth int) *Node {
+	n := &Node{Kind: KindStmt}
+	for i := 0; i < depth; i++ {
+		n = &Node{Kind: KindBlock, Children: []*Node{n}}
+	}
+	return &Node{Kind: KindMethod, Name: name, Children: []*Node{n}}
+}
+
+func TestDeepNestingRule(t *testing.T) {
+	file := &Node{Kind: KindFile, Name: "F", Children: []*Node{
+		{Kind: KindClass, Name: "C", Children: []*Node{
+			deepMethod("deep", 10),
+			deepMethod("shallow", 2),
+		}},
+	}}
+	vs := DeepNestingRule(6).Check(file)
+	if len(vs) != 1 || vs[0].Where != "C.deep" {
+		t.Fatalf("violations %v", vs)
+	}
+}
+
+func TestLongMethodRule(t *testing.T) {
+	big := &Node{Kind: KindMethod, Name: "big"}
+	for i := 0; i < 30; i++ {
+		big.Children = append(big.Children, &Node{Kind: KindStmt})
+	}
+	file := &Node{Kind: KindFile, Children: []*Node{
+		{Kind: KindClass, Name: "C", Children: []*Node{
+			big,
+			{Kind: KindMethod, Name: "small", Children: []*Node{{Kind: KindStmt}}},
+		}},
+	}}
+	vs := LongMethodRule(20).Check(file)
+	if len(vs) != 1 || vs[0].Where != "C.big" {
+		t.Fatalf("violations %v", vs)
+	}
+}
+
+func TestShortNameRule(t *testing.T) {
+	file := &Node{Kind: KindFile, Children: []*Node{
+		{Kind: KindClass, Name: "C", Children: []*Node{
+			{Kind: KindMethod, Name: "x"},
+			{Kind: KindMethod, Name: "goodName"},
+		}},
+	}}
+	vs := ShortNameRule().Check(file)
+	if len(vs) != 1 || vs[0].Where != "C.x" {
+		t.Fatalf("violations %v", vs)
+	}
+}
+
+func TestEmptyBlockRule(t *testing.T) {
+	file := &Node{Kind: KindFile, Name: "F", Children: []*Node{
+		{Kind: KindClass, Name: "C", Children: []*Node{
+			{Kind: KindMethod, Name: "m", Children: []*Node{{Kind: KindBlock}}},
+		}},
+	}}
+	if vs := EmptyBlockRule().Check(file); len(vs) != 1 {
+		t.Fatalf("violations %v", vs)
+	}
+}
+
+func TestTooManyMethodsRule(t *testing.T) {
+	class := &Node{Kind: KindClass, Name: "Fat"}
+	for i := 0; i < 8; i++ {
+		class.Children = append(class.Children, &Node{Kind: KindMethod, Name: "m"})
+	}
+	file := &Node{Kind: KindFile, Children: []*Node{class}}
+	if vs := TooManyMethodsRule(6).Check(file); len(vs) != 1 || vs[0].Where != "Fat" {
+		t.Fatalf("violations %v", vs)
+	}
+}
+
+func TestAnalyzeAndCountByRule(t *testing.T) {
+	files := 0
+	total := 0
+	rules := DefaultRules()
+	for id := 0; id < 50; id++ {
+		vs := Analyze(GenFile(id, 7), rules)
+		files++
+		total += len(vs)
+	}
+	if total == 0 {
+		t.Fatal("no violations across 50 generated files; rules or generator broken")
+	}
+	vs := Analyze(GenFile(1, 7), rules)
+	counts := CountByRule(vs)
+	sum := 0
+	for _, n := range counts {
+		sum += n
+	}
+	if sum != len(vs) {
+		t.Fatalf("CountByRule total %d != %d", sum, len(vs))
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	rules := DefaultRules()
+	a := Analyze(GenFile(9, 13), rules)
+	b := Analyze(GenFile(9, 13), rules)
+	if len(a) != len(b) {
+		t.Fatal("analysis not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("analysis not deterministic")
+		}
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	kinds := []NodeKind{KindFile, KindClass, KindMethod, KindBlock, KindIf, KindLoop, KindStmt, KindCall}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind string %q duplicated or empty", s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,87 @@
+package analyzer
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The on-disk source format the PMD workload parses: a compact prefix
+// encoding of the syntax tree. Each node is
+//
+//	(<kind>:<name><children...>)
+//
+// with kind a single digit, name an optional identifier, and children
+// further parenthesized nodes. Real PMD parses Java text into an AST;
+// parsing this format exercises the same pipeline shape (read file →
+// build tree → run rules) at reproduction scale.
+
+// Encode renders the tree in the source format.
+func Encode(n *Node) string {
+	var b strings.Builder
+	encodeInto(&b, n)
+	return b.String()
+}
+
+func encodeInto(b *strings.Builder, n *Node) {
+	b.WriteByte('(')
+	b.WriteByte('0' + byte(n.Kind))
+	b.WriteByte(':')
+	b.WriteString(n.Name)
+	for _, ch := range n.Children {
+		encodeInto(b, ch)
+	}
+	b.WriteByte(')')
+}
+
+// Parse reads the source format back into a tree.
+func Parse(src string) (*Node, error) {
+	n, rest, err := parseNode(src)
+	if err != nil {
+		return nil, err
+	}
+	if rest != "" {
+		return nil, fmt.Errorf("analyzer: trailing input %q", truncate(rest))
+	}
+	return n, nil
+}
+
+func parseNode(src string) (*Node, string, error) {
+	if len(src) < 4 || src[0] != '(' {
+		return nil, src, fmt.Errorf("analyzer: expected '(' at %q", truncate(src))
+	}
+	kind := src[1] - '0'
+	if kind > uint8(KindCall) {
+		return nil, src, fmt.Errorf("analyzer: bad kind %q", src[1])
+	}
+	if src[2] != ':' {
+		return nil, src, fmt.Errorf("analyzer: expected ':' at %q", truncate(src[2:]))
+	}
+	rest := src[3:]
+	end := strings.IndexAny(rest, "()")
+	if end < 0 {
+		return nil, src, fmt.Errorf("analyzer: unterminated node at %q", truncate(src))
+	}
+	n := &Node{Kind: NodeKind(kind), Name: rest[:end]}
+	rest = rest[end:]
+	for {
+		if rest == "" {
+			return nil, rest, fmt.Errorf("analyzer: unexpected end of input")
+		}
+		if rest[0] == ')' {
+			return n, rest[1:], nil
+		}
+		child, r, err := parseNode(rest)
+		if err != nil {
+			return nil, rest, err
+		}
+		n.Children = append(n.Children, child)
+		rest = r
+	}
+}
+
+func truncate(s string) string {
+	if len(s) > 24 {
+		return s[:24] + "..."
+	}
+	return s
+}

@@ -1,0 +1,76 @@
+package analyzer
+
+import "testing"
+
+func treesEqual(a, b *Node) bool {
+	if a.Kind != b.Kind || a.Name != b.Name || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !treesEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	for id := 0; id < 25; id++ {
+		orig := GenFile(id, 99)
+		back, err := Parse(Encode(orig))
+		if err != nil {
+			t.Fatalf("file %d: %v", id, err)
+		}
+		if !treesEqual(orig, back) {
+			t.Fatalf("file %d: round trip changed the tree", id)
+		}
+	}
+}
+
+func TestEncodeLeaf(t *testing.T) {
+	n := &Node{Kind: KindStmt}
+	if got := Encode(n); got != "(6:)" {
+		t.Fatalf("Encode leaf = %q", got)
+	}
+	n2 := &Node{Kind: KindMethod, Name: "run", Children: []*Node{{Kind: KindBlock}}}
+	if got := Encode(n2); got != "(2:run(3:))" {
+		t.Fatalf("Encode = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"x",
+		"(9:)",     // bad kind
+		"(2run)",   // missing colon
+		"(2:run",   // unterminated
+		"(2:run))", // trailing input
+		"(2:run()", // bad child
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParsePreservesAnalysis(t *testing.T) {
+	rules := DefaultRules()
+	for id := 0; id < 10; id++ {
+		orig := GenFile(id, 5)
+		back, err := Parse(Encode(orig))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := Analyze(orig, rules)
+		b := Analyze(back, rules)
+		if len(a) != len(b) {
+			t.Fatalf("file %d: analysis differs after round trip", id)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("file %d: violation %d differs", id, i)
+			}
+		}
+	}
+}

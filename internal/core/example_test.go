@@ -1,0 +1,89 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stm"
+)
+
+var counterClass = stm.NewClass("example.Counter",
+	stm.FieldSpec{Name: "n", Kind: stm.KindWord},
+)
+
+// The Figure 1 pattern: workers synchronized by default, concurrency
+// added with one explicit split per request.
+func Example() {
+	rt := core.New()
+	counter := stm.NewCommitted(counterClass)
+	n := counterClass.Field("n")
+
+	worker := func(th *core.Thread) {
+		for i := 0; i < 3; i++ {
+			th.AtomicSplit(func(tx *stm.Tx) {
+				tx.WriteInt(counter, n, tx.ReadInt(counter, n)+1)
+			})
+		}
+	}
+	rt.Main(func(th *core.Thread) {
+		a := th.Go("a", worker)
+		b := th.Go("b", worker)
+		th.Join(a)
+		th.Join(b)
+		fmt.Println("processed:", core.Fetch(th, func(tx *stm.Tx) int64 {
+			return tx.ReadInt(counter, n)
+		}))
+	})
+	// Output: processed: 6
+}
+
+// Split makes a section's effects visible; without it, everything a
+// thread does stays one atomic section.
+func ExampleThread_Split() {
+	rt := core.New()
+	o := stm.NewCommitted(counterClass)
+	n := counterClass.Field("n")
+	rt.Main(func(th *core.Thread) {
+		th.Atomic(func(tx *stm.Tx) { tx.WriteInt(o, n, 41) })
+		th.Split() // commit: 41 is now visible to other sections
+		th.Atomic(func(tx *stm.Tx) { tx.WriteInt(o, n, tx.ReadInt(o, n)+1) })
+	})
+	tx := rt.STM().Begin()
+	defer tx.Commit()
+	fmt.Println(tx.ReadInt(o, n))
+	// Output: 42
+}
+
+// NoSplit composes two split-terminated operations into one atomic
+// section (§3.7).
+func ExampleThread_NoSplit() {
+	rt := core.New()
+	o := stm.NewCommitted(counterClass)
+	n := counterClass.Field("n")
+	rt.Main(func(th *core.Thread) {
+		before := rt.Stats().Snapshot().Commits
+		th.NoSplit(func() {
+			th.AtomicSplit(func(tx *stm.Tx) { tx.WriteInt(o, n, 1) }) // split ignored
+			th.AtomicSplit(func(tx *stm.Tx) { tx.WriteInt(o, n, 2) }) // split ignored
+		})
+		fmt.Println("sections committed inside NoSplit:", rt.Stats().Snapshot().Commits-before)
+	})
+	// Output: sections committed inside NoSplit: 0
+}
+
+// Go defers the child's start until the creating section ends, so a
+// parent's locks are always released before the child runs.
+func ExampleThread_Go() {
+	rt := core.New()
+	o := stm.NewCommitted(counterClass)
+	n := counterClass.Field("n")
+	rt.Main(func(th *core.Thread) {
+		th.Atomic(func(tx *stm.Tx) { tx.WriteInt(o, n, 1) }) // lock held
+		child := th.Go("child", func(c *core.Thread) {
+			c.Atomic(func(tx *stm.Tx) { tx.WriteInt(o, n, tx.ReadInt(o, n)*10) })
+		})
+		th.Join(child) // splits first: the child can start and finish
+		fmt.Println(core.Fetch(th, func(tx *stm.Tx) int64 { return tx.ReadInt(o, n) }))
+	})
+	// Output: 10
+}

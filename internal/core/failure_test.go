@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/stm"
+)
+
+// Failure injection: sections that abort voluntarily (stm.Tx.Abort) at
+// arbitrary points must replay to the correct result, exactly like
+// deadlock victims.
+
+func TestInjectedAbortReplaysSection(t *testing.T) {
+	rt := New()
+	o := stm.NewCommitted(counterClass)
+	n := counterClass.Field("n")
+
+	var attempts atomic.Int64
+	rt.Main(func(th *Thread) {
+		th.Atomic(func(tx *stm.Tx) {
+			tx.WriteInt(o, n, tx.ReadInt(o, n)+1)
+			if attempts.Add(1) <= 2 {
+				tx.Abort("injected")
+			}
+		})
+	})
+	if attempts.Load() != 3 {
+		t.Fatalf("attempts = %d, want 3 (two injected aborts + success)", attempts.Load())
+	}
+	tx := rt.STM().Begin()
+	defer tx.Commit()
+	if got := tx.ReadInt(o, n); got != 1 {
+		t.Fatalf("n = %d, want 1 (aborted increments must not survive)", got)
+	}
+	if rt.Stats().Snapshot().Aborts != 2 {
+		t.Fatalf("aborts = %d, want 2", rt.Stats().Snapshot().Aborts)
+	}
+}
+
+func TestInjectedAbortReplaysWholeMultiClosureSection(t *testing.T) {
+	rt := New()
+	a := stm.NewCommitted(counterClass)
+	b := stm.NewCommitted(counterClass)
+	n := counterClass.Field("n")
+
+	var firstRuns, secondRuns atomic.Int64
+	rt.Main(func(th *Thread) {
+		th.Atomic(func(tx *stm.Tx) {
+			firstRuns.Add(1)
+			tx.WriteInt(a, n, tx.ReadInt(a, n)+10)
+		})
+		th.Atomic(func(tx *stm.Tx) {
+			if secondRuns.Add(1) == 1 {
+				tx.Abort("injected mid-section")
+			}
+			tx.WriteInt(b, n, tx.ReadInt(a, n)+tx.ReadInt(b, n))
+		})
+	})
+	if firstRuns.Load() != 2 || secondRuns.Load() != 2 {
+		t.Fatalf("runs = %d/%d, want 2/2 (whole section replays)", firstRuns.Load(), secondRuns.Load())
+	}
+	tx := rt.STM().Begin()
+	defer tx.Commit()
+	if ga, gb := tx.ReadInt(a, n), tx.ReadInt(b, n); ga != 10 || gb != 10 {
+		t.Fatalf("a=%d b=%d, want 10/10 (replay must not double-apply)", ga, gb)
+	}
+}
+
+func TestInjectedAbortDropsIOAndSignals(t *testing.T) {
+	rt := New()
+	o := stm.NewCommitted(counterClass)
+	n := counterClass.Field("n")
+
+	var notified atomic.Int64
+	cond := NewCond()
+	var tries atomic.Int64
+	rt.Main(func(th *Thread) {
+		waiter := th.Go("waiter", func(c *Thread) {
+			for Fetch(c, func(tx *stm.Tx) bool { return tx.ReadInt(o, n) == 0 }) {
+				c.Wait(cond)
+			}
+			notified.Add(1)
+		})
+		th.Split()
+		th.Atomic(func(tx *stm.Tx) {
+			tx.WriteInt(o, n, 1)
+			th.NotifyAll(cond)
+			if tries.Add(1) == 1 {
+				tx.Abort("drop the first notify")
+			}
+		})
+		th.Split()
+		th.Join(waiter)
+	})
+	if notified.Load() != 1 {
+		t.Fatalf("notified = %d, want 1 (replayed section must re-register its signal)", notified.Load())
+	}
+}

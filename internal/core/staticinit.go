@@ -1,0 +1,51 @@
+package core
+
+import "repro/internal/stm"
+
+// StaticInit is the guarded static initialization of paper §4.1: the
+// transformer inserts a guard before each static access and constructor
+// call that triggers the class's initialization if needed. Because the
+// initializer runs inside the guarded transaction, a rollback reverts
+// the initialization (the done flag and everything the initializer
+// wrote are in the undo log) and a later guard re-executes it — exactly
+// the paper's requirement.
+type StaticInit struct {
+	state *stm.Object
+	init  func(tx *stm.Tx)
+}
+
+var staticInitClass = stm.NewClass("core.StaticInit",
+	stm.FieldSpec{Name: "done", Kind: stm.KindWord},
+)
+
+var staticInitDone = staticInitClass.Field("done")
+
+// NewStaticInit registers an initializer. init runs at most once per
+// committed program history, inside the transaction whose guard
+// triggered it.
+func NewStaticInit(init func(tx *stm.Tx)) *StaticInit {
+	return &StaticInit{state: stm.NewCommitted(staticInitClass), init: init}
+}
+
+// Ensure is the guard: it checks the done flag (a shared read lock on
+// the common path) and runs the initializer under the flag's write lock
+// when it is first reached. Two racing guards serialize on the upgrade;
+// the loser re-checks and finds the flag set.
+func (s *StaticInit) Ensure(tx *stm.Tx) {
+	if tx.ReadBool(s.state, staticInitDone) {
+		return
+	}
+	// Upgrade to the write lock, then re-check (another transaction may
+	// have initialized between our read and the upgrade grant — it
+	// cannot have, actually, while we hold the read lock, but the
+	// re-check keeps the guard correct even if callers split between
+	// guards).
+	tx.WriteBool(s.state, staticInitDone, true)
+	s.init(tx)
+}
+
+// Initialized reports whether the committed state has the initializer
+// applied (for tests).
+func (s *StaticInit) Initialized(tx *stm.Tx) bool {
+	return tx.ReadBool(s.state, staticInitDone)
+}

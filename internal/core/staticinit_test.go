@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/stm"
+)
+
+func TestStaticInitRunsOnce(t *testing.T) {
+	rt := New()
+	shared := stm.NewCommitted(counterClass)
+	n := counterClass.Field("n")
+	runs := 0
+	si := NewStaticInit(func(tx *stm.Tx) {
+		runs++
+		tx.WriteInt(shared, n, 42)
+	})
+
+	rt.Main(func(th *Thread) {
+		th.AtomicSplit(func(tx *stm.Tx) { si.Ensure(tx) })
+		th.AtomicSplit(func(tx *stm.Tx) { si.Ensure(tx) }) // second guard: no-op
+	})
+	if runs != 1 {
+		t.Fatalf("initializer ran %d times, want 1", runs)
+	}
+	tx := rt.STM().Begin()
+	defer tx.Commit()
+	if tx.ReadInt(shared, n) != 42 || !si.Initialized(tx) {
+		t.Fatal("initialization lost")
+	}
+}
+
+func TestStaticInitRevertedByAbortAndReexecuted(t *testing.T) {
+	// Paper §4.1: "A rollback can revert a static initialization, in
+	// which case the system must execute it again."
+	rt := New()
+	shared := stm.NewCommitted(counterClass)
+	n := counterClass.Field("n")
+	var runs atomic.Int64
+	si := NewStaticInit(func(tx *stm.Tx) {
+		runs.Add(1)
+		tx.WriteInt(shared, n, tx.ReadInt(shared, n)+100)
+	})
+
+	attempts := 0
+	rt.Main(func(th *Thread) {
+		th.AtomicSplit(func(tx *stm.Tx) {
+			si.Ensure(tx)
+			if attempts++; attempts == 1 {
+				tx.Abort("revert the static init") // undo flag + effects
+			}
+		})
+	})
+	if runs.Load() != 2 {
+		t.Fatalf("initializer ran %d times, want 2 (revert + re-execute)", runs.Load())
+	}
+	tx := rt.STM().Begin()
+	defer tx.Commit()
+	if got := tx.ReadInt(shared, n); got != 100 {
+		t.Fatalf("shared = %d, want 100 (aborted init must not double-apply)", got)
+	}
+}
+
+func TestStaticInitConcurrentGuards(t *testing.T) {
+	rt := New()
+	shared := stm.NewCommitted(counterClass)
+	n := counterClass.Field("n")
+	var runs atomic.Int64
+	si := NewStaticInit(func(tx *stm.Tx) {
+		runs.Add(1)
+		tx.WriteInt(shared, n, tx.ReadInt(shared, n)+1)
+	})
+
+	rt.Main(func(th *Thread) {
+		var kids []*Thread
+		for i := 0; i < 8; i++ {
+			kids = append(kids, th.Go("guard", func(c *Thread) {
+				for j := 0; j < 10; j++ {
+					c.AtomicSplit(func(tx *stm.Tx) { si.Ensure(tx) })
+				}
+			}))
+		}
+		for _, k := range kids {
+			th.Join(k)
+		}
+	})
+	if runs.Load() != 1 {
+		t.Fatalf("initializer committed %d times, want exactly 1", runs.Load())
+	}
+	tx := rt.STM().Begin()
+	defer tx.Commit()
+	if tx.ReadInt(shared, n) != 1 {
+		t.Fatalf("shared = %d, want 1", tx.ReadInt(shared, n))
+	}
+}

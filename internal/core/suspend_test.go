@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stm"
+)
+
+func TestSuspendReleasesTransactionID(t *testing.T) {
+	// With a single transaction ID, a thread blocked inside Suspend must
+	// not starve another thread's sections (paper §3.3: waiting threads
+	// end their transaction first).
+	rt := NewOpts(stm.Options{MaxConcurrentTxns: 1})
+	o := stm.NewCommitted(counterClass)
+	n := counterClass.Field("n")
+
+	release := make(chan struct{})
+	rt.Main(func(th *Thread) {
+		waiter := th.Go("suspended", func(c *Thread) {
+			c.Suspend(func() { <-release })
+			c.Atomic(func(tx *stm.Tx) { tx.WriteInt(o, n, tx.ReadInt(o, n)+1) })
+		})
+		worker := th.Go("worker", func(c *Thread) {
+			// Runs many sections while the other thread is suspended;
+			// with the ID held this would deadlock.
+			for i := 0; i < 10; i++ {
+				c.AtomicSplit(func(tx *stm.Tx) { tx.WriteInt(o, n, tx.ReadInt(o, n)+1) })
+			}
+			close(release)
+		})
+		th.Join(worker)
+		th.Join(waiter)
+	})
+
+	tx := rt.STM().Begin()
+	defer tx.Commit()
+	if got := tx.ReadInt(o, n); got != 11 {
+		t.Fatalf("n = %d, want 11", got)
+	}
+}
+
+func TestSuspendInsideAtomicPanics(t *testing.T) {
+	rt := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Suspend inside Atomic did not panic")
+		}
+	}()
+	rt.Main(func(th *Thread) {
+		th.Atomic(func(tx *stm.Tx) { th.Suspend(func() {}) })
+	})
+}
+
+func TestSuspendCommitsCurrentSection(t *testing.T) {
+	rt := New()
+	o := stm.NewCommitted(counterClass)
+	n := counterClass.Field("n")
+	rt.Main(func(th *Thread) {
+		th.Atomic(func(tx *stm.Tx) { tx.WriteInt(o, n, 7) })
+		seen := make(chan int64, 1)
+		th.Suspend(func() {
+			// Another transaction must see the committed value while we
+			// are suspended.
+			tx := rt.STM().Begin()
+			seen <- tx.ReadInt(o, n)
+			tx.Commit()
+		})
+		select {
+		case v := <-seen:
+			if v != 7 {
+				t.Errorf("suspended observer saw %d, want 7", v)
+			}
+		case <-time.After(2 * time.Second):
+			t.Error("observer never ran")
+		}
+	})
+}

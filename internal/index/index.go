@@ -1,0 +1,264 @@
+// Package index is the text-indexing substrate behind the LuIndex and
+// LuSearch benchmark reproductions: a tokenizer, an inverted index with
+// a flat on-disk encoding, a conjunctive searcher, and a deterministic
+// synthetic corpus generator (standing in for the Lucene corpus the
+// DaCapo benchmarks ship, per DESIGN.md).
+package index
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Tokenize lower-cases text and splits it at non-alphanumeric runes.
+func Tokenize(text string) []string {
+	var toks []string
+	start := -1
+	flush := func(end int) {
+		if start >= 0 {
+			toks = append(toks, strings.ToLower(text[start:end]))
+			start = -1
+		}
+	}
+	for i, r := range text {
+		alnum := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9'
+		if alnum {
+			if start < 0 {
+				start = i
+			}
+		} else {
+			flush(i)
+		}
+	}
+	flush(len(text))
+	return toks
+}
+
+// Document is one corpus entry.
+type Document struct {
+	ID   int32
+	Text string
+}
+
+// vocabulary is the word list; term frequency follows a crude Zipf-like
+// distribution (low ranks drawn far more often). The head is real words;
+// the long tail of synthetic words gives the corpus a realistic
+// vocabulary size so most postings lists are short.
+var vocabulary = buildVocabulary()
+
+func buildVocabulary() []string {
+	head := []string{
+		"the", "of", "and", "to", "in", "system", "memory", "lock", "thread",
+		"atomic", "section", "split", "commit", "abort", "queue", "reader",
+		"writer", "conflict", "transaction", "runtime", "field", "array",
+		"object", "class", "final", "undo", "log", "buffer", "wrapper",
+		"device", "network", "file", "server", "client", "request", "index",
+		"search", "table", "benchmark", "overhead", "scalability", "parallel",
+		"deadlock", "signal", "barrier", "worker", "task", "java", "code",
+		"garbage", "collector", "compiler", "optimization", "inline", "check",
+	}
+	syllables := []string{"ka", "ro", "mi", "ten", "sol", "ver", "dax", "lum", "pri", "zet"}
+	for i := 0; len(head) < 500; i++ {
+		w := syllables[i%10] + syllables[(i/10)%10] + syllables[(i/100)%10]
+		head = append(head, w)
+	}
+	return head
+}
+
+type rng uint64
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = rng(x)
+	return x
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// zipfPick draws a vocabulary index biased toward low ranks.
+func (r *rng) zipfPick() int {
+	// Take the minimum of two uniform draws: rank ~ quadratically biased.
+	a, b := r.intn(len(vocabulary)), r.intn(len(vocabulary))
+	if b < a {
+		a = b
+	}
+	return a
+}
+
+// GenCorpus generates nDocs deterministic documents of wordsPerDoc words.
+func GenCorpus(nDocs, wordsPerDoc int, seed uint64) []Document {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	r := rng(seed)
+	docs := make([]Document, nDocs)
+	var b strings.Builder
+	for i := range docs {
+		b.Reset()
+		for w := 0; w < wordsPerDoc; w++ {
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(vocabulary[r.zipfPick()])
+		}
+		docs[i] = Document{ID: int32(i), Text: b.String()}
+	}
+	return docs
+}
+
+// Queries derives nQueries two-term conjunctive queries,
+// deterministically. Terms follow the corpus distribution (people search
+// for words that occur), so most queries have hits and a scoring +
+// highlighting pass to run.
+func Queries(nQueries int, seed uint64) [][]string {
+	if seed == 0 {
+		seed = 0xBF58476D1CE4E5B9
+	}
+	r := rng(seed)
+	qs := make([][]string, nQueries)
+	for i := range qs {
+		qs[i] = []string{vocabulary[r.zipfPick()], vocabulary[r.zipfPick()]}
+	}
+	return qs
+}
+
+// Index is an inverted index: term → sorted unique document IDs.
+type Index struct {
+	Postings map[string][]int32
+}
+
+// Build indexes the corpus.
+func Build(docs []Document) *Index {
+	idx := &Index{Postings: make(map[string][]int32)}
+	for _, d := range docs {
+		seen := map[string]bool{}
+		for _, t := range Tokenize(d.Text) {
+			if !seen[t] {
+				seen[t] = true
+				idx.Postings[t] = append(idx.Postings[t], d.ID)
+			}
+		}
+	}
+	for _, p := range idx.Postings {
+		sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
+	}
+	return idx
+}
+
+// Search returns the IDs of documents containing every term, ascending.
+func (idx *Index) Search(terms []string) []int32 {
+	if len(terms) == 0 {
+		return nil
+	}
+	result := idx.Postings[strings.ToLower(terms[0])]
+	for _, t := range terms[1:] {
+		result = intersect(result, idx.Postings[strings.ToLower(t)])
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	return append([]int32(nil), result...)
+}
+
+func intersect(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Encode renders the index in its flat file format:
+// one "term:id,id,id\n" line per term, terms sorted.
+func Encode(idx *Index) []byte {
+	terms := make([]string, 0, len(idx.Postings))
+	for t := range idx.Postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	var b strings.Builder
+	for _, t := range terms {
+		b.WriteString(t)
+		b.WriteByte(':')
+		for i, id := range idx.Postings[t] {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(int(id)))
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// Decode parses the flat file format back into an index.
+func Decode(data []byte) (*Index, error) {
+	idx := &Index{Postings: make(map[string][]int32)}
+	for ln, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		term, ids, ok := strings.Cut(line, ":")
+		if !ok || term == "" {
+			return nil, fmt.Errorf("index: malformed line %d: %q", ln+1, line)
+		}
+		if ids == "" {
+			idx.Postings[term] = nil
+			continue
+		}
+		for _, s := range strings.Split(ids, ",") {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("index: malformed ID on line %d: %q", ln+1, s)
+			}
+			idx.Postings[term] = append(idx.Postings[term], int32(v))
+		}
+	}
+	return idx, nil
+}
+
+// Terms returns the sorted term list (for validation).
+func (idx *Index) Terms() []string {
+	terms := make([]string, 0, len(idx.Postings))
+	for t := range idx.Postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	return terms
+}
+
+// Checksum is an order-independent fingerprint of the index, used to
+// validate that baseline and SBD variants computed the same result.
+func (idx *Index) Checksum() uint64 {
+	var sum uint64
+	for t, ids := range idx.Postings {
+		var h uint64 = 14695981039346656037
+		for i := 0; i < len(t); i++ {
+			h = (h ^ uint64(t[i])) * 1099511628211
+		}
+		for _, id := range ids {
+			h = (h ^ uint64(uint32(id))) * 1099511628211
+		}
+		sum += h
+	}
+	return sum
+}
+
+// Vocabulary exposes the generator's word list (for workloads that need
+// realistic query terms).
+func Vocabulary() []string { return append([]string(nil), vocabulary...) }

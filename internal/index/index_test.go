@@ -1,0 +1,161 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Hello, World! x2: go-go")
+	want := []string{"hello", "world", "x2", "go", "go"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tokens %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTokenizeEdges(t *testing.T) {
+	if toks := Tokenize(""); len(toks) != 0 {
+		t.Fatalf("empty text tokens %v", toks)
+	}
+	if toks := Tokenize("...!!!"); len(toks) != 0 {
+		t.Fatalf("punct-only tokens %v", toks)
+	}
+	if toks := Tokenize("single"); len(toks) != 1 || toks[0] != "single" {
+		t.Fatalf("trailing token %v", toks)
+	}
+}
+
+func TestGenCorpusDeterministic(t *testing.T) {
+	a := GenCorpus(10, 20, 7)
+	b := GenCorpus(10, 20, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("corpus generation not deterministic")
+		}
+	}
+	c := GenCorpus(10, 20, 8)
+	same := true
+	for i := range a {
+		if a[i].Text != c[i].Text {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestBuildAndSearch(t *testing.T) {
+	docs := []Document{
+		{0, "the lock and the queue"},
+		{1, "queue of the thread"},
+		{2, "lock thread lock"},
+	}
+	idx := Build(docs)
+	if got := idx.Search([]string{"lock"}); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("search lock: %v", got)
+	}
+	if got := idx.Search([]string{"lock", "thread"}); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("search lock∧thread: %v", got)
+	}
+	if got := idx.Search([]string{"queue", "the"}); len(got) != 2 {
+		t.Fatalf("search queue∧the: %v", got)
+	}
+	if got := idx.Search([]string{"missing"}); got != nil {
+		t.Fatalf("search missing: %v", got)
+	}
+	if got := idx.Search(nil); got != nil {
+		t.Fatalf("empty query: %v", got)
+	}
+}
+
+func TestPostingsSortedUnique(t *testing.T) {
+	idx := Build(GenCorpus(50, 30, 3))
+	for term, ids := range idx.Postings {
+		for i := 1; i < len(ids); i++ {
+			if ids[i] <= ids[i-1] {
+				t.Fatalf("postings for %q not sorted-unique: %v", term, ids)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	idx := Build(GenCorpus(40, 25, 5))
+	back, err := Decode(Encode(idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Checksum() != back.Checksum() {
+		t.Fatal("round trip changed the index")
+	}
+	if len(idx.Terms()) != len(back.Terms()) {
+		t.Fatal("term count changed")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for _, bad := range []string{"noterm\n", ":1,2\n", "t:1,x\n"} {
+		if _, err := Decode([]byte(bad)); err == nil {
+			t.Errorf("Decode(%q) succeeded", bad)
+		}
+	}
+	idx, err := Decode(nil)
+	if err != nil || len(idx.Postings) != 0 {
+		t.Fatalf("empty decode: %v", err)
+	}
+}
+
+func TestSearchSubsetProperty(t *testing.T) {
+	idx := Build(GenCorpus(120, 40, 11))
+	voc := Vocabulary()
+	f := func(a, b uint8) bool {
+		t1 := voc[int(a)%len(voc)]
+		t2 := voc[int(b)%len(voc)]
+		both := idx.Search([]string{t1, t2})
+		only1 := idx.Search([]string{t1})
+		// Conjunction is a subset of each term's postings.
+		set := map[int32]bool{}
+		for _, id := range only1 {
+			set[id] = true
+		}
+		for _, id := range both {
+			if !set[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumOrderIndependent(t *testing.T) {
+	docs := GenCorpus(30, 20, 9)
+	idx1 := Build(docs)
+	// Rebuild from reversed docs: postings contents identical.
+	rev := make([]Document, len(docs))
+	for i := range docs {
+		rev[len(docs)-1-i] = docs[i]
+	}
+	idx2 := Build(rev)
+	if idx1.Checksum() != idx2.Checksum() {
+		t.Fatal("checksum depends on build order")
+	}
+}
+
+func TestQueriesDeterministic(t *testing.T) {
+	a := Queries(10, 3)
+	b := Queries(10, 3)
+	for i := range a {
+		if a[i][0] != b[i][0] || a[i][1] != b[i][1] {
+			t.Fatal("queries not deterministic")
+		}
+	}
+}

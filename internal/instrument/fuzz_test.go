@@ -1,0 +1,201 @@
+package instrument
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stm"
+)
+
+// Differential fuzzing of the optimizer: random well-formed programs are
+// transformed with all passes on and off, interpreted against the real
+// STM, and the resulting heaps compared. Any divergence means a pass
+// changed behaviour (an unsound elimination, a bad hoist, a broken
+// inline substitution).
+
+type progGen struct{ x uint64 }
+
+func (g *progGen) next() uint64 {
+	g.x ^= g.x << 13
+	g.x ^= g.x >> 7
+	g.x ^= g.x << 17
+	return g.x
+}
+
+func (g *progGen) intn(n int) int { return int(g.next() % uint64(n)) }
+
+// genProgram builds a random well-formed program: two classes, a few
+// leaf methods (no calls), and a canSplit entry method that mixes
+// accesses, news, assigns, loops, ifs, splits, and calls. Variables
+// g0/g1 are the committed globals whose final state the test compares.
+func genProgram(seed uint64) *Program {
+	g := &progGen{x: seed | 1}
+	p := NewProgram()
+	p.AddClass("A", "f0", "f1")
+	p.AddClass("B", "f0", "f2")
+
+	vars := []string{"g0", "g1"}
+	varClass := map[string]string{"g0": "A", "g1": "B"}
+
+	fieldsOf := func(v string) []string {
+		if varClass[v] == "A" {
+			return []string{"f0", "f1"}
+		}
+		return []string{"f0", "f2"}
+	}
+
+	localSeq := 0
+	var genStmts func(depth, budget int, canSplit bool, locals []string) []Stmt
+	genStmts = func(depth, budget int, canSplit bool, locals []string) []Stmt {
+		var out []Stmt
+		for i := 0; i < budget; i++ {
+			all := append(append([]string{}, vars...), locals...)
+			v := all[g.intn(len(all))]
+			switch g.intn(10) {
+			case 0, 1, 2: // read
+				fs := fieldsOf(v)
+				out = append(out, &Access{Var: v, Field: fs[g.intn(len(fs))]})
+			case 3, 4, 5: // write
+				fs := fieldsOf(v)
+				out = append(out, &Access{Var: v, Field: fs[g.intn(len(fs))], Write: true})
+			case 6: // new local
+				localSeq++
+				name := fmt.Sprintf("l%d", localSeq)
+				cls := []string{"A", "B"}[g.intn(2)]
+				out = append(out, &New{Dst: name, Class: cls})
+				varClass[name] = cls
+				locals = append(locals, name)
+			case 7: // loop
+				if depth < 2 {
+					out = append(out, &Loop{
+						Count: 1 + g.intn(3),
+						Body:  &Block{Stmts: genStmts(depth+1, 1+g.intn(3), canSplit, locals)},
+					})
+				}
+			case 8: // if/else
+				if depth < 2 {
+					st := &If{Then: &Block{Stmts: genStmts(depth+1, 1+g.intn(2), canSplit, locals)}}
+					if g.intn(2) == 0 {
+						st.Else = &Block{Stmts: genStmts(depth+1, 1+g.intn(2), canSplit, locals)}
+					}
+					out = append(out, st)
+				}
+			case 9: // split (only at entry level of a canSplit method)
+				if canSplit && depth == 0 {
+					out = append(out, &Split{})
+				}
+			}
+		}
+		return out
+	}
+
+	// Leaf helpers (no splits, no calls).
+	nHelpers := 1 + g.intn(3)
+	for h := 0; h < nHelpers; h++ {
+		p.AddMethod(&Method{
+			Name:         fmt.Sprintf("helper%d", h),
+			Params:       []string{"g0", "g1"},
+			ParamClasses: []string{"A", "B"},
+			Body:         &Block{Stmts: genStmts(1, 2+g.intn(4), false, nil)},
+		})
+	}
+
+	// Entry method: mixes statements and helper calls.
+	body := genStmts(0, 4+g.intn(6), true, nil)
+	for c := 0; c < 1+g.intn(3); c++ {
+		at := g.intn(len(body) + 1)
+		call := &Call{Method: fmt.Sprintf("helper%d", g.intn(nHelpers)), Args: []string{"g0", "g1"}}
+		body = append(body[:at], append([]Stmt{call}, body[at:]...)...)
+	}
+	p.AddMethod(&Method{
+		Name: "entry", CanSplit: true,
+		Params:       []string{"g0", "g1"},
+		ParamClasses: []string{"A", "B"},
+		Body:         &Block{Stmts: body},
+	})
+	return p
+}
+
+func runGenerated(t *testing.T, seed uint64, opts Options, takeElse bool) ([4]uint64, stm.StatsSnapshot) {
+	t.Helper()
+	p := genProgram(seed)
+	if err := p.Check(); err != nil {
+		t.Fatalf("seed %d: generated program invalid: %v", seed, err)
+	}
+	if _, err := p.Transform(opts); err != nil {
+		t.Fatalf("seed %d: transform: %v", seed, err)
+	}
+	rt := stm.NewRuntime()
+	in := NewInterp(p, rt)
+	in.TakeElse = takeElse
+	a := stm.NewCommitted(in.ClassOf("A"))
+	b := stm.NewCommitted(in.ClassOf("B"))
+	if _, err := in.Run("entry",
+		map[string]*stm.Object{"g0": a, "g1": b},
+		map[string]string{"g0": "A", "g1": "B"}); err != nil {
+		t.Fatalf("seed %d: run: %v", seed, err)
+	}
+	heap := [4]uint64{
+		a.RawWord(in.ClassOf("A").Field("f0")),
+		a.RawWord(in.ClassOf("A").Field("f1")),
+		b.RawWord(in.ClassOf("B").Field("f0")),
+		b.RawWord(in.ClassOf("B").Field("f2")),
+	}
+	return heap, rt.Stats().Snapshot()
+}
+
+func TestFuzzOptimizerSoundness(t *testing.T) {
+	seeds := 150
+	if testing.Short() {
+		seeds = 25
+	}
+	for s := 1; s <= seeds; s++ {
+		seed := uint64(s) * 0x9E3779B97F4A7C15
+		for _, takeElse := range []bool{false, true} {
+			plainHeap, plainStats := runGenerated(t, seed, NoOptimizations(), takeElse)
+			optHeap, optStats := runGenerated(t, seed, AllOptimizations(), takeElse)
+			if plainHeap != optHeap {
+				t.Fatalf("seed %d else=%t: optimization changed behaviour: %v vs %v",
+					s, takeElse, plainHeap, optHeap)
+			}
+			plainOps := plainStats.Acquire + plainStats.CheckOwned + plainStats.CheckNew
+			optOps := optStats.Acquire + optStats.CheckOwned + optStats.CheckNew
+			if optOps > plainOps {
+				t.Fatalf("seed %d else=%t: optimized program did MORE lock work: %d vs %d",
+					s, takeElse, optOps, plainOps)
+			}
+		}
+	}
+}
+
+func TestOverrideRule(t *testing.T) {
+	p := NewProgram()
+	p.AddMethod(&Method{Name: "base", Body: &Block{}})
+	p.AddMethod(&Method{Name: "derived", CanSplit: true, Overrides: "base",
+		Body: &Block{Stmts: []Stmt{&Split{}}}})
+	if err := p.Check(); err == nil {
+		t.Fatal("canSplit override of non-canSplit base accepted (§2.2)")
+	}
+
+	p2 := NewProgram()
+	p2.AddMethod(&Method{Name: "base", CanSplit: true, Body: &Block{}})
+	p2.AddMethod(&Method{Name: "derived", CanSplit: true, Overrides: "base",
+		Body: &Block{Stmts: []Stmt{&Split{}}}})
+	if err := p2.Check(); err != nil {
+		t.Fatalf("legal override rejected: %v", err)
+	}
+
+	p3 := NewProgram()
+	p3.AddMethod(&Method{Name: "derived", Overrides: "ghost", Body: &Block{}})
+	if err := p3.Check(); err == nil {
+		t.Fatal("override of unknown method accepted")
+	}
+
+	// Non-canSplit may override canSplit (narrowing is safe).
+	p4 := NewProgram()
+	p4.AddMethod(&Method{Name: "base", CanSplit: true, Body: &Block{}})
+	p4.AddMethod(&Method{Name: "derived", Overrides: "base", Body: &Block{}})
+	if err := p4.Check(); err != nil {
+		t.Fatalf("narrowing override rejected: %v", err)
+	}
+}

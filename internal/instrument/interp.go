@@ -1,0 +1,255 @@
+package instrument
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/stm"
+)
+
+// Interp executes a transformed program against the real STM, honoring
+// the annotations the transformer produced: accesses whose checks were
+// eliminated run as raw memory operations, everything else goes through
+// the full Tx access path. It exists to measure what the optimization
+// passes buy (the ablation benchmarks) and to differentially test the
+// transformer: an optimized and an unoptimized run of the same program
+// must leave identical heaps.
+type Interp struct {
+	p       *Program
+	rt      *stm.Runtime
+	classes map[string]*stm.Class
+	fields  map[string]map[string]stm.FieldID
+	// TakeElse makes every If execute its else branch instead of the
+	// then branch (the IR condition is opaque); differential tests run
+	// both settings so each arm's annotations are exercised.
+	TakeElse bool
+}
+
+// NewInterp prepares an interpreter, materializing each IR class as an
+// STM class (word fields only; the IR's values are counters).
+func NewInterp(p *Program, rt *stm.Runtime) *Interp {
+	in := &Interp{
+		p:       p,
+		rt:      rt,
+		classes: map[string]*stm.Class{},
+		fields:  map[string]map[string]stm.FieldID{},
+	}
+	for name, c := range p.Classes {
+		specs := make([]stm.FieldSpec, len(c.Fields))
+		for i, f := range c.Fields {
+			specs[i] = stm.FieldSpec{Name: f.Name, Kind: stm.KindWord, Final: false}
+			// Note: inferred-final fields stay lockable at the STM level;
+			// the transformer's annotations (FinalAccess) are what skip
+			// their synchronization, mirroring how the paper's transformer
+			// emits unsynchronized bytecode for them.
+		}
+		in.classes[name] = stm.NewClass("ir."+name, specs...)
+		fm := map[string]stm.FieldID{}
+		for _, f := range c.Fields {
+			fm[f.Name] = in.classes[name].Field(f.Name)
+		}
+		in.fields[name] = fm
+	}
+	return in
+}
+
+// ClassOf returns the STM class materialized for an IR class (for
+// constructing argument objects in tests and benchmarks).
+func (in *Interp) ClassOf(name string) *stm.Class { return in.classes[name] }
+
+// env is one frame: object variables and integer variables.
+type env struct {
+	objs map[string]*stm.Object
+	ints map[string]int
+	// cls tracks each variable's IR class so field IDs resolve.
+	cls map[string]string
+}
+
+func newEnv() *env {
+	return &env{objs: map[string]*stm.Object{}, ints: map[string]int{}, cls: map[string]string{}}
+}
+
+// Run executes the named method in a fresh transaction sequence (a split
+// commits and begins a new transaction) and returns the method's final
+// environment for inspection. Args become the method's parameters.
+func (in *Interp) Run(method string, args map[string]*stm.Object, argClasses map[string]string) (map[string]*stm.Object, error) {
+	m, ok := in.p.Methods[method]
+	if !ok {
+		return nil, fmt.Errorf("instrument: no method %s", method)
+	}
+	e := newEnv()
+	for k, v := range args {
+		e.objs[k] = v
+		e.cls[k] = argClasses[k]
+	}
+	tx := in.rt.Begin()
+	txp := &tx
+	if err := in.exec(m.Body, e, txp); err != nil {
+		(*txp).Commit()
+		return nil, err
+	}
+	(*txp).Commit()
+	return e.objs, nil
+}
+
+func (in *Interp) exec(b *Block, e *env, txp **stm.Tx) error {
+	return in.execBlock(b, e, txp, false)
+}
+
+func (in *Interp) execBlock(b *Block, e *env, txp **stm.Tx, noSplit bool) error {
+	if b == nil {
+		return nil
+	}
+	for _, s := range b.Stmts {
+		switch st := s.(type) {
+		case *New:
+			cls, ok := in.classes[st.Class]
+			if !ok {
+				return fmt.Errorf("instrument: new of unknown class %s", st.Class)
+			}
+			e.objs[st.Dst] = (*txp).New(cls)
+			e.cls[st.Dst] = st.Class
+		case *NewArray:
+			e.objs[st.Dst] = (*txp).NewArray(stm.KindWord, st.Size)
+			e.cls[st.Dst] = ""
+		case *Assign:
+			e.objs[st.Dst] = e.objs[st.Src]
+			e.cls[st.Dst] = e.cls[st.Src]
+		case *Split:
+			if !noSplit { // §3.7: splits inside a noSplit block are ignored
+				(*txp).Commit()
+				*txp = in.rt.Begin()
+			}
+		case *NoSplit:
+			if err := in.execBlock(st.Body, e, txp, true); err != nil {
+				return err
+			}
+		case *Call:
+			callee := in.p.Methods[st.Method]
+			ce := newEnv()
+			for i, param := range callee.Params {
+				ce.objs[param] = e.objs[st.Args[i]]
+				ce.cls[param] = e.cls[st.Args[i]]
+			}
+			if err := in.execBlock(callee.Body, ce, txp, noSplit); err != nil {
+				return err
+			}
+		case *Loop:
+			for i := 0; i < st.Count; i++ {
+				if st.IdxVar != "" {
+					e.ints[st.IdxVar] = i
+				}
+				if err := in.execBlock(st.Body, e, txp, noSplit); err != nil {
+					return err
+				}
+			}
+		case *If:
+			// The IR condition is opaque; TakeElse selects the arm. The
+			// analyses must be sound for either choice, which the
+			// differential tests exercise by comparing heaps both ways.
+			branch := st.Then
+			if in.TakeElse && st.Else != nil {
+				branch = st.Else
+			}
+			if err := in.execBlock(branch, e, txp, noSplit); err != nil {
+				return err
+			}
+		case *HoistedLock:
+			if err := in.execHoisted(st, e, *txp); err != nil {
+				return err
+			}
+		case *Access:
+			if err := in.execAccess(st, e, *txp); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("instrument: exec: unknown stmt %T", s)
+		}
+	}
+	return nil
+}
+
+func (in *Interp) index(e *env, idx string) int {
+	if idx == "" {
+		return 0
+	}
+	if n, err := strconv.Atoi(idx); err == nil {
+		return n
+	}
+	return e.ints[idx]
+}
+
+func (in *Interp) execHoisted(h *HoistedLock, e *env, tx *stm.Tx) error {
+	if h.Elided {
+		return nil
+	}
+	o := e.objs[h.Var]
+	if o == nil {
+		return fmt.Errorf("instrument: hoisted lock on unbound var %s", h.Var)
+	}
+	if h.IsArray {
+		i := in.index(e, h.Index)
+		if h.Write {
+			tx.WriteElem(o, i, tx.ReadElem(o, i))
+		} else {
+			tx.ReadElem(o, i)
+		}
+		return nil
+	}
+	f := in.fields[e.cls[h.Var]][h.Field]
+	if h.Write {
+		tx.WriteWord(o, f, tx.ReadWord(o, f))
+	} else {
+		tx.ReadWord(o, f)
+	}
+	return nil
+}
+
+// execAccess performs the access per its annotations. Writes store a
+// deterministic value derived from the old one so differential runs can
+// compare heaps.
+func (in *Interp) execAccess(a *Access, e *env, tx *stm.Tx) error {
+	o := e.objs[a.Var]
+	if o == nil {
+		return fmt.Errorf("instrument: access to unbound var %s", a.Var)
+	}
+	if a.IsArray {
+		i := in.index(e, a.Index)
+		if a.NeedsLockOp {
+			if a.Write {
+				tx.WriteElem(o, i, tx.ReadElem(o, i)*3+1)
+			} else {
+				tx.ReadElem(o, i)
+			}
+		} else {
+			if a.Write {
+				o.SetRawElem(i, o.RawElem(i)*3+1)
+			} else {
+				o.RawElem(i)
+			}
+		}
+		return nil
+	}
+	fm, ok := in.fields[e.cls[a.Var]]
+	if !ok {
+		return fmt.Errorf("instrument: access %s.%s: unknown class %q", a.Var, a.Field, e.cls[a.Var])
+	}
+	f, ok := fm[a.Field]
+	if !ok {
+		return fmt.Errorf("instrument: class %s has no field %s", e.cls[a.Var], a.Field)
+	}
+	if a.NeedsLockOp {
+		if a.Write {
+			tx.WriteWord(o, f, tx.ReadWord(o, f)*3+1)
+		} else {
+			tx.ReadWord(o, f)
+		}
+	} else {
+		if a.Write {
+			o.SetRawWord(f, o.RawWord(f)*3+1)
+		} else {
+			o.RawWord(f)
+		}
+	}
+	return nil
+}

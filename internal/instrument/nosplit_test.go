@@ -1,0 +1,147 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stm"
+)
+
+const nosplitIR = `
+class C { f }
+
+method roundTrip(c C) canSplit splitRequired {
+  write c.f
+  split
+  read c.f
+}
+
+method splitter(c C) canSplit {
+  write c.f
+  split
+}
+
+method compose(c C) canSplit {
+  write c.f
+  nosplit {
+    call splitter(c) allowSplit
+    read c.f
+  }
+  read c.f
+}
+`
+
+func TestNoSplitParsesAndChecks(t *testing.T) {
+	p, err := ParseProgram(nosplitIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Methods["roundTrip"].SplitRequired {
+		t.Fatal("splitRequired modifier not parsed")
+	}
+	body := p.Methods["compose"].Body
+	if _, ok := body.Stmts[1].(*NoSplit); !ok {
+		t.Fatalf("nosplit block not parsed: %T", body.Stmts[1])
+	}
+}
+
+func TestNoSplitRejectsSplitRequiredCallee(t *testing.T) {
+	src := nosplitIR + `
+method bad(c C) canSplit {
+  nosplit {
+    call roundTrip(c) allowSplit
+  }
+}
+`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Check(); err == nil {
+		t.Fatal("splitRequired call inside nosplit accepted (§3.7)")
+	} else if !strings.Contains(err.Error(), "noSplit") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+func TestNoSplitSuppressesSplitInMaySplit(t *testing.T) {
+	p, err := ParseProgram(nosplitIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// compose's only splits sit inside the nosplit block (via splitter),
+	// so compose does not end the caller's section...
+	if p.MaySplit("splitter") != true {
+		t.Fatal("splitter must maySplit")
+	}
+	// ...but note compose still calls splitter outside? No: only inside
+	// nosplit, which swallows it. MaySplit must see that.
+	if p.MaySplit("compose") {
+		t.Fatal("nosplit-wrapped split leaked into MaySplit")
+	}
+}
+
+func TestNoSplitPreservesDataflowFacts(t *testing.T) {
+	p, err := ParseProgram(nosplitIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Transform(Options{EliminateRedun: true}); err != nil {
+		t.Fatal(err)
+	}
+	body := p.Methods["compose"].Body
+	ns := body.Stmts[1].(*NoSplit)
+	inner := ns.Body.Stmts[1].(*Access) // read c.f inside nosplit
+	after := body.Stmts[2].(*Access)    // read c.f after nosplit
+	if inner.NeedsLockOp {
+		t.Fatal("write lock fact lost inside nosplit (the call cannot split there)")
+	}
+	if after.NeedsLockOp {
+		t.Fatal("write lock fact lost after nosplit block")
+	}
+}
+
+func TestNoSplitInterpKeepsOneSection(t *testing.T) {
+	p, err := ParseProgram(nosplitIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Transform(NoOptimizations()); err != nil {
+		t.Fatal(err)
+	}
+	rt := stm.NewRuntime()
+	in := NewInterp(p, rt)
+	c := stm.NewCommitted(in.ClassOf("C"))
+	before := rt.Stats().Snapshot().Commits
+	if _, err := in.Run("compose", map[string]*stm.Object{"c": c},
+		map[string]string{"c": "C"}); err != nil {
+		t.Fatal(err)
+	}
+	commits := rt.Stats().Snapshot().Commits - before
+	// compose would commit twice if splitter's split fired; the nosplit
+	// block swallows it, leaving exactly the final commit.
+	if commits != 1 {
+		t.Fatalf("commits = %d, want 1 (nosplit must compose sections)", commits)
+	}
+}
+
+func TestNoSplitPrintRoundTrip(t *testing.T) {
+	p, err := ParseProgram(nosplitIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := PrintProgram(p)
+	if !strings.Contains(text, "nosplit {") || !strings.Contains(text, "splitRequired") {
+		t.Fatalf("print lost nosplit/splitRequired:\n%s", text)
+	}
+	back, err := ParseProgram(text)
+	if err != nil {
+		t.Fatalf("printed nosplit program does not re-parse: %v\n%s", err, text)
+	}
+	if err := back.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,316 @@
+package memdb
+
+import (
+	"sync"
+	"testing"
+)
+
+func mustTable(t *testing.T, db *DB, name string) *Table {
+	t.Helper()
+	tbl, err := db.CreateTable(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestInsertGetCommit(t *testing.T) {
+	db := New()
+	tbl := mustTable(t, db, "acct")
+	tx := db.Begin()
+	if err := tx.Insert(tbl, 1, []string{"alice", "100"}); err != nil {
+		t.Fatal(err)
+	}
+	// Own pending value visible.
+	if v, err := tx.Get(tbl, 1); err != nil || v[0] != "alice" {
+		t.Fatalf("own read: %v, %v", v, err)
+	}
+	// Not visible to others before commit.
+	other := db.Begin()
+	if _, err := other.Get(tbl, 1); err != ErrNotFound {
+		t.Fatalf("uncommitted insert visible: %v", err)
+	}
+	other.Rollback()
+	tx.Commit()
+
+	tx2 := db.Begin()
+	if v, err := tx2.Get(tbl, 1); err != nil || v[1] != "100" {
+		t.Fatalf("committed read: %v, %v", v, err)
+	}
+	tx2.Rollback()
+}
+
+func TestUpdateIsolationAndRollback(t *testing.T) {
+	db := New()
+	tbl := mustTable(t, db, "t")
+	seed := db.Begin()
+	seed.Insert(tbl, 1, []string{"v1"})
+	seed.Commit()
+
+	tx := db.Begin()
+	if err := tx.Update(tbl, 1, []string{"v2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Readers still see v1.
+	r := db.Begin()
+	if v, _ := r.Get(tbl, 1); v[0] != "v1" {
+		t.Fatalf("read-committed broken: %v", v)
+	}
+	r.Rollback()
+
+	tx.Rollback()
+	check := db.Begin()
+	if v, _ := check.Get(tbl, 1); v[0] != "v1" {
+		t.Fatalf("rollback lost: %v", v)
+	}
+	check.Rollback()
+}
+
+func TestFirstUpdaterWins(t *testing.T) {
+	db := New()
+	tbl := mustTable(t, db, "t")
+	seed := db.Begin()
+	seed.Insert(tbl, 1, []string{"v"})
+	seed.Commit()
+
+	tx1 := db.Begin()
+	tx2 := db.Begin()
+	if err := tx1.Update(tbl, 1, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Update(tbl, 1, []string{"b"}); err != ErrConflict {
+		t.Fatalf("second updater got %v, want ErrConflict", err)
+	}
+	if err := tx2.Delete(tbl, 1); err != ErrConflict {
+		t.Fatalf("delete on owned row got %v", err)
+	}
+	if err := tx2.Insert(tbl, 1, nil); err != ErrConflict {
+		t.Fatalf("insert on owned row got %v", err)
+	}
+	tx1.Commit()
+	tx2.Rollback()
+	if db.Stats().Conflicts.Load() != 3 {
+		t.Fatalf("conflicts = %d", db.Stats().Conflicts.Load())
+	}
+}
+
+func TestDeleteLifecycle(t *testing.T) {
+	db := New()
+	tbl := mustTable(t, db, "t")
+	seed := db.Begin()
+	seed.Insert(tbl, 1, []string{"v"})
+	seed.Commit()
+
+	tx := db.Begin()
+	if err := tx.Delete(tbl, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Get(tbl, 1); err != ErrNotFound {
+		t.Fatal("own delete not visible")
+	}
+	// Others still see it.
+	r := db.Begin()
+	if _, err := r.Get(tbl, 1); err != nil {
+		t.Fatal("committed row hidden by other txn's delete")
+	}
+	r.Rollback()
+	tx.Commit()
+
+	check := db.Begin()
+	if _, err := check.Get(tbl, 1); err != ErrNotFound {
+		t.Fatal("delete not committed")
+	}
+	// Reinsert after delete works.
+	if err := check.Insert(tbl, 1, []string{"new"}); err != nil {
+		t.Fatal(err)
+	}
+	check.Commit()
+}
+
+func TestDeleteRollbackRestores(t *testing.T) {
+	db := New()
+	tbl := mustTable(t, db, "t")
+	seed := db.Begin()
+	seed.Insert(tbl, 1, []string{"v"})
+	seed.Commit()
+
+	tx := db.Begin()
+	tx.Delete(tbl, 1)
+	tx.Rollback()
+	check := db.Begin()
+	if v, err := check.Get(tbl, 1); err != nil || v[0] != "v" {
+		t.Fatalf("rollback of delete: %v, %v", v, err)
+	}
+	check.Rollback()
+}
+
+func TestInsertDeleteReinsertWithinTxn(t *testing.T) {
+	db := New()
+	tbl := mustTable(t, db, "t")
+	tx := db.Begin()
+	tx.Insert(tbl, 1, []string{"a"})
+	if err := tx.Delete(tbl, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(tbl, 1, []string{"b"}); err != nil {
+		t.Fatalf("reinsert after own delete: %v", err)
+	}
+	tx.Commit()
+	check := db.Begin()
+	if v, _ := check.Get(tbl, 1); v[0] != "b" {
+		t.Fatalf("got %v", v)
+	}
+	check.Rollback()
+}
+
+func TestDuplicateInsert(t *testing.T) {
+	db := New()
+	tbl := mustTable(t, db, "t")
+	tx := db.Begin()
+	tx.Insert(tbl, 1, nil)
+	if err := tx.Insert(tbl, 1, nil); err != ErrDuplicate {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	tx.Commit()
+}
+
+func TestScanVisibility(t *testing.T) {
+	db := New()
+	tbl := mustTable(t, db, "t")
+	seed := db.Begin()
+	for k := int64(1); k <= 5; k++ {
+		seed.Insert(tbl, k, []string{"c"})
+	}
+	seed.Commit()
+
+	tx := db.Begin()
+	tx.Update(tbl, 2, []string{"mine"})
+	tx.Delete(tbl, 4)
+	tx.Insert(tbl, 6, []string{"fresh"})
+
+	var keys []int64
+	var vals []string
+	tx.Scan(tbl, func(k int64, v []string) bool {
+		keys = append(keys, k)
+		vals = append(vals, v[0])
+		return true
+	})
+	want := []int64{1, 2, 3, 5, 6}
+	if len(keys) != len(want) {
+		t.Fatalf("scan keys %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("scan keys %v, want %v", keys, want)
+		}
+	}
+	if vals[1] != "mine" || vals[4] != "fresh" {
+		t.Fatalf("scan vals %v", vals)
+	}
+	tx.Rollback()
+
+	// Other transactions never saw any of it.
+	other := db.Begin()
+	n := 0
+	other.Scan(tbl, func(k int64, v []string) bool { n++; return true })
+	if n != 5 {
+		t.Fatalf("post-rollback scan saw %d rows", n)
+	}
+	other.Rollback()
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	db := New()
+	tbl := mustTable(t, db, "t")
+	seed := db.Begin()
+	for k := int64(1); k <= 10; k++ {
+		seed.Insert(tbl, k, nil)
+	}
+	seed.Commit()
+	tx := db.Begin()
+	n := 0
+	tx.Scan(tbl, func(int64, []string) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop at %d", n)
+	}
+	tx.Rollback()
+}
+
+func TestEndedTxnRejectsOps(t *testing.T) {
+	db := New()
+	tbl := mustTable(t, db, "t")
+	tx := db.Begin()
+	tx.Commit()
+	if err := tx.Insert(tbl, 1, nil); err != ErrEnded {
+		t.Fatalf("insert on ended: %v", err)
+	}
+	if _, err := tx.Get(tbl, 1); err != ErrEnded {
+		t.Fatalf("get on ended: %v", err)
+	}
+	if err := tx.Commit(); err != ErrEnded {
+		t.Fatalf("double commit: %v", err)
+	}
+	if err := tx.Rollback(); err != ErrEnded {
+		t.Fatalf("rollback after commit: %v", err)
+	}
+}
+
+func TestTableLookup(t *testing.T) {
+	db := New()
+	mustTable(t, db, "a")
+	if _, err := db.CreateTable("a"); err == nil {
+		t.Fatal("duplicate table create succeeded")
+	}
+	if _, err := db.Table("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Table("zzz"); err != ErrNoTable {
+		t.Fatalf("missing table: %v", err)
+	}
+}
+
+func TestConcurrentDisjointWriters(t *testing.T) {
+	db := New()
+	tbl := mustTable(t, db, "t")
+	const writers = 8
+	const rowsEach = 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rowsEach; i++ {
+				tx := db.Begin()
+				if err := tx.Insert(tbl, int64(w*1000+i), []string{"x"}); err != nil {
+					t.Errorf("insert: %v", err)
+					tx.Rollback()
+					return
+				}
+				tx.Commit()
+			}
+		}(w)
+	}
+	wg.Wait()
+	tx := db.Begin()
+	n := 0
+	tx.Scan(tbl, func(int64, []string) bool { n++; return true })
+	tx.Rollback()
+	if n != writers*rowsEach {
+		t.Fatalf("rows = %d, want %d", n, writers*rowsEach)
+	}
+}
+
+func TestValuesCloned(t *testing.T) {
+	db := New()
+	tbl := mustTable(t, db, "t")
+	vals := []string{"orig"}
+	tx := db.Begin()
+	tx.Insert(tbl, 1, vals)
+	vals[0] = "mutated"
+	tx.Commit()
+	check := db.Begin()
+	if v, _ := check.Get(tbl, 1); v[0] != "orig" {
+		t.Fatal("Insert aliased caller slice")
+	}
+	check.Rollback()
+}

@@ -1,0 +1,128 @@
+// Package memfs provides a small in-memory file system. It stands in for
+// the disk the paper's LuIndex/LuSearch benchmarks touch: deterministic,
+// noise-free, and exercising the same transactional-wrapper code path in
+// internal/txio (see DESIGN.md, substitutions).
+//
+// File contents are immutable byte slices: WriteFile replaces the whole
+// content, so readers holding a previously returned slice are never
+// disturbed. This copy-on-write discipline is what lets the transactional
+// file wrappers snapshot a file at open with zero copying.
+package memfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// FS is a flat in-memory file system (names may contain '/' but there is
+// no directory object; a "directory" is a name prefix).
+type FS struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+// New creates an empty file system.
+func New() *FS {
+	return &FS{files: make(map[string][]byte)}
+}
+
+// ErrNotExist is returned when a named file does not exist.
+type ErrNotExist struct{ Name string }
+
+func (e *ErrNotExist) Error() string { return fmt.Sprintf("memfs: %s does not exist", e.Name) }
+
+// WriteFile atomically replaces the content of name. The data is copied,
+// so the caller may reuse its buffer.
+func (fs *FS) WriteFile(name string, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	fs.mu.Lock()
+	fs.files[name] = cp
+	fs.mu.Unlock()
+}
+
+// ReadFile returns the current content of name. The returned slice is
+// immutable and must not be modified.
+func (fs *FS) ReadFile(name string) ([]byte, error) {
+	fs.mu.RLock()
+	data, ok := fs.files[name]
+	fs.mu.RUnlock()
+	if !ok {
+		return nil, &ErrNotExist{Name: name}
+	}
+	return data, nil
+}
+
+// Append atomically appends data to name, creating it if necessary.
+func (fs *FS) Append(name string, data []byte) {
+	fs.mu.Lock()
+	old := fs.files[name]
+	buf := make([]byte, 0, len(old)+len(data))
+	buf = append(buf, old...)
+	buf = append(buf, data...)
+	fs.files[name] = buf
+	fs.mu.Unlock()
+}
+
+// Remove deletes name; removing a missing file is an error.
+func (fs *FS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return &ErrNotExist{Name: name}
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Exists reports whether name exists.
+func (fs *FS) Exists(name string) bool {
+	fs.mu.RLock()
+	_, ok := fs.files[name]
+	fs.mu.RUnlock()
+	return ok
+}
+
+// Size returns the length of name's content.
+func (fs *FS) Size(name string) (int, error) {
+	fs.mu.RLock()
+	data, ok := fs.files[name]
+	fs.mu.RUnlock()
+	if !ok {
+		return 0, &ErrNotExist{Name: name}
+	}
+	return len(data), nil
+}
+
+// List returns the sorted names with the given prefix.
+func (fs *FS) List(prefix string) []string {
+	fs.mu.RLock()
+	var names []string
+	for n := range fs.files {
+		if len(n) >= len(prefix) && n[:len(prefix)] == prefix {
+			names = append(names, n)
+		}
+	}
+	fs.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of files.
+func (fs *FS) Len() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return len(fs.files)
+}
+
+// TotalBytes returns the sum of all file sizes.
+func (fs *FS) TotalBytes() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	total := 0
+	for _, d := range fs.files {
+		total += len(d)
+	}
+	return total
+}

@@ -1,0 +1,135 @@
+package memfs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New()
+	fs.WriteFile("a.txt", []byte("hello"))
+	data, err := fs.ReadFile("a.txt")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	fs := New()
+	if _, err := fs.ReadFile("nope"); err == nil {
+		t.Fatal("missing file read succeeded")
+	} else if _, ok := err.(*ErrNotExist); !ok {
+		t.Fatalf("wrong error type %T", err)
+	}
+}
+
+func TestWriteCopiesInput(t *testing.T) {
+	fs := New()
+	buf := []byte("abc")
+	fs.WriteFile("f", buf)
+	buf[0] = 'X'
+	data, _ := fs.ReadFile("f")
+	if string(data) != "abc" {
+		t.Fatal("WriteFile aliased the caller's buffer")
+	}
+}
+
+func TestContentImmutableAcrossOverwrite(t *testing.T) {
+	fs := New()
+	fs.WriteFile("f", []byte("v1"))
+	old, _ := fs.ReadFile("f")
+	fs.WriteFile("f", []byte("v2"))
+	if string(old) != "v1" {
+		t.Fatal("overwrite disturbed a previously returned slice")
+	}
+	cur, _ := fs.ReadFile("f")
+	if string(cur) != "v2" {
+		t.Fatal("overwrite lost")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	fs := New()
+	fs.Append("log", []byte("a"))
+	fs.Append("log", []byte("bc"))
+	data, _ := fs.ReadFile("log")
+	if string(data) != "abc" {
+		t.Fatalf("append result %q", data)
+	}
+}
+
+func TestRemoveAndExists(t *testing.T) {
+	fs := New()
+	fs.WriteFile("f", nil)
+	if !fs.Exists("f") {
+		t.Fatal("Exists false after write")
+	}
+	if err := fs.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("f") {
+		t.Fatal("Exists true after remove")
+	}
+	if err := fs.Remove("f"); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestSizeAndTotals(t *testing.T) {
+	fs := New()
+	fs.WriteFile("a", []byte("12345"))
+	fs.WriteFile("b", []byte("67"))
+	if n, _ := fs.Size("a"); n != 5 {
+		t.Fatalf("Size = %d", n)
+	}
+	if _, err := fs.Size("zz"); err == nil {
+		t.Fatal("Size of missing file succeeded")
+	}
+	if fs.Len() != 2 || fs.TotalBytes() != 7 {
+		t.Fatalf("Len=%d Total=%d", fs.Len(), fs.TotalBytes())
+	}
+}
+
+func TestListPrefixSorted(t *testing.T) {
+	fs := New()
+	for _, n := range []string{"docs/b", "docs/a", "idx/x", "docs/c"} {
+		fs.WriteFile(n, nil)
+	}
+	got := fs.List("docs/")
+	want := []string{"docs/a", "docs/b", "docs/c"}
+	if len(got) != len(want) {
+		t.Fatalf("List = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v, want %v", got, want)
+		}
+	}
+	if all := fs.List(""); len(all) != 4 {
+		t.Fatalf("List(\"\") = %v", all)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	fs := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := string(rune('a' + g))
+			for i := 0; i < 100; i++ {
+				fs.WriteFile(name, []byte{byte(i)})
+				if d, err := fs.ReadFile(name); err != nil || len(d) != 1 {
+					t.Errorf("concurrent read broken: %v", err)
+					return
+				}
+				fs.List("")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if fs.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", fs.Len())
+	}
+}

@@ -1,0 +1,150 @@
+package minihttp
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The wire format is a deliberately small HTTP/1.0 subset, sized so that
+// requests and responses flow through the transactional connection
+// wrapper (txio.Conn) line by line:
+//
+//	request:  "GET /path?k=v&k2=v2\n"
+//	response: "<status> <body-length>\n<body bytes>"
+
+// Request is a parsed request line.
+type Request struct {
+	Method string
+	Path   string
+	Query  map[string]string
+}
+
+// ParseRequest parses a request line (without the trailing newline).
+func ParseRequest(line string) (*Request, error) {
+	method, rest, ok := strings.Cut(line, " ")
+	if !ok || method == "" {
+		return nil, fmt.Errorf("minihttp: malformed request line %q", line)
+	}
+	path, rawQuery, _ := strings.Cut(rest, "?")
+	if path == "" || !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("minihttp: malformed path in %q", line)
+	}
+	req := &Request{Method: method, Path: path, Query: map[string]string{}}
+	if rawQuery != "" {
+		for _, kv := range strings.Split(rawQuery, "&") {
+			k, v, _ := strings.Cut(kv, "=")
+			if k == "" {
+				return nil, fmt.Errorf("minihttp: malformed query in %q", line)
+			}
+			req.Query[k] = v
+		}
+	}
+	return req, nil
+}
+
+// FormatRequest renders a request line including the newline. Query keys
+// are emitted in sorted order so the format is deterministic.
+func FormatRequest(method, path string, query map[string]string) string {
+	var b strings.Builder
+	b.WriteString(method)
+	b.WriteByte(' ')
+	b.WriteString(path)
+	if len(query) > 0 {
+		keys := make([]string, 0, len(query))
+		for k := range query {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sep := "?"
+		for _, k := range keys {
+			b.WriteString(sep)
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(query[k])
+			sep = "&"
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// FormatResponse renders a full response (header line plus body).
+func FormatResponse(status int, body string) string {
+	return fmt.Sprintf("%d %d\n%s", status, len(body), body)
+}
+
+// ParseResponseHeader parses the response header line (without the
+// trailing newline) into status and body length.
+func ParseResponseHeader(line string) (status, length int, err error) {
+	s, l, ok := strings.Cut(line, " ")
+	if !ok {
+		return 0, 0, fmt.Errorf("minihttp: malformed response header %q", line)
+	}
+	if status, err = strconv.Atoi(s); err != nil {
+		return 0, 0, fmt.Errorf("minihttp: bad status in %q", line)
+	}
+	if length, err = strconv.Atoi(l); err != nil || length < 0 {
+		return 0, 0, fmt.Errorf("minihttp: bad length in %q", line)
+	}
+	return status, length, nil
+}
+
+// Page is a statically compiled page template: literal segments
+// interleaved with variable references, compiled once and rendered with
+// pure string assembly (the stand-in for the paper's statically compiled
+// JSP pages).
+type Page struct {
+	segs []string // len(segs) == len(vars)+1
+	vars []string
+}
+
+// CompilePage compiles a template in which "{name}" references a render
+// variable. Braces cannot be escaped; the template language is as small
+// as the benchmark requires.
+func CompilePage(tpl string) (*Page, error) {
+	p := &Page{}
+	for {
+		open := strings.IndexByte(tpl, '{')
+		if open < 0 {
+			p.segs = append(p.segs, tpl)
+			return p, nil
+		}
+		closing := strings.IndexByte(tpl[open:], '}')
+		if closing < 0 {
+			return nil, fmt.Errorf("minihttp: unterminated variable in template")
+		}
+		name := tpl[open+1 : open+closing]
+		if name == "" {
+			return nil, fmt.Errorf("minihttp: empty variable in template")
+		}
+		p.segs = append(p.segs, tpl[:open])
+		p.vars = append(p.vars, name)
+		tpl = tpl[open+closing+1:]
+	}
+}
+
+// MustCompilePage compiles or panics; for package-level page constants.
+func MustCompilePage(tpl string) *Page {
+	p, err := CompilePage(tpl)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Render assembles the page; missing variables render as empty strings.
+func (p *Page) Render(vals map[string]string) string {
+	var b strings.Builder
+	for i, seg := range p.segs {
+		b.WriteString(seg)
+		if i < len(p.vars) {
+			b.WriteString(vals[p.vars[i]])
+		}
+	}
+	return b.String()
+}
+
+// Vars returns the variable names the page references, in order.
+func (p *Page) Vars() []string { return append([]string(nil), p.vars...) }

@@ -1,0 +1,60 @@
+package minihttp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWaitReadableBlocksUntilData(t *testing.T) {
+	a, b := Pair()
+	got := make(chan bool)
+	go func() { got <- a.WaitReadable() }()
+	select {
+	case <-got:
+		t.Fatal("WaitReadable returned before any data")
+	case <-time.After(30 * time.Millisecond):
+	}
+	b.Write([]byte("x")) //nolint:errcheck
+	select {
+	case ok := <-got:
+		if !ok {
+			t.Fatal("WaitReadable returned false despite data")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitReadable never unblocked")
+	}
+	// Data still present: an immediate call returns true without blocking.
+	if !a.WaitReadable() {
+		t.Fatal("WaitReadable false with buffered data")
+	}
+}
+
+func TestWaitReadableFalseOnClose(t *testing.T) {
+	a, b := Pair()
+	got := make(chan bool)
+	go func() { got <- a.WaitReadable() }()
+	time.Sleep(20 * time.Millisecond)
+	b.Close()
+	select {
+	case ok := <-got:
+		if ok {
+			t.Fatal("WaitReadable true on closed, empty connection")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitReadable never unblocked on close")
+	}
+}
+
+func TestWaitReadableDrainsBeforeEOF(t *testing.T) {
+	a, b := Pair()
+	b.Write([]byte("tail")) //nolint:errcheck
+	b.Close()
+	if !a.WaitReadable() {
+		t.Fatal("WaitReadable false while undrained data remains")
+	}
+	buf := make([]byte, 8)
+	a.Read(buf) //nolint:errcheck
+	if a.WaitReadable() {
+		t.Fatal("WaitReadable true after drain on closed connection")
+	}
+}

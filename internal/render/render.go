@@ -1,0 +1,194 @@
+// Package render is the ray-tracing substrate behind the Sunflow
+// benchmark reproduction: vector math, sphere intersection, Phong-style
+// shading, a deterministic scene generator, and a reference tracer. The
+// benchmark's defining property in the paper — a large, read-mostly
+// shared scene whose accesses generate huge numbers of lock
+// initializations and owned-checks, with no I/O — comes from the
+// workload variants; this package holds the pure math both variants
+// share.
+package render
+
+import "math"
+
+// Vec is a 3-vector (also used for RGB colors).
+type Vec struct{ X, Y, Z float64 }
+
+// Add returns v + o.
+func (v Vec) Add(o Vec) Vec { return Vec{v.X + o.X, v.Y + o.Y, v.Z + o.Z} }
+
+// Sub returns v - o.
+func (v Vec) Sub(o Vec) Vec { return Vec{v.X - o.X, v.Y - o.Y, v.Z - o.Z} }
+
+// Scale returns v * s.
+func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s, v.Z * s} }
+
+// Mul returns the component-wise product (color modulation).
+func (v Vec) Mul(o Vec) Vec { return Vec{v.X * o.X, v.Y * o.Y, v.Z * o.Z} }
+
+// Dot returns the dot product.
+func (v Vec) Dot(o Vec) float64 { return v.X*o.X + v.Y*o.Y + v.Z*o.Z }
+
+// Len returns the Euclidean length.
+func (v Vec) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm returns the unit vector (zero vector stays zero).
+func (v Vec) Norm() Vec {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Sphere is the only primitive the scene uses.
+type Sphere struct {
+	Center Vec
+	Radius float64
+	Color  Vec
+}
+
+// Scene is a sphere set plus a point light.
+type Scene struct {
+	Spheres []Sphere
+	Light   Vec
+	Ambient float64
+}
+
+// GenScene builds a deterministic scene of n spheres in front of the
+// camera.
+func GenScene(n int, seed uint64) *Scene {
+	if seed == 0 {
+		seed = 0x2545F4914F6CDD1D
+	}
+	x := seed
+	next := func() float64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return float64(x%10000) / 10000
+	}
+	s := &Scene{Light: Vec{-4, 6, -2}, Ambient: 0.15}
+	for i := 0; i < n; i++ {
+		s.Spheres = append(s.Spheres, Sphere{
+			Center: Vec{next()*8 - 4, next()*6 - 3, 4 + next()*8},
+			Radius: 0.3 + next()*0.7,
+			Color:  Vec{0.2 + 0.8*next(), 0.2 + 0.8*next(), 0.2 + 0.8*next()},
+		})
+	}
+	return s
+}
+
+// IntersectSphere returns the nearest positive ray parameter t at which
+// the ray orig+t*dir hits the sphere given by center and radius, and
+// whether it hits at all. dir must be normalized.
+func IntersectSphere(orig, dir, center Vec, radius float64) (float64, bool) {
+	oc := orig.Sub(center)
+	b := oc.Dot(dir)
+	c := oc.Dot(oc) - radius*radius
+	disc := b*b - c
+	if disc < 0 {
+		return 0, false
+	}
+	sq := math.Sqrt(disc)
+	if t := -b - sq; t > 1e-6 {
+		return t, true
+	}
+	if t := -b + sq; t > 1e-6 {
+		return t, true
+	}
+	return 0, false
+}
+
+// CameraRay returns the normalized direction of the primary ray through
+// pixel (px, py) of a w×h image; the camera sits at the origin looking
+// down +Z.
+func CameraRay(w, h, px, py int) Vec {
+	fx := (float64(px)+0.5)/float64(w)*2 - 1
+	fy := 1 - (float64(py)+0.5)/float64(h)*2
+	aspect := float64(w) / float64(h)
+	return Vec{fx * aspect, fy, 1.5}.Norm()
+}
+
+// Shade computes the diffuse Phong contribution at a hit point.
+func Shade(point, normal, color, light Vec, ambient float64) Vec {
+	l := light.Sub(point).Norm()
+	diff := normal.Dot(l)
+	if diff < 0 {
+		diff = 0
+	}
+	return color.Scale(ambient + (1-ambient)*diff)
+}
+
+// TracePixel is the reference tracer: it shades the nearest sphere hit
+// by the primary ray through (px, py), or black. Workload variants must
+// produce bit-identical results (it is the validation oracle).
+func TracePixel(sc *Scene, w, h, px, py int) Vec {
+	dir := CameraRay(w, h, px, py)
+	orig := Vec{}
+	best := math.Inf(1)
+	bestIdx := -1
+	for i := range sc.Spheres {
+		if t, ok := IntersectSphere(orig, dir, sc.Spheres[i].Center, sc.Spheres[i].Radius); ok && t < best {
+			best = t
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return Vec{}
+	}
+	sp := &sc.Spheres[bestIdx]
+	point := orig.Add(dir.Scale(best))
+	normal := point.Sub(sp.Center).Norm()
+	return Shade(point, normal, sp.Color, sc.Light, sc.Ambient)
+}
+
+// Colors are validated and stored on the RGB565 quantization grid: real
+// renderers store packed integer pixels, and the 16-bit format lets the
+// image buffer hold four pixels per 64-bit word (one lock per four
+// pixels instead of twelve).
+
+func quant5(f float64) uint64 {
+	v := math.Round(f * 31)
+	if v < 0 {
+		v = 0
+	}
+	if v > 31 {
+		v = 31
+	}
+	return uint64(v)
+}
+
+func quant6(f float64) uint64 {
+	v := math.Round(f * 63)
+	if v < 0 {
+		v = 0
+	}
+	if v > 63 {
+		v = 63
+	}
+	return uint64(v)
+}
+
+// PackColor packs a color into an RGB565 pixel.
+func PackColor(c Vec) uint16 {
+	return uint16(quant5(c.X)<<11 | quant6(c.Y)<<5 | quant5(c.Z))
+}
+
+// PixelChecksum folds a color into a stable uint64 for whole-image
+// validation across variants. It operates on the RGB565 grid, so
+// PixelChecksum(s, c) == PackedChecksum(s, PackColor(c)) always holds.
+func PixelChecksum(sum uint64, c Vec) uint64 {
+	h := sum*1099511628211 ^ quant5(c.X)
+	h = h*1099511628211 ^ quant6(c.Y)
+	h = h*1099511628211 ^ quant5(c.Z)
+	return h
+}
+
+// PackedChecksum folds a packed RGB565 pixel into the same checksum
+// stream as PixelChecksum.
+func PackedChecksum(sum uint64, packed uint16) uint64 {
+	h := sum*1099511628211 ^ uint64(packed>>11&0x1F)
+	h = h*1099511628211 ^ uint64(packed>>5&0x3F)
+	h = h*1099511628211 ^ uint64(packed&0x1F)
+	return h
+}

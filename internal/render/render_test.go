@@ -1,0 +1,151 @@
+package render
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestVecOps(t *testing.T) {
+	v := Vec{1, 2, 3}
+	o := Vec{4, 5, 6}
+	if v.Add(o) != (Vec{5, 7, 9}) || v.Sub(o) != (Vec{-3, -3, -3}) {
+		t.Fatal("add/sub wrong")
+	}
+	if v.Scale(2) != (Vec{2, 4, 6}) || v.Mul(o) != (Vec{4, 10, 18}) {
+		t.Fatal("scale/mul wrong")
+	}
+	if !almostEq(v.Dot(o), 32) {
+		t.Fatal("dot wrong")
+	}
+	if !almostEq(Vec{3, 4, 0}.Len(), 5) {
+		t.Fatal("len wrong")
+	}
+}
+
+func TestNormProperty(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) ||
+			math.IsNaN(z) || math.IsInf(z, 0) {
+			return true
+		}
+		// Scale into a sane range to avoid overflow.
+		v := Vec{math.Mod(x, 1e6), math.Mod(y, 1e6), math.Mod(z, 1e6)}
+		n := v.Norm()
+		if v.Len() == 0 {
+			return n == v
+		}
+		return math.Abs(n.Len()-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectSphereHit(t *testing.T) {
+	// Ray down +Z hits a sphere centered at (0,0,5) r=1 at t=4.
+	tHit, ok := IntersectSphere(Vec{}, Vec{0, 0, 1}, Vec{0, 0, 5}, 1)
+	if !ok || !almostEq(tHit, 4) {
+		t.Fatalf("hit: t=%v ok=%t", tHit, ok)
+	}
+}
+
+func TestIntersectSphereMiss(t *testing.T) {
+	if _, ok := IntersectSphere(Vec{}, Vec{0, 0, 1}, Vec{5, 0, 5}, 1); ok {
+		t.Fatal("missed sphere reported hit")
+	}
+	// Sphere behind the origin.
+	if _, ok := IntersectSphere(Vec{}, Vec{0, 0, 1}, Vec{0, 0, -5}, 1); ok {
+		t.Fatal("behind-camera sphere reported hit")
+	}
+}
+
+func TestIntersectFromInside(t *testing.T) {
+	// Origin inside the sphere: the exit point counts.
+	tHit, ok := IntersectSphere(Vec{}, Vec{0, 0, 1}, Vec{0, 0, 0.5}, 1)
+	if !ok || tHit <= 0 {
+		t.Fatalf("inside hit: t=%v ok=%t", tHit, ok)
+	}
+}
+
+func TestCameraRayCorners(t *testing.T) {
+	c := CameraRay(100, 100, 50, 50)
+	if math.Abs(c.X) > 0.02 || math.Abs(c.Y) > 0.02 {
+		t.Fatalf("center ray not centered: %+v", c)
+	}
+	tl := CameraRay(100, 100, 0, 0)
+	if tl.X >= 0 || tl.Y <= 0 {
+		t.Fatalf("top-left ray direction wrong: %+v", tl)
+	}
+	if !almostEq(c.Len(), 1) || !almostEq(tl.Len(), 1) {
+		t.Fatal("camera rays not normalized")
+	}
+}
+
+func TestShadeClampsBackside(t *testing.T) {
+	// Light behind the surface contributes only ambient.
+	got := Shade(Vec{}, Vec{0, 0, -1}, Vec{1, 1, 1}, Vec{0, 0, 10}, 0.2)
+	if !almostEq(got.X, 0.2) {
+		t.Fatalf("backside shade %v", got)
+	}
+}
+
+func TestGenSceneDeterministic(t *testing.T) {
+	a := GenScene(20, 5)
+	b := GenScene(20, 5)
+	for i := range a.Spheres {
+		if a.Spheres[i] != b.Spheres[i] {
+			t.Fatal("scene generation not deterministic")
+		}
+	}
+	for _, s := range a.Spheres {
+		if s.Radius <= 0 || s.Center.Z < 3 {
+			t.Fatalf("implausible sphere %+v", s)
+		}
+	}
+}
+
+func TestTracePixelHitsSomething(t *testing.T) {
+	sc := GenScene(40, 1)
+	hits := 0
+	var sum uint64
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			c := TracePixel(sc, 32, 32, x, y)
+			sum = PixelChecksum(sum, c)
+			if c != (Vec{}) {
+				hits++
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no pixel hit any sphere; scene generator is broken")
+	}
+	// Determinism of the whole image.
+	var sum2 uint64
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			sum2 = PixelChecksum(sum2, TracePixel(sc, 32, 32, x, y))
+		}
+	}
+	if sum != sum2 {
+		t.Fatal("tracing not deterministic")
+	}
+}
+
+func TestTracePixelNearestWins(t *testing.T) {
+	sc := &Scene{
+		Spheres: []Sphere{
+			{Center: Vec{0, 0, 10}, Radius: 1, Color: Vec{1, 0, 0}},
+			{Center: Vec{0, 0, 5}, Radius: 1, Color: Vec{0, 1, 0}},
+		},
+		Light:   Vec{0, 10, 0},
+		Ambient: 0.5,
+	}
+	c := TracePixel(sc, 100, 100, 50, 50)
+	if c.X != 0 || c.Y <= 0 {
+		t.Fatalf("nearest sphere not chosen: %+v", c)
+	}
+}

@@ -1,0 +1,396 @@
+// Package sbdcol provides collection classes built on the STM object
+// model — the reproduction's counterpart of the paper's adapted Java
+// Class Library (§4.3). Workload code shares data through these
+// collections; every access goes through the field- and element-level
+// locking rules of internal/stm.
+//
+// Two of the classes encode custom modifications from paper Table 4:
+//
+//   - Queue carries a separate isEmpty flag so that emptiness polling
+//     locks a rarely changing field instead of the constantly changing
+//     size ("Use separate isEmpty flag (instead of size) in get method
+//     for empty check").
+//   - Counter spreads per-thread tallies over the elements of one word
+//     array — element-level locks mean threads never contend — and
+//     aggregates on read ("Thread local update of statistic counters,
+//     aggregate on read").
+package sbdcol
+
+import (
+	"repro/internal/stm"
+)
+
+// ---- List: a growable array of object references ----
+
+var listClass = stm.NewClass("sbdcol.List",
+	stm.FieldSpec{Name: "size", Kind: stm.KindWord},
+	stm.FieldSpec{Name: "data", Kind: stm.KindRef},
+)
+
+var (
+	listSize = listClass.Field("size")
+	listData = listClass.Field("data")
+)
+
+// List is a growable array of *stm.Object references.
+type List struct{ o *stm.Object }
+
+// NewList allocates an empty list with the given initial capacity.
+func NewList(tx *stm.Tx, capacity int) List {
+	if capacity < 4 {
+		capacity = 4
+	}
+	o := tx.New(listClass)
+	tx.WriteRef(o, listData, tx.NewArray(stm.KindRef, capacity))
+	return List{o: o}
+}
+
+// Handle returns the backing object (to store a List inside another
+// structure).
+func (l List) Handle() *stm.Object { return l.o }
+
+// ListFrom re-wraps a backing object previously obtained via Handle.
+func ListFrom(o *stm.Object) List { return List{o: o} }
+
+// Len returns the number of elements.
+func (l List) Len(tx *stm.Tx) int { return int(tx.ReadInt(l.o, listSize)) }
+
+// Get returns element i.
+func (l List) Get(tx *stm.Tx, i int) *stm.Object {
+	return tx.ReadElemRef(tx.ReadRef(l.o, listData), i)
+}
+
+// Set replaces element i.
+func (l List) Set(tx *stm.Tx, i int, v *stm.Object) {
+	tx.WriteElemRef(tx.ReadRef(l.o, listData), i, v)
+}
+
+// Append adds v at the end, growing the backing array if needed.
+func (l List) Append(tx *stm.Tx, v *stm.Object) {
+	n := int(tx.ReadInt(l.o, listSize))
+	data := tx.ReadRef(l.o, listData)
+	if n == data.Len() {
+		bigger := tx.NewArray(stm.KindRef, 2*data.Len())
+		for i := 0; i < n; i++ {
+			tx.WriteElemRef(bigger, i, tx.ReadElemRef(data, i))
+		}
+		tx.WriteRef(l.o, listData, bigger)
+		data = bigger
+	}
+	tx.WriteElemRef(data, n, v)
+	tx.WriteInt(l.o, listSize, int64(n+1))
+}
+
+// ---- WordList: a growable array of 64-bit words ----
+
+var wordListClass = stm.NewClass("sbdcol.WordList",
+	stm.FieldSpec{Name: "size", Kind: stm.KindWord},
+	stm.FieldSpec{Name: "data", Kind: stm.KindRef},
+)
+
+var (
+	wordListSize = wordListClass.Field("size")
+	wordListData = wordListClass.Field("data")
+)
+
+// WordList is a growable array of uint64 words (e.g. a postings list of
+// document IDs).
+type WordList struct{ o *stm.Object }
+
+// NewWordList allocates an empty word list.
+func NewWordList(tx *stm.Tx, capacity int) WordList {
+	if capacity < 4 {
+		capacity = 4
+	}
+	o := tx.New(wordListClass)
+	tx.WriteRef(o, wordListData, tx.NewArray(stm.KindWord, capacity))
+	return WordList{o: o}
+}
+
+// Handle returns the backing object.
+func (l WordList) Handle() *stm.Object { return l.o }
+
+// WordListFrom re-wraps a backing object.
+func WordListFrom(o *stm.Object) WordList { return WordList{o: o} }
+
+// Len returns the number of elements.
+func (l WordList) Len(tx *stm.Tx) int { return int(tx.ReadInt(l.o, wordListSize)) }
+
+// Get returns element i.
+func (l WordList) Get(tx *stm.Tx, i int) uint64 {
+	return tx.ReadElem(tx.ReadRef(l.o, wordListData), i)
+}
+
+// CopyOut reads the whole list into a Go slice. The size and backing
+// array are read once instead of per element (the redundant-check
+// elimination a transformer would apply to the naive Get loop); the
+// element reads still take their individual read locks.
+func (l WordList) CopyOut(tx *stm.Tx) []uint64 {
+	n := int(tx.ReadInt(l.o, wordListSize))
+	data := tx.ReadRef(l.o, wordListData)
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = tx.ReadElem(data, i)
+	}
+	return out
+}
+
+// Contains binary-searches a sorted word list, reading the size and
+// backing array once and O(log n) elements (the skip-list-style probe a
+// search engine uses on postings lists).
+func (l WordList) Contains(tx *stm.Tx, v uint64) bool {
+	n := int(tx.ReadInt(l.o, wordListSize))
+	data := tx.ReadRef(l.o, wordListData)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch got := tx.ReadElem(data, mid); {
+		case got == v:
+			return true
+		case got < v:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return false
+}
+
+// Append adds v at the end, growing the backing array if needed.
+func (l WordList) Append(tx *stm.Tx, v uint64) {
+	n := int(tx.ReadInt(l.o, wordListSize))
+	data := tx.ReadRef(l.o, wordListData)
+	if n == data.Len() {
+		bigger := tx.NewArray(stm.KindWord, 2*data.Len())
+		for i := 0; i < n; i++ {
+			tx.WriteElem(bigger, i, tx.ReadElem(data, i))
+		}
+		tx.WriteRef(l.o, wordListData, bigger)
+		data = bigger
+	}
+	tx.WriteElem(data, n, v)
+	tx.WriteInt(l.o, wordListSize, int64(n+1))
+}
+
+// ---- StrMap: string keys to object references ----
+
+var strMapClass = stm.NewClass("sbdcol.StrMap",
+	stm.FieldSpec{Name: "size", Kind: stm.KindWord},
+	stm.FieldSpec{Name: "buckets", Kind: stm.KindRef, Final: true},
+)
+
+var (
+	strMapSize    = strMapClass.Field("size")
+	strMapBuckets = strMapClass.Field("buckets")
+)
+
+var strMapEntryClass = stm.NewClass("sbdcol.StrMapEntry",
+	stm.FieldSpec{Name: "key", Kind: stm.KindStr, Final: true},
+	stm.FieldSpec{Name: "val", Kind: stm.KindRef},
+	stm.FieldSpec{Name: "next", Kind: stm.KindRef},
+)
+
+var (
+	entryKey  = strMapEntryClass.Field("key")
+	entryVal  = strMapEntryClass.Field("val")
+	entryNext = strMapEntryClass.Field("next")
+)
+
+// StrMap is a chained hash map from string to *stm.Object. The bucket
+// array is final (the map does not rehash), so bucket lookup costs one
+// element lock only.
+type StrMap struct{ o *stm.Object }
+
+// NewStrMap allocates a map with the given bucket count.
+func NewStrMap(tx *stm.Tx, buckets int) StrMap {
+	if buckets < 1 {
+		buckets = 1
+	}
+	o := tx.New(strMapClass)
+	tx.WriteRef(o, strMapBuckets, tx.NewArray(stm.KindRef, buckets))
+	return StrMap{o: o}
+}
+
+// Handle returns the backing object.
+func (m StrMap) Handle() *stm.Object { return m.o }
+
+// StrMapFrom re-wraps a backing object.
+func StrMapFrom(o *stm.Object) StrMap { return StrMap{o: o} }
+
+func strHash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+func (m StrMap) bucket(tx *stm.Tx, key string) (arr *stm.Object, idx int) {
+	arr = tx.ReadRef(m.o, strMapBuckets)
+	return arr, int(strHash(key) % uint64(arr.Len()))
+}
+
+// Get returns the value for key, or nil.
+func (m StrMap) Get(tx *stm.Tx, key string) *stm.Object {
+	arr, i := m.bucket(tx, key)
+	for e := tx.ReadElemRef(arr, i); e != nil; e = tx.ReadRef(e, entryNext) {
+		if tx.ReadStr(e, entryKey) == key {
+			return tx.ReadRef(e, entryVal)
+		}
+	}
+	return nil
+}
+
+// Put inserts or replaces key's value and reports whether the key was
+// new.
+func (m StrMap) Put(tx *stm.Tx, key string, val *stm.Object) bool {
+	arr, i := m.bucket(tx, key)
+	for e := tx.ReadElemRef(arr, i); e != nil; e = tx.ReadRef(e, entryNext) {
+		if tx.ReadStr(e, entryKey) == key {
+			tx.WriteRef(e, entryVal, val)
+			return false
+		}
+	}
+	e := tx.New(strMapEntryClass)
+	tx.WriteStr(e, entryKey, key)
+	tx.WriteRef(e, entryVal, val)
+	tx.WriteRef(e, entryNext, tx.ReadElemRef(arr, i))
+	tx.WriteElemRef(arr, i, e)
+	tx.WriteInt(m.o, strMapSize, tx.ReadInt(m.o, strMapSize)+1)
+	return true
+}
+
+// Len returns the number of keys.
+func (m StrMap) Len(tx *stm.Tx) int { return int(tx.ReadInt(m.o, strMapSize)) }
+
+// ForEach visits every entry (bucket order).
+func (m StrMap) ForEach(tx *stm.Tx, fn func(key string, val *stm.Object)) {
+	arr := tx.ReadRef(m.o, strMapBuckets)
+	for i := 0; i < arr.Len(); i++ {
+		for e := tx.ReadElemRef(arr, i); e != nil; e = tx.ReadRef(e, entryNext) {
+			fn(tx.ReadStr(e, entryKey), tx.ReadRef(e, entryVal))
+		}
+	}
+}
+
+// ---- Queue: a FIFO of object references ----
+
+var queueClass = stm.NewClass("sbdcol.Queue",
+	stm.FieldSpec{Name: "head", Kind: stm.KindRef},
+	stm.FieldSpec{Name: "tail", Kind: stm.KindRef},
+	stm.FieldSpec{Name: "size", Kind: stm.KindWord},
+	stm.FieldSpec{Name: "isEmpty", Kind: stm.KindWord},
+)
+
+var (
+	queueHead    = queueClass.Field("head")
+	queueTail    = queueClass.Field("tail")
+	queueSize    = queueClass.Field("size")
+	queueIsEmpty = queueClass.Field("isEmpty")
+)
+
+var queueNodeClass = stm.NewClass("sbdcol.QueueNode",
+	stm.FieldSpec{Name: "val", Kind: stm.KindRef, Final: true},
+	stm.FieldSpec{Name: "next", Kind: stm.KindRef},
+)
+
+var (
+	nodeVal  = queueNodeClass.Field("val")
+	nodeNext = queueNodeClass.Field("next")
+)
+
+// Queue is a linked FIFO. It maintains both a size field and a separate
+// isEmpty flag: emptiness checks read only the flag, which changes just
+// at the empty/non-empty boundary, instead of size, which changes on
+// every operation — paper Table 4's JCL "Frequency" modification.
+type Queue struct{ o *stm.Object }
+
+// NewQueue allocates an empty queue.
+func NewQueue(tx *stm.Tx) Queue {
+	o := tx.New(queueClass)
+	tx.WriteBool(o, queueIsEmpty, true)
+	return Queue{o: o}
+}
+
+// Handle returns the backing object.
+func (q Queue) Handle() *stm.Object { return q.o }
+
+// QueueFrom re-wraps a backing object.
+func QueueFrom(o *stm.Object) Queue { return Queue{o: o} }
+
+// Enqueue appends v.
+func (q Queue) Enqueue(tx *stm.Tx, v *stm.Object) {
+	n := tx.New(queueNodeClass)
+	tx.WriteRef(n, nodeVal, v)
+	if tail := tx.ReadRef(q.o, queueTail); tail != nil {
+		tx.WriteRef(tail, nodeNext, n)
+	} else {
+		tx.WriteRef(q.o, queueHead, n)
+		tx.WriteBool(q.o, queueIsEmpty, false)
+	}
+	tx.WriteRef(q.o, queueTail, n)
+	tx.WriteInt(q.o, queueSize, tx.ReadInt(q.o, queueSize)+1)
+}
+
+// IsEmpty reads only the low-frequency flag.
+func (q Queue) IsEmpty(tx *stm.Tx) bool { return tx.ReadBool(q.o, queueIsEmpty) }
+
+// IsEmptyViaSize is the unoptimized emptiness check (reads the
+// high-frequency size field); kept for the ablation benchmark.
+func (q Queue) IsEmptyViaSize(tx *stm.Tx) bool { return tx.ReadInt(q.o, queueSize) == 0 }
+
+// Len returns the element count.
+func (q Queue) Len(tx *stm.Tx) int { return int(tx.ReadInt(q.o, queueSize)) }
+
+// Dequeue removes and returns the head, or nil when empty. The empty
+// fast path touches only the isEmpty flag.
+func (q Queue) Dequeue(tx *stm.Tx) *stm.Object {
+	if tx.ReadBool(q.o, queueIsEmpty) {
+		return nil
+	}
+	h := tx.ReadRef(q.o, queueHead)
+	next := tx.ReadRef(h, nodeNext)
+	tx.WriteRef(q.o, queueHead, next)
+	if next == nil {
+		tx.WriteRef(q.o, queueTail, nil)
+		tx.WriteBool(q.o, queueIsEmpty, true)
+	}
+	tx.WriteInt(q.o, queueSize, tx.ReadInt(q.o, queueSize)-1)
+	return tx.ReadRef(h, nodeVal)
+}
+
+// ---- Counter: per-thread tallies aggregated on read ----
+
+// Counter spreads increments over per-thread slots of one word array so
+// concurrent threads never contend (element-level locks); Sum aggregates
+// on read. This is the reusable thread-local integer aggregation class
+// of paper Table 4.
+type Counter struct{ arr *stm.Object }
+
+// NewCounter allocates a counter for up to slots threads.
+func NewCounter(tx *stm.Tx, slots int) Counter {
+	if slots < 1 {
+		slots = 1
+	}
+	return Counter{arr: tx.NewArray(stm.KindWord, slots)}
+}
+
+// Handle returns the backing array object.
+func (c Counter) Handle() *stm.Object { return c.arr }
+
+// CounterFrom re-wraps a backing object.
+func CounterFrom(o *stm.Object) Counter { return Counter{arr: o} }
+
+// Add adds delta to thread slot's tally.
+func (c Counter) Add(tx *stm.Tx, slot int, delta int64) {
+	tx.WriteElem(c.arr, slot, uint64(int64(tx.ReadElem(c.arr, slot))+delta))
+}
+
+// Sum aggregates all slots.
+func (c Counter) Sum(tx *stm.Tx) int64 {
+	var total int64
+	for i := 0; i < c.arr.Len(); i++ {
+		total += int64(tx.ReadElem(c.arr, i))
+	}
+	return total
+}

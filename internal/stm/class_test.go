@@ -1,0 +1,106 @@
+package stm
+
+import "testing"
+
+func TestNewClassLayout(t *testing.T) {
+	c := NewClass("Point",
+		FieldSpec{Name: "x", Kind: KindWord},
+		FieldSpec{Name: "y", Kind: KindWord},
+		FieldSpec{Name: "name", Kind: KindStr, Final: true},
+		FieldSpec{Name: "next", Kind: KindRef},
+	)
+	if c.Name() != "Point" || c.NumFields() != 4 {
+		t.Fatalf("class meta wrong: %s / %d fields", c.Name(), c.NumFields())
+	}
+	if c.NumLocks() != 3 {
+		t.Fatalf("NumLocks = %d, want 3 (final field has no lock)", c.NumLocks())
+	}
+	if c.FieldKind(c.Field("x")) != KindWord || c.FieldKind(c.Field("name")) != KindStr {
+		t.Fatal("field kinds wrong")
+	}
+	if !c.FieldFinal(c.Field("name")) || c.FieldFinal(c.Field("x")) {
+		t.Fatal("finality wrong")
+	}
+	if c.FieldName(c.Field("next")) != "next" {
+		t.Fatal("field name round trip failed")
+	}
+	if c.IsArray() {
+		t.Fatal("ordinary class claims to be an array")
+	}
+}
+
+func TestNewClassDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate field name did not panic")
+		}
+	}()
+	NewClass("C", FieldSpec{Name: "a", Kind: KindWord}, FieldSpec{Name: "a", Kind: KindRef})
+}
+
+func TestUnknownFieldPanics(t *testing.T) {
+	c := NewClass("C", FieldSpec{Name: "a", Kind: KindWord})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown field lookup did not panic")
+		}
+	}()
+	c.Field("nope")
+}
+
+func TestFinalFieldsShareNoLockSlots(t *testing.T) {
+	c := NewClass("C",
+		FieldSpec{Name: "f1", Kind: KindWord, Final: true},
+		FieldSpec{Name: "m1", Kind: KindWord},
+		FieldSpec{Name: "f2", Kind: KindRef, Final: true},
+		FieldSpec{Name: "m2", Kind: KindRef},
+		FieldSpec{Name: "m3", Kind: KindStr},
+	)
+	if c.NumLocks() != 3 {
+		t.Fatalf("NumLocks = %d, want 3", c.NumLocks())
+	}
+	seen := map[int32]bool{}
+	for i, m := range c.fields {
+		if m.final {
+			if m.lockID != -1 {
+				t.Fatalf("final field %d has lock slot %d", i, m.lockID)
+			}
+			continue
+		}
+		if m.lockID < 0 || int(m.lockID) >= c.NumLocks() || seen[m.lockID] {
+			t.Fatalf("field %d lock slot %d invalid or duplicated", i, m.lockID)
+		}
+		seen[m.lockID] = true
+	}
+}
+
+func TestArrayObjects(t *testing.T) {
+	for _, k := range []Kind{KindWord, KindRef, KindStr} {
+		a := NewCommittedArray(k, 7)
+		if !a.Class().IsArray() {
+			t.Fatalf("array of %v: IsArray false", k)
+		}
+		if a.Len() != 7 {
+			t.Fatalf("array of %v: Len = %d", k, a.Len())
+		}
+		if a.numLockSlots() != 7 {
+			t.Fatalf("array of %v: %d lock slots, want one per element", k, a.numLockSlots())
+		}
+	}
+}
+
+func TestLenPanicsOnNonArray(t *testing.T) {
+	o := NewCommitted(NewClass("C", FieldSpec{Name: "a", Kind: KindWord}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Len on non-array did not panic")
+		}
+	}()
+	o.Len()
+}
+
+func TestKindString(t *testing.T) {
+	if KindWord.String() != "word" || KindRef.String() != "ref" || KindStr.String() != "str" {
+		t.Fatal("Kind.String mismatch")
+	}
+}

@@ -1,0 +1,501 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// retryLoop runs body as a transaction, resetting and retrying on abort,
+// the way the SBD layer does.
+func retryLoop(rt *Runtime, body func(tx *Tx)) {
+	tx := rt.Begin()
+	for {
+		done := func() (ok bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if ab, isAbort := r.(*Aborted); isAbort && ab.Tx == tx {
+						ok = false
+						return
+					}
+					panic(r)
+				}
+			}()
+			body(tx)
+			return true
+		}()
+		if done {
+			tx.Commit()
+			return
+		}
+		tx.Reset()
+	}
+}
+
+func TestWriterExcludesWriter(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("C", FieldSpec{Name: "v", Kind: KindWord})
+	o := NewCommitted(c)
+	v := c.Field("v")
+
+	tx1 := rt.Begin()
+	tx1.WriteInt(o, v, 1)
+
+	entered := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		close(entered)
+		retryLoop(rt, func(tx *Tx) { tx.WriteInt(o, v, 2) })
+		close(finished)
+	}()
+	<-entered
+	select {
+	case <-finished:
+		t.Fatal("second writer proceeded while write lock held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	tx1.Commit()
+	select {
+	case <-finished:
+	case <-time.After(2 * time.Second):
+		t.Fatal("second writer never granted after release")
+	}
+
+	check := rt.Begin()
+	if check.ReadInt(o, v) != 2 {
+		t.Fatal("second write lost")
+	}
+	check.Commit()
+}
+
+func TestReadersShare(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("C", FieldSpec{Name: "v", Kind: KindWord})
+	o := NewCommitted(c)
+	v := c.Field("v")
+	seed := rt.Begin()
+	seed.WriteInt(o, v, 3)
+	seed.Commit()
+
+	// Many concurrent readers must all proceed without blocking.
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, n)
+	hold := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tx := rt.Begin()
+			if tx.ReadInt(o, v) != 3 {
+				errs <- "reader saw wrong value"
+			}
+			<-hold // all readers hold their read locks simultaneously
+			tx.Commit()
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(hold)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestWriterWaitsForReaders(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("C", FieldSpec{Name: "v", Kind: KindWord})
+	o := NewCommitted(c)
+	v := c.Field("v")
+
+	rtx := rt.Begin()
+	_ = rtx.ReadInt(o, v)
+
+	finished := make(chan struct{})
+	go func() {
+		retryLoop(rt, func(tx *Tx) { tx.WriteInt(o, v, 9) })
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		t.Fatal("writer proceeded despite visible reader")
+	case <-time.After(50 * time.Millisecond):
+	}
+	rtx.Commit()
+	select {
+	case <-finished:
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer never granted after reader release")
+	}
+}
+
+func TestUpgradeWaitsForOtherReaders(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("C", FieldSpec{Name: "v", Kind: KindWord})
+	o := NewCommitted(c)
+	v := c.Field("v")
+
+	other := rt.Begin()
+	_ = other.ReadInt(o, v)
+
+	finished := make(chan struct{})
+	go func() {
+		retryLoop(rt, func(tx *Tx) {
+			_ = tx.ReadInt(o, v)
+			tx.WriteInt(o, v, 1) // upgrade: must wait for `other`
+		})
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		t.Fatal("upgrade proceeded despite another visible reader")
+	case <-time.After(50 * time.Millisecond):
+	}
+	other.Commit()
+	select {
+	case <-finished:
+	case <-time.After(2 * time.Second):
+		t.Fatal("upgrade never granted")
+	}
+}
+
+func TestDeadlockResolutionAbortsYoungest(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("C", FieldSpec{Name: "v", Kind: KindWord})
+	a, b := NewCommitted(c), NewCommitted(c)
+	v := c.Field("v")
+
+	older := rt.Begin() // smaller ticket: must survive
+	younger := rt.Begin()
+
+	older.WriteInt(a, v, 1)
+	younger.WriteInt(b, v, 2)
+
+	olderDone := make(chan struct{})
+	go func() {
+		// Blocks until younger aborts and releases b.
+		older.WriteInt(b, v, 3)
+		older.Commit()
+		close(olderDone)
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	ab := runAborting(t, func() { younger.WriteInt(a, v, 4) })
+	if ab == nil {
+		t.Fatal("younger transaction was not chosen as deadlock victim")
+	}
+	if ab.Tx != younger {
+		t.Fatal("abort hit the wrong transaction")
+	}
+	younger.Reset()
+	younger.Commit()
+
+	select {
+	case <-olderDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("older transaction did not complete after victim release")
+	}
+	if rt.Stats().Snapshot().Deadlocks == 0 {
+		t.Fatal("deadlock not counted")
+	}
+
+	check := rt.Begin()
+	if check.ReadInt(a, v) != 1 || check.ReadInt(b, v) != 3 {
+		t.Fatalf("post-deadlock state wrong: a=%d b=%d", check.ReadInt(a, v), check.ReadInt(b, v))
+	}
+	check.Commit()
+}
+
+func TestDuelingUpgradeAbortsYounger(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("C", FieldSpec{Name: "v", Kind: KindWord})
+	o := NewCommitted(c)
+	v := c.Field("v")
+
+	older := rt.Begin()
+	younger := rt.Begin()
+	_ = older.ReadInt(o, v)
+	_ = younger.ReadInt(o, v)
+
+	olderDone := make(chan struct{})
+	go func() {
+		older.WriteInt(o, v, 1) // upgrade; blocks on younger's read bit
+		older.Commit()
+		close(olderDone)
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	ab := runAborting(t, func() { younger.WriteInt(o, v, 2) })
+	if ab == nil {
+		t.Fatal("dueling upgrade did not abort the younger transaction")
+	}
+	younger.Reset()
+	younger.Commit()
+
+	select {
+	case <-olderDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("older upgrader never granted")
+	}
+}
+
+// Regression: a dueling write-upgrade where the QUEUED upgrader is the
+// queue's only waiter and the ARRIVING upgrader is older. Aborting the
+// queued one empties and uninstalls the queue; the survivor must then
+// enqueue on a freshly installed queue, not the detached object —
+// otherwise no release can ever wake it (the hang this reproduces).
+func TestDuelSurvivorNotOnDetachedQueue(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		rt := NewRuntime()
+		c := NewClass("C", FieldSpec{Name: "v", Kind: KindWord})
+		o := NewCommitted(c)
+		v := c.Field("v")
+
+		older := rt.Begin()
+		younger := rt.Begin()
+		_ = older.ReadInt(o, v)
+		_ = younger.ReadInt(o, v)
+
+		// The younger upgrades first: it enqueues at the front as the
+		// queue's only waiter, with U set.
+		youngerDone := make(chan struct{})
+		go func() {
+			defer close(youngerDone)
+			defer func() {
+				if r := recover(); r != nil {
+					if ab, ok := r.(*Aborted); ok && ab.Tx == younger {
+						younger.Reset()
+						younger.Commit()
+						return
+					}
+					panic(r)
+				}
+			}()
+			younger.WriteInt(o, v, 1)
+			younger.Commit()
+		}()
+		time.Sleep(20 * time.Millisecond)
+
+		// The older upgrades second: the duel aborts the queued younger
+		// (emptying the queue) and the older must still be wakeable.
+		olderDone := make(chan struct{})
+		go func() {
+			older.WriteInt(o, v, 2)
+			older.Commit()
+			close(olderDone)
+		}()
+
+		select {
+		case <-olderDone:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: surviving upgrader parked on a detached queue", round)
+		}
+		<-youngerDone
+	}
+}
+
+func TestThreeWayDeadlock(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("C", FieldSpec{Name: "v", Kind: KindWord})
+	objs := []*Object{NewCommitted(c), NewCommitted(c), NewCommitted(c)}
+	v := c.Field("v")
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			retryLoop(rt, func(tx *Tx) {
+				tx.WriteInt(objs[i], v, int64(i))
+				time.Sleep(10 * time.Millisecond) // let the cycle form
+				tx.WriteInt(objs[(i+1)%3], v, int64(i))
+			})
+			mu.Lock()
+			total++
+			mu.Unlock()
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("three-way deadlock not resolved")
+	}
+	if total != 3 {
+		t.Fatalf("only %d of 3 transactions completed", total)
+	}
+}
+
+func TestConcurrentCounterIsSerializable(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("C", FieldSpec{Name: "n", Kind: KindWord})
+	o := NewCommitted(c)
+	n := c.Field("n")
+
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				retryLoop(rt, func(tx *Tx) {
+					tx.WriteInt(o, n, tx.ReadInt(o, n)+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+
+	check := rt.Begin()
+	if got := check.ReadInt(o, n); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, goroutines*perG)
+	}
+	check.Commit()
+}
+
+func TestTransactionIDPoolLimit(t *testing.T) {
+	rt := NewRuntimeOpts(Options{MaxConcurrentTxns: 2})
+	tx1 := rt.Begin()
+	tx2 := rt.Begin()
+	if rt.ActiveTxns() != 2 {
+		t.Fatalf("ActiveTxns = %d, want 2", rt.ActiveTxns())
+	}
+
+	got := make(chan *Tx)
+	go func() { got <- rt.Begin() }()
+	select {
+	case <-got:
+		t.Fatal("third Begin proceeded past the ID limit")
+	case <-time.After(50 * time.Millisecond):
+	}
+	tx1.Commit()
+	var tx3 *Tx
+	select {
+	case tx3 = <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Begin never unblocked after an ID was freed")
+	}
+	tx2.Commit()
+	tx3.Commit()
+	if rt.Stats().Snapshot().IDWaits == 0 {
+		t.Fatal("ID wait not counted")
+	}
+}
+
+func TestAllTxnIDsUsable(t *testing.T) {
+	rt := NewRuntime()
+	txs := make([]*Tx, MaxTxns)
+	seen := map[int]bool{}
+	for i := range txs {
+		txs[i] = rt.Begin()
+		if seen[txs[i].ID()] {
+			t.Fatalf("duplicate live transaction ID %d", txs[i].ID())
+		}
+		seen[txs[i].ID()] = true
+	}
+	if rt.ActiveTxns() != MaxTxns {
+		t.Fatalf("ActiveTxns = %d, want %d", rt.ActiveTxns(), MaxTxns)
+	}
+	c := NewClass("C", FieldSpec{Name: "v", Kind: KindWord})
+	o := NewCommitted(c)
+	// All 56 transactions can hold a read lock on one field at once.
+	for _, tx := range txs {
+		_ = tx.ReadInt(o, c.Field("v"))
+	}
+	for _, tx := range txs {
+		tx.Commit()
+	}
+}
+
+func TestFairQueueFIFO(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("C", FieldSpec{Name: "v", Kind: KindWord})
+	o := NewCommitted(c)
+	v := c.Field("v")
+
+	holder := rt.Begin()
+	holder.WriteInt(o, v, 0)
+
+	const waiters = 4
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			retryLoop(rt, func(tx *Tx) {
+				tx.WriteInt(o, v, int64(i))
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+			})
+		}(i)
+		time.Sleep(30 * time.Millisecond) // establish arrival order i=0,1,2,...
+	}
+	holder.Commit()
+	wg.Wait()
+	for i := 0; i < waiters; i++ {
+		if order[i] != i {
+			t.Fatalf("queue not FIFO: order=%v", order)
+		}
+	}
+}
+
+func TestStressMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rt := NewRuntime()
+	c := NewClass("Cell", FieldSpec{Name: "v", Kind: KindWord})
+	const cells = 16
+	objs := make([]*Object, cells)
+	for i := range objs {
+		objs[i] = NewCommitted(c)
+	}
+	v := c.Field("v")
+
+	const goroutines = 12
+	const ops = 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			seed := uint64(g + 1)
+			for i := 0; i < ops; i++ {
+				seed = seed*6364136223846793005 + 1442695040888963407
+				a := int(seed>>33) % cells
+				b := (a + 1 + int(seed>>40)%(cells-1)) % cells
+				retryLoop(rt, func(tx *Tx) {
+					// Move one unit from a to b: total stays 0.
+					tx.WriteInt(objs[a], v, tx.ReadInt(objs[a], v)-1)
+					tx.WriteInt(objs[b], v, tx.ReadInt(objs[b], v)+1)
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	check := rt.Begin()
+	var total int64
+	for _, o := range objs {
+		total += check.ReadInt(o, v)
+	}
+	check.Commit()
+	if total != 0 {
+		t.Fatalf("invariant broken: total = %d, want 0", total)
+	}
+	s := rt.Stats().Snapshot()
+	if s.Commits < goroutines*ops {
+		t.Fatalf("commits = %d, want >= %d", s.Commits, goroutines*ops)
+	}
+	t.Logf("stress: commits=%d aborts=%d contended=%d casfail=%d deadlocks=%d",
+		s.Commits, s.Aborts, s.Contended, s.CASFail, s.Deadlocks)
+}

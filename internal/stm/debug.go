@@ -1,0 +1,96 @@
+package stm
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strings"
+	"sync"
+)
+
+// The debug mode of paper §6: "We implemented a small debug mode in our
+// runtime system that logs the blocked threads, and deadlock
+// situations. This information together with the fact that SBD allows a
+// programmer to incrementally add concurrency allows to resolve these
+// issues mechanically by looking through this log."
+//
+// When Options.DebugLog is set, the runtime writes one line per
+// slow-path event: a transaction blocking on a lock (with the current
+// holders and queue), a grant, a deadlock cycle with the chosen victim,
+// and dueling write-upgrades. All events originate under the detector
+// mutex, so lines never interleave.
+
+type debugLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (d *debugLog) printf(format string, args ...any) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	fmt.Fprintf(d.w, "sbd-debug: "+format+"\n", args...)
+	d.mu.Unlock()
+}
+
+// maskIDs renders a transaction bit set as a list of IDs.
+func maskIDs(mask uint64) string {
+	if mask == 0 {
+		return "-"
+	}
+	var ids []string
+	for mask != 0 {
+		b := mask & (-mask)
+		mask &^= b
+		ids = append(ids, fmt.Sprintf("%d", bits.TrailingZeros64(b)))
+	}
+	return strings.Join(ids, ",")
+}
+
+func (d *debugLog) blocked(tx *Tx, addr *uint64, write bool, holders uint64, queue *lockQueue) {
+	if d == nil {
+		return
+	}
+	mode := "read"
+	if write {
+		mode = "write"
+	}
+	var waiting []string
+	for _, wt := range queue.waiters {
+		waiting = append(waiting, fmt.Sprintf("%d", wt.tx.id))
+	}
+	d.printf("txn %d (ticket %d) blocked for %s of lock %p: holders={%s} queue=[%s]",
+		tx.id, tx.ticket, mode, addr, maskIDs(holders), strings.Join(waiting, ","))
+}
+
+func (d *debugLog) granted(tx *Tx, addr *uint64, write bool) {
+	if d == nil {
+		return
+	}
+	mode := "read"
+	if write {
+		mode = "write"
+	}
+	d.printf("txn %d granted %s of lock %p from queue", tx.id, mode, addr)
+}
+
+func (d *debugLog) deadlock(cycle []*waiter, victim *waiter) {
+	if d == nil {
+		return
+	}
+	var ids []string
+	for _, m := range cycle {
+		ids = append(ids, fmt.Sprintf("%d(t%d)", m.tx.id, m.tx.ticket))
+	}
+	d.printf("deadlock cycle [%s]; aborting youngest txn %d (ticket %d)",
+		strings.Join(ids, " -> "), victim.tx.id, victim.tx.ticket)
+}
+
+func (d *debugLog) duel(aborted, survivor *Tx) {
+	if d == nil {
+		return
+	}
+	d.printf("dueling write-upgrade: aborting txn %d (ticket %d), txn %d (ticket %d) proceeds",
+		aborted.id, aborted.ticket, survivor.id, survivor.ticket)
+}

@@ -1,0 +1,60 @@
+package stm_test
+
+import (
+	"fmt"
+
+	"repro/internal/stm"
+)
+
+// Declaring a class and accessing fields through a transaction.
+func Example() {
+	account := stm.NewClass("Account",
+		stm.FieldSpec{Name: "owner", Kind: stm.KindStr, Final: true},
+		stm.FieldSpec{Name: "balance", Kind: stm.KindWord},
+	)
+	rt := stm.NewRuntime()
+
+	tx := rt.Begin()
+	a := tx.New(account) // new in this transaction: no locking needed
+	tx.WriteStr(a, account.Field("owner"), "alice")
+	tx.WriteInt(a, account.Field("balance"), 100)
+	tx.Commit()
+
+	tx2 := rt.Begin()
+	fmt.Println(tx2.ReadStr(a, account.Field("owner")), tx2.ReadInt(a, account.Field("balance")))
+	tx2.Commit()
+	// Output: alice 100
+}
+
+// Reset rolls a transaction back (eager undo) and leaves it ready for a
+// retry.
+func ExampleTx_Reset() {
+	cell := stm.NewClass("Cell", stm.FieldSpec{Name: "v", Kind: stm.KindWord})
+	rt := stm.NewRuntime()
+	o := stm.NewCommitted(cell)
+	v := cell.Field("v")
+
+	tx := rt.Begin()
+	tx.WriteInt(o, v, 99)
+	tx.Reset() // undo: the write never happened
+	fmt.Println(tx.ReadInt(o, v))
+	tx.Commit()
+	// Output: 0
+}
+
+// Array elements have their own locks: writers to different elements
+// never conflict.
+func ExampleTx_NewArray() {
+	rt := stm.NewRuntime()
+	tx := rt.Begin()
+	arr := tx.NewArray(stm.KindWord, 4)
+	for i := 0; i < 4; i++ {
+		tx.WriteElem(arr, i, uint64(i*i))
+	}
+	tx.Commit()
+
+	tx2 := rt.Begin()
+	fmt.Println(tx2.ReadElem(arr, 3))
+	tx2.Commit()
+	// Output: 9
+}

@@ -1,0 +1,138 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNoStarvingWriters checks the paper's §3.2 progress rule: "If a
+// thread cannot acquire a lock, the system enqueues it at the end of the
+// waiting queue, regardless of the operation being a read or a write."
+// Readers arriving after a queued writer therefore wait behind it
+// instead of barging past on the shared read mode — the fix for the
+// starving-writers pathology.
+func TestNoStarvingWriters(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("C", FieldSpec{Name: "v", Kind: KindWord})
+	o := NewCommitted(c)
+	v := c.Field("v")
+
+	// r1 holds a read lock; the writer enqueues behind it.
+	r1 := rt.Begin()
+	_ = r1.ReadInt(o, v)
+
+	var mu sync.Mutex
+	var order []string
+	writerDone := make(chan struct{})
+	go func() {
+		retryLoop(rt, func(tx *Tx) {
+			tx.WriteInt(o, v, 1)
+			mu.Lock()
+			order = append(order, "writer")
+			mu.Unlock()
+		})
+		close(writerDone)
+	}()
+	time.Sleep(50 * time.Millisecond) // writer is now queued
+
+	// A later reader must NOT share r1's read lock (that would starve the
+	// writer); it queues behind the writer.
+	readerDone := make(chan struct{})
+	go func() {
+		retryLoop(rt, func(tx *Tx) {
+			_ = tx.ReadInt(o, v)
+			mu.Lock()
+			order = append(order, "reader")
+			mu.Unlock()
+		})
+		close(readerDone)
+	}()
+	select {
+	case <-readerDone:
+		t.Fatal("late reader barged past the queued writer")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	r1.Commit()
+	select {
+	case <-writerDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer starved")
+	}
+	select {
+	case <-readerDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader never granted after writer")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "writer" || order[1] != "reader" {
+		t.Fatalf("grant order %v, want [writer reader]", order)
+	}
+}
+
+// TestUpgraderJumpsQueue checks the one exception to FIFO fairness: an
+// upgrading reader enqueues at the front "to reduce the number of
+// aborts" (§3.2).
+func TestUpgraderJumpsQueue(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("C", FieldSpec{Name: "v", Kind: KindWord})
+	o := NewCommitted(c)
+	v := c.Field("v")
+
+	holder := rt.Begin() // read lock that blocks the writers below
+	_ = holder.ReadInt(o, v)
+
+	var mu sync.Mutex
+	var order []string
+
+	// The upgrader takes its read lock while the lock is uncontended,
+	// then (once the plain writer has queued) upgrades: the upgrade
+	// enqueues at the FRONT, ahead of the earlier-arrived plain writer.
+	readTaken := make(chan struct{})
+	writerQueued := make(chan struct{})
+	upDone := make(chan struct{})
+	go func() {
+		first := true
+		retryLoop(rt, func(tx *Tx) {
+			_ = tx.ReadInt(o, v) // shares the read lock with holder
+			if first {
+				first = false
+				close(readTaken)
+				<-writerQueued
+			}
+			tx.WriteInt(o, v, 2) // upgrade
+			mu.Lock()
+			order = append(order, "upgrader")
+			mu.Unlock()
+		})
+		close(upDone)
+	}()
+	<-readTaken
+
+	plainDone := make(chan struct{})
+	go func() {
+		retryLoop(rt, func(tx *Tx) {
+			tx.WriteInt(o, v, 1)
+			mu.Lock()
+			order = append(order, "plain-writer")
+			mu.Unlock()
+		})
+		close(plainDone)
+	}()
+	time.Sleep(50 * time.Millisecond) // plain writer is queued now
+	close(writerQueued)
+	time.Sleep(50 * time.Millisecond) // upgrader is queued at the front
+
+	holder.Commit()
+	<-upDone
+	<-plainDone
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "upgrader" {
+		t.Fatalf("grant order %v, want the upgrader first", order)
+	}
+}

@@ -1,0 +1,86 @@
+package stm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// idPool hands out the bounded transaction IDs. The fast path is one CAS
+// on a free-bit mask — Begin/Commit bracket every atomic section, so
+// their cost is part of the SBD approach's fixed overhead and must stay
+// minimal. The slow path (no ID free) parks on a condition variable;
+// per §3.3 this is safe because a transaction that waits for anything
+// first ends its section, freeing its ID.
+type idPool struct {
+	free    atomic.Uint64 // bit i set = ID i free
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiters int
+}
+
+func newIDPool(n int) *idPool {
+	p := &idPool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.free.Store((uint64(1) << uint(n)) - 1)
+	return p
+}
+
+// acquire returns a free ID, blocking if none is available; waited
+// reports whether it had to block.
+func (p *idPool) acquire() (id int, waited bool) {
+	for {
+		m := p.free.Load()
+		if m == 0 {
+			break
+		}
+		b := m & (-m)
+		if p.free.CompareAndSwap(m, m&^b) {
+			return bitIndex(b), waited
+		}
+	}
+	p.mu.Lock()
+	p.waiters++
+	for {
+		m := p.free.Load()
+		if m != 0 {
+			b := m & (-m)
+			if p.free.CompareAndSwap(m, m&^b) {
+				p.waiters--
+				p.mu.Unlock()
+				return bitIndex(b), true
+			}
+			continue
+		}
+		waited = true
+		p.cond.Wait()
+	}
+}
+
+// release returns an ID to the pool and wakes a waiter if any. The
+// signal happens under the mutex after the bit is published, and waiters
+// re-check the mask under the same mutex before parking, so no wake-up
+// can be lost.
+func (p *idPool) release(id int) {
+	for {
+		m := p.free.Load()
+		if p.free.CompareAndSwap(m, m|uint64(1)<<uint(id)) {
+			break
+		}
+	}
+	p.mu.Lock()
+	if p.waiters > 0 {
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+// available returns the number of free IDs.
+func (p *idPool) available() int {
+	m := p.free.Load()
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,53 @@
+package stm
+
+import "fmt"
+
+// The 64-bit lock word (paper Figure 4b). Bits, LSB first:
+//
+//	[0..55]  transaction bit set: bit i is set while transaction ID i
+//	         holds this lock (as reader, or as the writer when W is set)
+//	[56]     W flag: a write lock is in place (the bit set then contains
+//	         exactly the writer's bit)
+//	[57]     U flag: an upgrading reader is enqueued (detects dueling
+//	         write-upgrades early, paper §3.3)
+//	[58..63] queue ID: 0 means no wait queue; 1..MaxTxns index the global
+//	         queue table
+const (
+	// MaxTxns is the maximum number of concurrently active transactions.
+	// The bit set occupies 56 of the lock word's 64 bits: the largest CAS
+	// the implementation platform supports is 64 bits, and 8 bits are
+	// needed for W, U, and the queue ID.
+	MaxTxns = 56
+
+	bitsetMask uint64 = (1 << 56) - 1
+	wFlag      uint64 = 1 << 56
+	uFlag      uint64 = 1 << 57
+	queueShift        = 58
+	queueBits  uint64 = 63 << queueShift
+)
+
+// txMask returns the bit-set mask for transaction ID id.
+func txMask(id int) uint64 { return 1 << uint(id) }
+
+// wordQueueID extracts the queue ID from a lock word (0 = no queue).
+func wordQueueID(w uint64) int { return int(w >> queueShift) }
+
+// wordWithQueue returns w with its queue ID replaced by qid.
+func wordWithQueue(w uint64, qid int) uint64 {
+	return (w &^ queueBits) | uint64(qid)<<queueShift
+}
+
+// wordHolders returns the transaction bit set of a lock word.
+func wordHolders(w uint64) uint64 { return w & bitsetMask }
+
+// wordIsWrite reports whether the lock word encodes a write lock.
+func wordIsWrite(w uint64) bool { return w&wFlag != 0 }
+
+// wordHasUpgrader reports whether an upgrading reader is enqueued.
+func wordHasUpgrader(w uint64) bool { return w&uFlag != 0 }
+
+// formatWord renders a lock word for debugging and tests.
+func formatWord(w uint64) string {
+	return fmt.Sprintf("holders=%014x W=%t U=%t q=%d",
+		wordHolders(w), wordIsWrite(w), wordHasUpgrader(w), wordQueueID(w))
+}

@@ -1,0 +1,129 @@
+package stm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLockWordLayoutConstants(t *testing.T) {
+	if MaxTxns != 56 {
+		t.Fatalf("MaxTxns = %d, want 56 (paper §4.2: 56-bit bit set)", MaxTxns)
+	}
+	if bitsetMask != (1<<56)-1 {
+		t.Fatalf("bitsetMask = %x", bitsetMask)
+	}
+	if wFlag&bitsetMask != 0 || uFlag&bitsetMask != 0 {
+		t.Fatal("W/U flags overlap the bit set")
+	}
+	if wFlag&uFlag != 0 {
+		t.Fatal("W and U overlap")
+	}
+	if queueBits&(bitsetMask|wFlag|uFlag) != 0 {
+		t.Fatal("queue bits overlap other fields")
+	}
+	if bitsetMask|wFlag|uFlag|queueBits != ^uint64(0) {
+		t.Fatal("lock word fields do not cover 64 bits")
+	}
+}
+
+func TestTxMaskDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for id := 0; id < MaxTxns; id++ {
+		m := txMask(id)
+		if m == 0 || m&bitsetMask != m {
+			t.Fatalf("txMask(%d) = %x escapes the bit set", id, m)
+		}
+		if seen[m] {
+			t.Fatalf("txMask(%d) duplicates another mask", id)
+		}
+		seen[m] = true
+	}
+}
+
+func TestQueueIDRoundTrip(t *testing.T) {
+	for qid := 0; qid <= MaxTxns; qid++ {
+		for _, base := range []uint64{0, bitsetMask, wFlag | 7, uFlag | txMask(55)} {
+			w := wordWithQueue(base, qid)
+			if got := wordQueueID(w); got != qid {
+				t.Fatalf("queue ID round trip: set %d, got %d (base %x)", qid, got, base)
+			}
+			if wordHolders(w) != wordHolders(base) {
+				t.Fatalf("wordWithQueue perturbed holders: %x -> %x", base, w)
+			}
+			if wordIsWrite(w) != wordIsWrite(base) || wordHasUpgrader(w) != wordHasUpgrader(base) {
+				t.Fatalf("wordWithQueue perturbed flags: %x -> %x", base, w)
+			}
+		}
+	}
+}
+
+func TestQueueIDRoundTripProperty(t *testing.T) {
+	f := func(base uint64, qid uint8) bool {
+		q := int(qid % (MaxTxns + 1))
+		w := wordWithQueue(base, q)
+		return wordQueueID(w) == q && wordHolders(w) == wordHolders(base)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrantWordProperty(t *testing.T) {
+	rt := NewRuntime()
+	tx := rt.Begin()
+	defer tx.Commit()
+
+	f := func(holdersRaw uint64, write, w bool) bool {
+		word := holdersRaw & bitsetMask &^ tx.mask
+		if w && bits1(word) == 1 {
+			word |= wFlag
+		}
+		nw, ok := grantWord(word, tx, write)
+		if write {
+			// A write grant is only possible on a free lock.
+			if wordHolders(word) != 0 {
+				return !ok
+			}
+			return ok && wordIsWrite(nw) && wordHolders(nw) == tx.mask
+		}
+		// A read grant is possible unless a writer holds the lock.
+		if wordIsWrite(word) {
+			return !ok
+		}
+		return ok && wordHolders(nw) == wordHolders(word)|tx.mask && !wordIsWrite(nw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bits1(w uint64) int {
+	n := 0
+	for w != 0 {
+		w &= w - 1
+		n++
+	}
+	return n
+}
+
+func TestGrantWordUpgrade(t *testing.T) {
+	rt := NewRuntime()
+	tx := rt.Begin()
+	defer tx.Commit()
+
+	// Sole reader may upgrade.
+	w := tx.mask
+	nw, ok := grantWord(w, tx, true)
+	if !ok || !wordIsWrite(nw) || wordHolders(nw) != tx.mask {
+		t.Fatalf("sole-reader upgrade failed: %s ok=%t", formatWord(nw), ok)
+	}
+	// Upgrade grant clears the U bit.
+	nw, ok = grantWord(w|uFlag, tx, true)
+	if !ok || wordHasUpgrader(nw) {
+		t.Fatalf("upgrade grant should clear U: %s ok=%t", formatWord(nw), ok)
+	}
+	// Not with other readers present.
+	if _, ok = grantWord(w|txMask(3), tx, true); ok {
+		t.Fatal("upgrade granted despite another reader")
+	}
+}

@@ -1,0 +1,167 @@
+package stm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Model-based property test: random operation sequences run against the
+// STM and against a plain in-memory model. Commit must leave the heap
+// equal to the model; an abort at any point must leave the heap equal to
+// the pre-transaction state. This covers the undo log, the init log, and
+// the new/committed object life cycle with arbitrary interleavings of
+// access kinds.
+
+type modelOp struct {
+	Kind    uint8 // selects the operation
+	Target  uint8 // object index
+	Slot    uint8 // field/element index
+	Value   uint64
+	StrByte byte
+}
+
+const (
+	modelObjects  = 3
+	modelFields   = 2
+	modelElems    = 4
+	modelOpsKinds = 6
+)
+
+var modelClass = NewClass("model.Obj",
+	FieldSpec{Name: "w0", Kind: KindWord},
+	FieldSpec{Name: "w1", Kind: KindWord},
+	FieldSpec{Name: "s0", Kind: KindStr},
+)
+
+// modelState mirrors the mutable heap the ops touch.
+type modelState struct {
+	words [modelObjects][modelFields]uint64
+	strs  [modelObjects]string
+	elems [modelObjects][modelElems]uint64
+}
+
+func applyToModel(m *modelState, op modelOp) {
+	obj := int(op.Target) % modelObjects
+	switch op.Kind % modelOpsKinds {
+	case 0: // write word field
+		m.words[obj][int(op.Slot)%modelFields] = op.Value
+	case 1: // write string field
+		m.strs[obj] = string([]byte{op.StrByte})
+	case 2: // write array element
+		m.elems[obj][int(op.Slot)%modelElems] = op.Value
+	case 3, 4, 5: // reads: no model effect
+	}
+}
+
+func applyToSTM(tx *Tx, objs, arrs []*Object, op modelOp) {
+	obj := int(op.Target) % modelObjects
+	switch op.Kind % modelOpsKinds {
+	case 0:
+		f := modelClass.Field([]string{"w0", "w1"}[int(op.Slot)%modelFields])
+		tx.WriteWord(objs[obj], f, op.Value)
+	case 1:
+		tx.WriteStr(objs[obj], modelClass.Field("s0"), string([]byte{op.StrByte}))
+	case 2:
+		tx.WriteElem(arrs[obj], int(op.Slot)%modelElems, op.Value)
+	case 3:
+		tx.ReadWord(objs[obj], modelClass.Field([]string{"w0", "w1"}[int(op.Slot)%modelFields]))
+	case 4:
+		tx.ReadStr(objs[obj], modelClass.Field("s0"))
+	case 5:
+		tx.ReadElem(arrs[obj], int(op.Slot)%modelElems)
+	}
+}
+
+func snapshotSTM(objs, arrs []*Object) modelState {
+	var m modelState
+	for i := 0; i < modelObjects; i++ {
+		m.words[i][0] = objs[i].RawWord(modelClass.Field("w0"))
+		m.words[i][1] = objs[i].RawWord(modelClass.Field("w1"))
+		m.strs[i] = objs[i].strs[0]
+		for e := 0; e < modelElems; e++ {
+			m.elems[i][e] = arrs[i].RawElem(e)
+		}
+	}
+	return m
+}
+
+func TestQuickCommitMatchesModel(t *testing.T) {
+	f := func(ops []modelOp) bool {
+		rt := NewRuntime()
+		objs := make([]*Object, modelObjects)
+		arrs := make([]*Object, modelObjects)
+		for i := range objs {
+			objs[i] = NewCommitted(modelClass)
+			arrs[i] = NewCommittedArray(KindWord, modelElems)
+		}
+		var model modelState
+		tx := rt.Begin()
+		for _, op := range ops {
+			applyToSTM(tx, objs, arrs, op)
+			applyToModel(&model, op)
+		}
+		tx.Commit()
+		return snapshotSTM(objs, arrs) == model
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAbortRestoresPreState(t *testing.T) {
+	f := func(ops []modelOp, seedVals [modelObjects][modelFields]uint64) bool {
+		rt := NewRuntime()
+		objs := make([]*Object, modelObjects)
+		arrs := make([]*Object, modelObjects)
+		for i := range objs {
+			objs[i] = NewCommitted(modelClass)
+			arrs[i] = NewCommittedArray(KindWord, modelElems)
+		}
+		// Seed a committed pre-state.
+		seed := rt.Begin()
+		for i := range objs {
+			seed.WriteWord(objs[i], modelClass.Field("w0"), seedVals[i][0])
+			seed.WriteWord(objs[i], modelClass.Field("w1"), seedVals[i][1])
+		}
+		seed.Commit()
+		before := snapshotSTM(objs, arrs)
+
+		tx := rt.Begin()
+		for _, op := range ops {
+			applyToSTM(tx, objs, arrs, op)
+		}
+		tx.Reset()
+		tx.Commit()
+		return snapshotSTM(objs, arrs) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAbortThenRetryMatchesModel(t *testing.T) {
+	f := func(doomed, ops []modelOp) bool {
+		rt := NewRuntime()
+		objs := make([]*Object, modelObjects)
+		arrs := make([]*Object, modelObjects)
+		for i := range objs {
+			objs[i] = NewCommitted(modelClass)
+			arrs[i] = NewCommittedArray(KindWord, modelElems)
+		}
+		var model modelState
+		tx := rt.Begin()
+		for _, op := range doomed { // first attempt, rolled back
+			applyToSTM(tx, objs, arrs, op)
+		}
+		tx.Reset()
+		for _, op := range ops { // retry with different ops
+			applyToSTM(tx, objs, arrs, op)
+			applyToModel(&model, op)
+		}
+		tx.Commit()
+		return snapshotSTM(objs, arrs) == model
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

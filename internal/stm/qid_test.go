@@ -1,0 +1,111 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Queue-ID life cycle: queue IDs are installed in the lock word when a
+// waiter enqueues, uninstalled when the queue drains, and recycled — the
+// 6-bit field never leaks entries even across many contention episodes
+// on many distinct locks.
+func TestQueueIDRecycling(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("C", FieldSpec{Name: "v", Kind: KindWord})
+	v := c.Field("v")
+
+	for round := 0; round < 3*MaxTxns; round++ {
+		o := NewCommitted(c) // a fresh lock every round
+		holder := rt.Begin()
+		holder.WriteInt(o, v, 1)
+
+		done := make(chan struct{})
+		go func() {
+			retryLoop(rt, func(tx *Tx) { tx.WriteInt(o, v, 2) })
+			close(done)
+		}()
+		// Wait until the waiter has installed a queue.
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			rt.det.mu.Lock()
+			installed := len(rt.det.freeQIDs) < MaxTxns
+			rt.det.mu.Unlock()
+			if installed || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		holder.Commit()
+		<-done
+
+		rt.det.mu.Lock()
+		free := len(rt.det.freeQIDs)
+		rt.det.mu.Unlock()
+		if free != MaxTxns {
+			t.Fatalf("round %d: %d queue IDs free, want %d (leak)", round, free, MaxTxns)
+		}
+	}
+}
+
+// Multiple locks contended at once occupy multiple queues concurrently
+// and all drain cleanly.
+func TestManyQueuesConcurrently(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("C", FieldSpec{Name: "v", Kind: KindWord})
+	v := c.Field("v")
+	const locks = 10
+
+	holders := make([]*Tx, locks)
+	objs := make([]*Object, locks)
+	for i := range objs {
+		objs[i] = NewCommitted(c)
+		holders[i] = rt.Begin()
+		holders[i].WriteInt(objs[i], v, 1)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < locks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			retryLoop(rt, func(tx *Tx) { tx.WriteInt(objs[i], v, 2) })
+		}(i)
+	}
+	// Let the waiters install their queues.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rt.det.mu.Lock()
+		installed := MaxTxns - len(rt.det.freeQIDs)
+		rt.det.mu.Unlock()
+		if installed == locks || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rt.det.mu.Lock()
+	installed := MaxTxns - len(rt.det.freeQIDs)
+	rt.det.mu.Unlock()
+	if installed != locks {
+		t.Fatalf("%d queues installed, want %d", installed, locks)
+	}
+	for _, h := range holders {
+		h.Commit()
+	}
+	wg.Wait()
+
+	rt.det.mu.Lock()
+	free := len(rt.det.freeQIDs)
+	rt.det.mu.Unlock()
+	if free != MaxTxns {
+		t.Fatalf("%d queue IDs free after drain, want %d", free, MaxTxns)
+	}
+	// All writes landed.
+	check := rt.Begin()
+	for i := range objs {
+		if check.ReadInt(objs[i], v) != 2 {
+			t.Fatalf("lock %d write lost", i)
+		}
+	}
+	check.Commit()
+}

@@ -1,0 +1,466 @@
+package stm
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// The slow path: fair wait queues and deadlock handling. All queue
+// bookkeeping and the dreadlocks digests are guarded by one detector
+// mutex; this code runs only after a fast-path CAS could not acquire a
+// lock, so serializing it does not affect the uncontended case the
+// paper's fast path (Figure 5) optimizes.
+
+// waiter is one blocked transaction in one lock queue.
+type waiter struct {
+	tx       *Tx
+	write    bool
+	upgrader bool
+	granted  bool
+	ch       chan struct{}
+	q        *lockQueue
+}
+
+// lockQueue is the fair FIFO queue of one contended lock. The paper caps
+// the number of queues at the number of concurrently active transactions:
+// every waiting transaction waits on exactly one lock, so at most MaxTxns
+// queues can be populated at once. Queue IDs are 1..MaxTxns (0 = none).
+type lockQueue struct {
+	qid     int
+	addr    *uint64
+	waiters []*waiter
+}
+
+type detector struct {
+	mu       sync.Mutex
+	queues   [MaxTxns + 1]*lockQueue
+	freeQIDs []int
+	// blocked maps a transaction ID to its waiter while it is enqueued.
+	blocked [MaxTxns]*waiter
+	debug   *debugLog
+}
+
+func newDetector() *detector {
+	d := &detector{}
+	d.freeQIDs = make([]int, 0, MaxTxns)
+	for qid := MaxTxns; qid >= 1; qid-- {
+		d.freeQIDs = append(d.freeQIDs, qid)
+	}
+	return d
+}
+
+// slowAcquire is entered after the fast path failed. It re-checks the
+// lock under the detector mutex, enqueues the transaction if the lock is
+// still unavailable (at the front for upgrading readers, paper §3.2), runs
+// deadlock detection, and blocks until granted or aborted. On grant the
+// lock word already contains the transaction's bits; the caller records
+// the lock in its logs. slowAcquire panics with *Aborted if the
+// transaction is chosen as a deadlock victim.
+func (tx *Tx) slowAcquire(addr *uint64, write bool) {
+	rt := tx.rt
+	d := rt.det
+	d.mu.Lock()
+
+	// Re-check: the lock may have been released between the failed fast
+	// path and taking the mutex. Bypassing the queue is only fair if no
+	// one is waiting.
+	for {
+		w := atomic.LoadUint64(addr)
+		q := d.queueFor(w)
+		if q != nil && len(q.waiters) > 0 {
+			break
+		}
+		nw, ok := grantWord(w, tx, write)
+		if !ok {
+			break
+		}
+		if atomic.CompareAndSwapUint64(addr, w, nw) {
+			if q != nil {
+				d.uninstall(q)
+			}
+			d.mu.Unlock()
+			return
+		}
+		tx.nCASFail++
+	}
+
+	tx.nContended++
+	upgrader := write && atomic.LoadUint64(addr)&tx.mask != 0
+
+	q := d.install(addr)
+	if upgrader {
+		// Dueling write-upgrades (paper §3.3): the U bit makes the second
+		// upgrader detect the duel immediately. Two upgrading readers of
+		// the same lock always deadlock; resolve it now by aborting the
+		// younger of the two instead of waiting for digest propagation.
+		if atomic.LoadUint64(addr)&uFlag != 0 {
+			if other := q.findUpgrader(); other != nil {
+				// Abort the younger duelist; an inevitable transaction
+				// (§3.4) must never abort, so it always survives.
+				if tx.inevitable || (!other.tx.inevitable && tx.ticket < other.tx.ticket) {
+					d.debug.duel(other.tx, tx)
+					d.abortWaiter(other)
+					// Aborting the queue's only waiter uninstalls the
+					// queue; re-fetch (and re-install if needed) so we do
+					// not enqueue onto a detached queue object.
+					q = d.install(addr)
+				} else {
+					d.debug.duel(tx, other.tx)
+					d.mu.Unlock()
+					tx.selfAbort("dueling write-upgrade")
+				}
+			}
+		}
+		setWordFlag(addr, uFlag)
+	}
+
+	wt := &waiter{tx: tx, write: write, upgrader: upgrader, ch: make(chan struct{}), q: q}
+	if upgrader {
+		q.waiters = append([]*waiter{wt}, q.waiters...)
+	} else {
+		q.waiters = append(q.waiters, wt)
+	}
+	d.blocked[tx.id] = wt
+	d.debug.blocked(tx, addr, write, wordHolders(atomic.LoadUint64(addr)), q)
+
+	// A new waits-for edge can only complete cycles through the waiter
+	// that just blocked — but it can complete SEVERAL at once (e.g. an
+	// upgrader blocking on two readers that each wait on it). Resolve
+	// until no cycle through this waiter remains; each round aborts one
+	// victim, which removes its edges.
+	for {
+		victim := d.findDeadlockVictim(wt)
+		if victim == nil {
+			break
+		}
+		rt.stats.Deadlocks.Add(1)
+		if victim.tx == tx {
+			d.removeWaiter(wt)
+			d.mu.Unlock()
+			tx.selfAbort("deadlock victim")
+		}
+		d.abortWaiter(victim)
+	}
+
+	// The queue may have become serviceable while we enqueued (e.g. a
+	// grant raced with the install); try once before sleeping.
+	d.grantLocked(q)
+	d.mu.Unlock()
+
+	<-wt.ch
+
+	d.mu.Lock()
+	granted := wt.granted
+	d.mu.Unlock()
+	if !granted {
+		tx.selfAbort("aborted while enqueued")
+	}
+}
+
+// grantWord computes the lock word after tx acquires in the given mode,
+// or reports that the acquisition is not currently possible. The queue ID
+// bits are preserved.
+func grantWord(w uint64, tx *Tx, write bool) (uint64, bool) {
+	holders := wordHolders(w)
+	if write {
+		if holders == 0 || holders == tx.mask && !wordIsWrite(w) {
+			return (w | tx.mask | wFlag) &^ uFlag, true
+		}
+		return 0, false
+	}
+	if !wordIsWrite(w) {
+		return w | tx.mask, true
+	}
+	return 0, false
+}
+
+// setWordFlag ORs flag into the lock word with a CAS loop.
+func setWordFlag(addr *uint64, flag uint64) {
+	for {
+		w := atomic.LoadUint64(addr)
+		if w&flag != 0 || atomic.CompareAndSwapUint64(addr, w, w|flag) {
+			return
+		}
+	}
+}
+
+// queueFor returns the installed queue of lock word w, if any.
+func (d *detector) queueFor(w uint64) *lockQueue {
+	qid := wordQueueID(w)
+	if qid == 0 {
+		return nil
+	}
+	return d.queues[qid]
+}
+
+// install returns the queue of the lock at addr, creating and installing
+// one if necessary. Caller holds d.mu.
+func (d *detector) install(addr *uint64) *lockQueue {
+	w := atomic.LoadUint64(addr)
+	if q := d.queueFor(w); q != nil {
+		return q
+	}
+	if len(d.freeQIDs) == 0 {
+		// Cannot happen: every populated queue has at least one of the at
+		// most MaxTxns waiting transactions, and empty queues are
+		// uninstalled eagerly under d.mu.
+		panic("stm: queue table exhausted")
+	}
+	qid := d.freeQIDs[len(d.freeQIDs)-1]
+	d.freeQIDs = d.freeQIDs[:len(d.freeQIDs)-1]
+	q := &lockQueue{qid: qid, addr: addr}
+	d.queues[qid] = q
+	for {
+		w = atomic.LoadUint64(addr)
+		if atomic.CompareAndSwapUint64(addr, w, wordWithQueue(w, qid)) {
+			break
+		}
+	}
+	return q
+}
+
+// uninstall clears the queue ID from the lock word and frees the queue.
+// Caller holds d.mu and the queue must be empty.
+func (d *detector) uninstall(q *lockQueue) {
+	if len(q.waiters) != 0 {
+		panic("stm: uninstall of non-empty queue")
+	}
+	for {
+		w := atomic.LoadUint64(q.addr)
+		if wordQueueID(w) != q.qid {
+			break // already replaced (should not happen, but be tolerant)
+		}
+		if atomic.CompareAndSwapUint64(q.addr, w, wordWithQueue(w, 0)&^uFlag) {
+			break
+		}
+	}
+	d.queues[q.qid] = nil
+	d.freeQIDs = append(d.freeQIDs, q.qid)
+}
+
+func (q *lockQueue) findUpgrader() *waiter {
+	for _, wt := range q.waiters {
+		if wt.upgrader {
+			return wt
+		}
+	}
+	return nil
+}
+
+// grantLocked hands the lock to as many queue-head waiters as the current
+// word permits: one writer, or a maximal run of readers. Caller holds d.mu.
+func (d *detector) grantLocked(q *lockQueue) {
+	for len(q.waiters) > 0 {
+		head := q.waiters[0]
+		w := atomic.LoadUint64(q.addr)
+		nw, ok := grantWord(w, head.tx, head.write)
+		if !ok {
+			return
+		}
+		if head.write && wordHolders(w) != 0 && wordHolders(w) != head.tx.mask {
+			return
+		}
+		if !atomic.CompareAndSwapUint64(q.addr, w, nw) {
+			continue // racing release; recompute
+		}
+		q.waiters = q.waiters[1:]
+		d.blocked[head.tx.id] = nil
+		head.granted = true
+		d.debug.granted(head.tx, q.addr, head.write)
+		close(head.ch)
+		if head.write {
+			break // a write lock excludes everything behind it
+		}
+	}
+	if len(q.waiters) == 0 {
+		d.uninstall(q)
+	}
+}
+
+// wakeQueue is called by the release path after it observed a queue ID in
+// the lock word it just modified.
+func (rt *Runtime) wakeQueue(qid int, addr *uint64) {
+	d := rt.det
+	d.mu.Lock()
+	q := d.queues[qid]
+	if q != nil && q.addr == addr {
+		d.grantLocked(q)
+	}
+	d.mu.Unlock()
+}
+
+// removeWaiter removes wt from its queue (e.g. because its transaction
+// aborts) and re-runs grant, since wt may have been blocking others.
+// Caller holds d.mu.
+func (d *detector) removeWaiter(wt *waiter) {
+	q := wt.q
+	for i, w := range q.waiters {
+		if w == wt {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			break
+		}
+	}
+	d.blocked[wt.tx.id] = nil
+	if wt.upgrader && q.findUpgrader() == nil {
+		clearWordFlag(q.addr, uFlag)
+	}
+	if len(q.waiters) == 0 {
+		d.uninstall(q)
+	} else {
+		d.grantLocked(q)
+	}
+}
+
+// abortWaiter marks a blocked transaction as deadlock victim and wakes it;
+// the victim unwinds via selfAbort when it resumes. Caller holds d.mu.
+func (d *detector) abortWaiter(wt *waiter) {
+	wt.tx.victim.Store(true)
+	d.removeWaiter(wt)
+	close(wt.ch)
+}
+
+func clearWordFlag(addr *uint64, flag uint64) {
+	for {
+		w := atomic.LoadUint64(addr)
+		if w&flag == 0 || atomic.CompareAndSwapUint64(addr, w, w&^flag) {
+			return
+		}
+	}
+}
+
+// depsOf returns the bit set of transactions waiter wt waits for: the
+// current holders of the lock (minus itself, for upgraders) plus every
+// waiter queued ahead of it (FIFO fairness makes those dependencies real).
+func (d *detector) depsOf(wt *waiter) uint64 {
+	deps := wordHolders(atomic.LoadUint64(wt.q.addr)) &^ wt.tx.mask
+	for _, p := range wt.q.waiters {
+		if p == wt {
+			break
+		}
+		deps |= p.tx.mask
+	}
+	return deps
+}
+
+// findDeadlockVictim runs the dreadlocks check (paper §4.2: a blocking
+// variant of the dreadlocks algorithm modified for read/write locks)
+// after wt blocked. Digests are bit sets over transaction IDs: the digest
+// of a blocked transaction is its own bit plus the union of the digests
+// of everything it waits for. A cycle exists iff the digest of one of
+// wt's dependencies already contains wt's bit. The victim is the youngest
+// transaction on the cycle (largest start ticket), so the oldest always
+// makes progress. Caller holds d.mu.
+func (d *detector) findDeadlockVictim(wt *waiter) *waiter {
+	// Fixpoint digest propagation over at most MaxTxns blocked
+	// transactions.
+	var digests [MaxTxns]uint64
+	var deps [MaxTxns]uint64
+	for id := 0; id < MaxTxns; id++ {
+		if b := d.blocked[id]; b != nil {
+			digests[id] = b.tx.mask
+			deps[id] = d.depsOf(b)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for id := 0; id < MaxTxns; id++ {
+			if d.blocked[id] == nil {
+				continue
+			}
+			nd := digests[id]
+			rest := deps[id]
+			for rest != 0 {
+				dep := rest & (-rest)
+				rest &^= dep
+				depID := bitIndex(dep)
+				if d.blocked[depID] != nil {
+					nd |= digests[depID]
+				} else {
+					nd |= dep
+				}
+			}
+			if nd != digests[id] {
+				digests[id] = nd
+				changed = true
+			}
+		}
+	}
+	// Cycle through wt?
+	cycle := false
+	rest := deps[wt.tx.id]
+	for r := rest; r != 0; {
+		dep := r & (-r)
+		r &^= dep
+		depID := bitIndex(dep)
+		if d.blocked[depID] != nil && digests[depID]&wt.tx.mask != 0 {
+			cycle = true
+			break
+		}
+	}
+	if !cycle {
+		return nil
+	}
+	// Enumerate the cycle members with a DFS over blocked waits-for edges
+	// and pick the youngest. Inevitable transactions (§3.4) must never
+	// abort; at most one exists, so a non-inevitable member is always
+	// available.
+	members := d.cycleMembers(wt, deps)
+	var victim *waiter
+	for _, m := range members {
+		if m.tx.inevitable {
+			continue
+		}
+		if victim == nil || m.tx.ticket > victim.tx.ticket {
+			victim = m
+		}
+	}
+	if victim != nil {
+		d.debug.deadlock(members, victim)
+	}
+	return victim
+}
+
+// cycleMembers returns the blocked transactions on a waits-for cycle
+// through wt. Caller holds d.mu.
+func (d *detector) cycleMembers(wt *waiter, deps [MaxTxns]uint64) []*waiter {
+	var path []*waiter
+	var onPath [MaxTxns]bool
+	var visited [MaxTxns]bool
+	var cycle []*waiter
+
+	var dfs func(cur *waiter) bool
+	dfs = func(cur *waiter) bool {
+		path = append(path, cur)
+		onPath[cur.tx.id] = true
+		visited[cur.tx.id] = true
+		rest := deps[cur.tx.id]
+		for rest != 0 {
+			dep := rest & (-rest)
+			rest &^= dep
+			depID := bitIndex(dep)
+			next := d.blocked[depID]
+			if next == nil {
+				continue
+			}
+			if next == wt {
+				cycle = append(cycle, path...)
+				return true
+			}
+			if onPath[depID] || visited[depID] {
+				continue
+			}
+			if dfs(next) {
+				return true
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[cur.tx.id] = false
+		return false
+	}
+	dfs(wt)
+	return cycle
+}
+
+// bitIndex returns the index of the single set bit in m.
+func bitIndex(m uint64) int { return bits.TrailingZeros64(m) }

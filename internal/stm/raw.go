@@ -1,0 +1,33 @@
+package stm
+
+// Raw accessors bypass every synchronization rule. They exist for
+// instrumented code paths where the compile-time analyses of
+// internal/instrument have proven the access redundant (the location is
+// already locked in a sufficient mode on all paths, paper §3.3): the
+// transformer replaces the full access with a raw one. Using them on a
+// location the current transaction does not have synchronized is a data
+// race.
+
+// RawWord reads a word field without synchronization.
+func (o *Object) RawWord(f FieldID) uint64 { return o.words[o.class.fields[f].idx] }
+
+// SetRawWord writes a word field without synchronization or undo.
+// Callers must have write-locked the location (or own it as a new
+// instance); otherwise an abort cannot restore it.
+func (o *Object) SetRawWord(f FieldID, v uint64) { o.words[o.class.fields[f].idx] = v }
+
+// RawRef reads a reference field without synchronization.
+func (o *Object) RawRef(f FieldID) *Object { return o.refs[o.class.fields[f].idx] }
+
+// SetRawRef writes a reference field without synchronization or undo.
+func (o *Object) SetRawRef(f FieldID, v *Object) { o.refs[o.class.fields[f].idx] = v }
+
+// RawElem reads a word array element without synchronization.
+func (o *Object) RawElem(i int) uint64 { return o.words[i] }
+
+// SetRawElem writes a word array element without synchronization or
+// undo. Safe only when an earlier full write in the same transaction
+// captured the element's undo value (the transformer guarantees this:
+// a write access is only eliminated when a write lock is provably held,
+// which implies the undo capture already happened).
+func (o *Object) SetRawElem(i int, v uint64) { o.words[i] = v }

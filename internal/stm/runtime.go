@@ -1,0 +1,91 @@
+package stm
+
+import (
+	"io"
+	"sync/atomic"
+)
+
+// Runtime owns the transaction ID pool, the queue table, the deadlock
+// detector, and the statistics counters. One Runtime corresponds to one
+// SBD program.
+type Runtime struct {
+	ids    *idPool
+	ticket atomic.Uint64
+	det    *detector
+	stats  Stats
+	txByID [MaxTxns]atomic.Pointer[Tx]
+	maxIDs int
+	debug  *debugLog
+	// inev is the single inevitability token (§3.4): at most one
+	// transaction can be inevitable at any moment.
+	inev chan struct{}
+}
+
+// Options configures a Runtime.
+type Options struct {
+	// MaxConcurrentTxns caps the number of transaction IDs handed out.
+	// 0 means MaxTxns (56). Lowering it below the thread count reproduces
+	// the Tomcat-at-32-client+32-server-threads saturation the paper
+	// reports (§5.4).
+	MaxConcurrentTxns int
+	// DebugLog, when non-nil, enables the §6 debug mode: one line per
+	// blocked thread, grant, deadlock resolution, and dueling upgrade.
+	DebugLog io.Writer
+}
+
+// NewRuntime creates a runtime with default options.
+func NewRuntime() *Runtime { return NewRuntimeOpts(Options{}) }
+
+// NewRuntimeOpts creates a runtime with the given options.
+func NewRuntimeOpts(opts Options) *Runtime {
+	n := opts.MaxConcurrentTxns
+	if n <= 0 || n > MaxTxns {
+		n = MaxTxns
+	}
+	rt := &Runtime{
+		ids:    newIDPool(n),
+		det:    newDetector(),
+		maxIDs: n,
+		inev:   make(chan struct{}, 1),
+	}
+	rt.inev <- struct{}{}
+	if opts.DebugLog != nil {
+		rt.debug = &debugLog{w: opts.DebugLog}
+		rt.det.debug = rt.debug
+	}
+	return rt
+}
+
+// MaxConcurrentTxns returns the configured transaction ID limit.
+func (rt *Runtime) MaxConcurrentTxns() int { return rt.maxIDs }
+
+// Stats returns the runtime's statistics counters.
+func (rt *Runtime) Stats() *Stats { return &rt.stats }
+
+// Begin starts a new transaction, blocking until a transaction ID is
+// available. The number of available IDs limits the achievable actual
+// parallelism (paper §3.3); waiting here is safe because no nesting is
+// possible and any transaction that waits for a condition first ends its
+// current transaction, freeing its ID.
+func (rt *Runtime) Begin() *Tx {
+	id, waited := rt.ids.acquire()
+	if waited {
+		rt.stats.IDWaits.Add(1)
+	}
+	tx := &Tx{
+		rt:     rt,
+		id:     id,
+		mask:   txMask(id),
+		ticket: rt.ticket.Add(1),
+	}
+	rt.txByID[id].Store(tx)
+	return tx
+}
+
+func (rt *Runtime) releaseID(tx *Tx) {
+	rt.txByID[tx.id].Store(nil)
+	rt.ids.release(tx.id)
+}
+
+// ActiveTxns returns the number of transaction IDs currently handed out.
+func (rt *Runtime) ActiveTxns() int { return rt.maxIDs - rt.ids.available() }

@@ -1,0 +1,121 @@
+package stm
+
+import "sync/atomic"
+
+// Stats aggregates the runtime counters the paper's evaluation reports:
+// the lock-operation breakdown of Table 7 (Init / Check New / Check Owned
+// / Acquire), the synchronization-issue columns of Table 9 (aborts,
+// contended acquires, CAS failures), and the memory-overhead components
+// of Table 8 (lock slabs, R-W set, undo/IO buffers, init log).
+type Stats struct {
+	// Lock-operation effects (Table 7).
+	Init       atomic.Uint64 // lock slab allocations (lazy init)
+	CheckNew   atomic.Uint64 // accesses that found the instance new (locks == nil)
+	CheckOwned atomic.Uint64 // accesses that found the lock already held in a sufficient mode
+	Acquire    atomic.Uint64 // lock acquire+release pairs (incl. upgrades)
+
+	// Synchronization issues (Table 9).
+	Commits   atomic.Uint64
+	Aborts    atomic.Uint64
+	Contended atomic.Uint64 // acquisitions that had to enqueue
+	CASFail   atomic.Uint64 // failed lock-word CAS attempts
+	IDWaits   atomic.Uint64 // Begin calls that had to wait for a free transaction ID
+	Deadlocks atomic.Uint64 // deadlock cycles resolved
+	InevWaits atomic.Uint64 // BecomeInevitable calls that had to wait for the token
+
+	// Memory accounting (Table 8). Byte figures are estimates derived
+	// from entry counts, mirroring the paper's "largest contributors"
+	// reporting.
+	LockBytes    atomic.Uint64 // total bytes of lock slabs allocated
+	RWSetBytes   atomic.Uint64 // sum over transactions of R-W set bytes (locks held + old values)
+	UndoEntries  atomic.Uint64 // total undo-log entries recorded
+	BufferBytes  atomic.Uint64 // sum of transactional I/O buffer bytes (reported by resources)
+	InitEntries  atomic.Uint64 // total init-log entries (instances to mark UNALLOC)
+	TxnsMeasured atomic.Uint64 // transactions contributing to the sums above
+}
+
+// StatsSnapshot is an immutable copy of Stats for reporting.
+type StatsSnapshot struct {
+	Init, CheckNew, CheckOwned, Acquire    uint64
+	Commits, Aborts, Contended, CASFail    uint64
+	IDWaits, Deadlocks, InevWaits          uint64
+	LockBytes, RWSetBytes, UndoEntries     uint64
+	BufferBytes, InitEntries, TxnsMeasured uint64
+}
+
+// Snapshot copies the current counter values.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Init:         s.Init.Load(),
+		CheckNew:     s.CheckNew.Load(),
+		CheckOwned:   s.CheckOwned.Load(),
+		Acquire:      s.Acquire.Load(),
+		Commits:      s.Commits.Load(),
+		Aborts:       s.Aborts.Load(),
+		Contended:    s.Contended.Load(),
+		CASFail:      s.CASFail.Load(),
+		IDWaits:      s.IDWaits.Load(),
+		Deadlocks:    s.Deadlocks.Load(),
+		InevWaits:    s.InevWaits.Load(),
+		LockBytes:    s.LockBytes.Load(),
+		RWSetBytes:   s.RWSetBytes.Load(),
+		UndoEntries:  s.UndoEntries.Load(),
+		BufferBytes:  s.BufferBytes.Load(),
+		InitEntries:  s.InitEntries.Load(),
+		TxnsMeasured: s.TxnsMeasured.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.Init.Store(0)
+	s.CheckNew.Store(0)
+	s.CheckOwned.Store(0)
+	s.Acquire.Store(0)
+	s.Commits.Store(0)
+	s.Aborts.Store(0)
+	s.Contended.Store(0)
+	s.CASFail.Store(0)
+	s.IDWaits.Store(0)
+	s.Deadlocks.Store(0)
+	s.InevWaits.Store(0)
+	s.LockBytes.Store(0)
+	s.RWSetBytes.Store(0)
+	s.UndoEntries.Store(0)
+	s.BufferBytes.Store(0)
+	s.InitEntries.Store(0)
+	s.TxnsMeasured.Store(0)
+}
+
+// Sub returns the delta s - prev, counter-wise. It allows bracketing a
+// measured region the way the paper samples per-iteration counters.
+func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Init:         s.Init - prev.Init,
+		CheckNew:     s.CheckNew - prev.CheckNew,
+		CheckOwned:   s.CheckOwned - prev.CheckOwned,
+		Acquire:      s.Acquire - prev.Acquire,
+		Commits:      s.Commits - prev.Commits,
+		Aborts:       s.Aborts - prev.Aborts,
+		Contended:    s.Contended - prev.Contended,
+		CASFail:      s.CASFail - prev.CASFail,
+		IDWaits:      s.IDWaits - prev.IDWaits,
+		Deadlocks:    s.Deadlocks - prev.Deadlocks,
+		InevWaits:    s.InevWaits - prev.InevWaits,
+		LockBytes:    s.LockBytes - prev.LockBytes,
+		RWSetBytes:   s.RWSetBytes - prev.RWSetBytes,
+		UndoEntries:  s.UndoEntries - prev.UndoEntries,
+		BufferBytes:  s.BufferBytes - prev.BufferBytes,
+		InitEntries:  s.InitEntries - prev.InitEntries,
+		TxnsMeasured: s.TxnsMeasured - prev.TxnsMeasured,
+	}
+}
+
+// AbortRate returns aborts per successful commit (Table 9 column Abr.),
+// as a fraction (multiply by 100 for percent).
+func (s StatsSnapshot) AbortRate() float64 {
+	if s.Commits == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(s.Commits)
+}

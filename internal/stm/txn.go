@@ -1,0 +1,564 @@
+package stm
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Aborted is the panic payload used to unwind a transaction that was
+// chosen as a deadlock victim. The SBD layer recovers it, calls Tx.Reset,
+// and replays the atomic section.
+type Aborted struct {
+	Tx     *Tx
+	Reason string
+}
+
+func (a *Aborted) Error() string {
+	return fmt.Sprintf("stm: transaction %d aborted: %s", a.Tx.id, a.Reason)
+}
+
+// Resource is external state with transactional semantics attached to a
+// transaction (paper §3.4/§4.4): Commit applies deferred operations and
+// clears buffers; Rollback undoes performed modifications.
+type Resource interface {
+	Commit()
+	Rollback()
+}
+
+// BufferSizer is optionally implemented by Resources to report their
+// current buffer footprint for the Table 8 memory accounting.
+type BufferSizer interface {
+	BufferedBytes() int
+}
+
+type slotKind uint8
+
+const (
+	slotWord slotKind = iota
+	slotRef
+	slotStr
+)
+
+type undoEntry struct {
+	obj     *Object
+	slot    int32
+	kind    slotKind
+	oldWord uint64
+	oldRef  *Object
+	oldStr  string
+}
+
+type lockLogEntry struct {
+	slab   *lockSlab
+	lockID int32
+}
+
+// Tx is one transaction, i.e. one atomic section of the SBD model. A Tx
+// must only ever be used by the goroutine that began it.
+type Tx struct {
+	rt     *Runtime
+	id     int
+	mask   uint64
+	ticket uint64
+
+	undo      []undoEntry
+	lockLog   []lockLogEntry
+	initLog   []*Object
+	resources []Resource
+	onCommit  []func()
+
+	victim     atomic.Bool
+	ended      bool
+	inevitable bool
+
+	// Per-transaction counters, flushed to Runtime.Stats at end to keep
+	// the access fast path free of shared atomics.
+	nInit, nCheckNew, nCheckOwned, nAcq uint64
+	nContended, nCASFail                uint64
+}
+
+// ID returns the transaction's ID (0..MaxTxns-1).
+func (tx *Tx) ID() int { return tx.id }
+
+// Ticket returns the transaction's start ticket; smaller is older. The
+// ticket is preserved across Reset so a repeatedly aborted transaction
+// ages and eventually becomes the oldest, which is never a victim.
+func (tx *Tx) Ticket() uint64 { return tx.ticket }
+
+// Runtime returns the runtime the transaction belongs to.
+func (tx *Tx) Runtime() *Runtime { return tx.rt }
+
+// selfAbort rolls nothing back by itself; it unwinds via panic so the
+// section runner can Reset and replay.
+func (tx *Tx) selfAbort(reason string) {
+	panic(&Aborted{Tx: tx, Reason: reason})
+}
+
+// AbortRequested reports whether the transaction has been marked as a
+// deadlock victim and should abort at the next opportunity.
+func (tx *Tx) AbortRequested() bool { return tx.victim.Load() }
+
+// Abort voluntarily aborts the transaction by unwinding with *Aborted;
+// the section runner rolls back and replays. It exists for failure
+// injection in tests and for application-level retry. An inevitable
+// transaction cannot abort.
+func (tx *Tx) Abort(reason string) {
+	if tx.inevitable {
+		panic("stm: Abort on an inevitable transaction")
+	}
+	tx.selfAbort("user abort: " + reason)
+}
+
+// BecomeInevitable makes the transaction inevitable (paper §3.4): it can
+// never abort — deadlock resolution and upgrade duels always pick the
+// other party — so irreversible actions may run directly inside it. At
+// most one transaction is inevitable at a time; BecomeInevitable blocks
+// until the token is free, which is exactly the concurrency limitation
+// that made the paper choose transactional wrappers instead. It is
+// implemented here for the ablation benchmark comparing the two.
+func (tx *Tx) BecomeInevitable() {
+	if tx.inevitable {
+		return
+	}
+	select {
+	case <-tx.rt.inev:
+	default:
+		tx.rt.stats.InevWaits.Add(1)
+		<-tx.rt.inev
+	}
+	tx.inevitable = true
+}
+
+// Inevitable reports whether the transaction is inevitable.
+func (tx *Tx) Inevitable() bool { return tx.inevitable }
+
+func (tx *Tx) releaseInevitable() {
+	if tx.inevitable {
+		tx.inevitable = false
+		tx.rt.inev <- struct{}{}
+	}
+}
+
+// New allocates an instance of class c inside the transaction. The
+// instance needs no locking and no undo until the transaction ends
+// (paper Table 1, "new" rows); Commit moves it to the UNALLOC state.
+func (tx *Tx) New(c *Class) *Object {
+	o := newObject(c)
+	tx.initLog = append(tx.initLog, o)
+	return o
+}
+
+// NewArray allocates an array of n elements of the given kind inside the
+// transaction.
+func (tx *Tx) NewArray(elem Kind, n int) *Object {
+	o := newArray(elem, n)
+	tx.initLog = append(tx.initLog, o)
+	return o
+}
+
+// NewLocal allocates a thread-local instance (paper §3.5, "thread local
+// memory"): accesses skip locking, writes are undo-logged.
+func (tx *Tx) NewLocal(c *Class) *Object {
+	o := newObject(c)
+	o.local = true
+	o.locks.Store(unallocSlab)
+	return o
+}
+
+// NewLocalArray allocates a thread-local array.
+func (tx *Tx) NewLocalArray(elem Kind, n int) *Object {
+	o := newArray(elem, n)
+	o.local = true
+	o.locks.Store(unallocSlab)
+	return o
+}
+
+// ensureSlab performs the lazy lock-slab allocation of paper Figure 5
+// step (2).
+func (tx *Tx) ensureSlab(o *Object) *lockSlab {
+	slab := o.locks.Load()
+	for slab == unallocSlab {
+		fresh := &lockSlab{words: make([]uint64, o.numLockSlots())}
+		if o.locks.CompareAndSwap(unallocSlab, fresh) {
+			tx.nInit++
+			tx.rt.stats.LockBytes.Add(uint64(len(fresh.words)) * 8)
+			return fresh
+		}
+		slab = o.locks.Load()
+	}
+	return slab
+}
+
+// lockFor implements the locking operation of paper Figure 5 for the lock
+// slot lockID of object o. The caller has already established that o is
+// not new (locks != nil), not thread-local, and that the field is not
+// final. When write is true the current value of the slot is captured in
+// the undo log at acquisition time.
+func (tx *Tx) lockFor(o *Object, slot int32, kind slotKind, lockID int32, write bool) {
+	slab := tx.ensureSlab(o)
+	addr := &slab.words[lockID]
+
+	w := atomic.LoadUint64(addr)
+	if w&tx.mask != 0 {
+		// Step (3): already in our read or write set.
+		if !write || wordIsWrite(w) {
+			tx.nCheckOwned++
+			return
+		}
+		// Read held, write needed: upgrade.
+	}
+	// Step (4): try to lock, else enqueue.
+	acquired := false
+	if wordQueueID(w) == 0 {
+		if nw, ok := grantWord(w, tx, write); ok {
+			if atomic.CompareAndSwapUint64(addr, w, nw) {
+				acquired = true
+			} else {
+				tx.nCASFail++
+			}
+		}
+	}
+	if !acquired {
+		tx.slowAcquire(addr, write) // blocks; panics with *Aborted on defeat
+	}
+	tx.nAcq++
+	tx.lockLog = append(tx.lockLog, lockLogEntry{slab: slab, lockID: lockID})
+	if write {
+		tx.captureUndo(o, slot, kind)
+	}
+}
+
+// captureUndo records the pre-write value of a slot.
+func (tx *Tx) captureUndo(o *Object, slot int32, kind slotKind) {
+	e := undoEntry{obj: o, slot: slot, kind: kind}
+	switch kind {
+	case slotWord:
+		e.oldWord = o.words[slot]
+	case slotRef:
+		e.oldRef = o.refs[slot]
+	case slotStr:
+		e.oldStr = o.strs[slot]
+	}
+	tx.undo = append(tx.undo, e)
+}
+
+// fieldAccess funnels every field access through the synchronization
+// rules of paper Table 1 and returns true if the raw slot may be touched
+// directly (new instance, final field, or thread-local memory).
+func (tx *Tx) fieldAccess(o *Object, f FieldID, kind slotKind, write bool) int32 {
+	m := &o.class.fields[f]
+	if m.kind != kindOf(kind) {
+		panic(fmt.Sprintf("stm: field %s.%s is %v, accessed as %v",
+			o.class.name, m.name, m.kind, kindOf(kind)))
+	}
+	if o.local {
+		if write {
+			tx.captureUndo(o, m.idx, kind)
+		}
+		return m.idx
+	}
+	if m.final {
+		if write && o.locks.Load() != nil {
+			panic(fmt.Sprintf("stm: write to final field %s.%s outside construction",
+				o.class.name, m.name))
+		}
+		return m.idx
+	}
+	if o.locks.Load() == nil {
+		// Step (1): new in the current transaction.
+		tx.nCheckNew++
+		return m.idx
+	}
+	tx.lockFor(o, m.idx, kind, m.lockID, write)
+	return m.idx
+}
+
+// elemAccess is the array-element counterpart of fieldAccess.
+func (tx *Tx) elemAccess(o *Object, i int, kind slotKind, write bool) {
+	if !o.class.isArray {
+		panic("stm: element access on non-array " + o.class.name)
+	}
+	if o.class.elem != kindOf(kind) {
+		panic(fmt.Sprintf("stm: array of %v accessed as %v", o.class.elem, kindOf(kind)))
+	}
+	if o.local {
+		if write {
+			tx.captureUndo(o, int32(i), kind)
+		}
+		return
+	}
+	if o.locks.Load() == nil {
+		tx.nCheckNew++
+		return
+	}
+	tx.lockFor(o, int32(i), kind, int32(i), write)
+}
+
+func kindOf(s slotKind) Kind {
+	switch s {
+	case slotWord:
+		return KindWord
+	case slotRef:
+		return KindRef
+	default:
+		return KindStr
+	}
+}
+
+// ReadWord reads a word field under the SBD synchronization rules.
+func (tx *Tx) ReadWord(o *Object, f FieldID) uint64 {
+	idx := tx.fieldAccess(o, f, slotWord, false)
+	return o.words[idx]
+}
+
+// WriteWord writes a word field.
+func (tx *Tx) WriteWord(o *Object, f FieldID, v uint64) {
+	idx := tx.fieldAccess(o, f, slotWord, true)
+	o.words[idx] = v
+}
+
+// ReadRef reads a reference field.
+func (tx *Tx) ReadRef(o *Object, f FieldID) *Object {
+	idx := tx.fieldAccess(o, f, slotRef, false)
+	return o.refs[idx]
+}
+
+// WriteRef writes a reference field.
+func (tx *Tx) WriteRef(o *Object, f FieldID, v *Object) {
+	idx := tx.fieldAccess(o, f, slotRef, true)
+	o.refs[idx] = v
+}
+
+// ReadStr reads a string field.
+func (tx *Tx) ReadStr(o *Object, f FieldID) string {
+	idx := tx.fieldAccess(o, f, slotStr, false)
+	return o.strs[idx]
+}
+
+// WriteStr writes a string field.
+func (tx *Tx) WriteStr(o *Object, f FieldID, v string) {
+	idx := tx.fieldAccess(o, f, slotStr, true)
+	o.strs[idx] = v
+}
+
+// ReadInt reads a word field as int64.
+func (tx *Tx) ReadInt(o *Object, f FieldID) int64 { return int64(tx.ReadWord(o, f)) }
+
+// WriteInt writes an int64 to a word field.
+func (tx *Tx) WriteInt(o *Object, f FieldID, v int64) { tx.WriteWord(o, f, uint64(v)) }
+
+// ReadFloat reads a word field as float64.
+func (tx *Tx) ReadFloat(o *Object, f FieldID) float64 {
+	return math.Float64frombits(tx.ReadWord(o, f))
+}
+
+// WriteFloat writes a float64 to a word field.
+func (tx *Tx) WriteFloat(o *Object, f FieldID, v float64) {
+	tx.WriteWord(o, f, math.Float64bits(v))
+}
+
+// ReadBool reads a word field as bool.
+func (tx *Tx) ReadBool(o *Object, f FieldID) bool { return tx.ReadWord(o, f) != 0 }
+
+// WriteBool writes a bool to a word field.
+func (tx *Tx) WriteBool(o *Object, f FieldID, v bool) {
+	var w uint64
+	if v {
+		w = 1
+	}
+	tx.WriteWord(o, f, w)
+}
+
+// ReadElem reads word element i of an array.
+func (tx *Tx) ReadElem(o *Object, i int) uint64 {
+	tx.elemAccess(o, i, slotWord, false)
+	return o.words[i]
+}
+
+// WriteElem writes word element i of an array.
+func (tx *Tx) WriteElem(o *Object, i int, v uint64) {
+	tx.elemAccess(o, i, slotWord, true)
+	o.words[i] = v
+}
+
+// ReadElemRef reads reference element i of an array.
+func (tx *Tx) ReadElemRef(o *Object, i int) *Object {
+	tx.elemAccess(o, i, slotRef, false)
+	return o.refs[i]
+}
+
+// WriteElemRef writes reference element i of an array.
+func (tx *Tx) WriteElemRef(o *Object, i int, v *Object) {
+	tx.elemAccess(o, i, slotRef, true)
+	o.refs[i] = v
+}
+
+// ReadElemStr reads string element i of an array.
+func (tx *Tx) ReadElemStr(o *Object, i int) string {
+	tx.elemAccess(o, i, slotStr, false)
+	return o.strs[i]
+}
+
+// WriteElemStr writes string element i of an array.
+func (tx *Tx) WriteElemStr(o *Object, i int, v string) {
+	tx.elemAccess(o, i, slotStr, true)
+	o.strs[i] = v
+}
+
+// Register attaches a transactional resource (an I/O wrapper) to the
+// transaction. Registering the same resource again is a no-op.
+func (tx *Tx) Register(r Resource) {
+	for _, have := range tx.resources {
+		if have == r {
+			return
+		}
+	}
+	tx.resources = append(tx.resources, r)
+}
+
+// OnCommit defers f until the transaction commits, the mechanism behind
+// the paper's deferred thread starts and deferred signals (§3.5). The
+// deferred functions run after all locks are released; they are dropped
+// on abort.
+func (tx *Tx) OnCommit(f func()) {
+	tx.onCommit = append(tx.onCommit, f)
+}
+
+// releaseLocks clears the transaction's bit (and W flag) from every lock
+// in the lock log and wakes queues that were waiting on them.
+func (tx *Tx) releaseLocks() {
+	for i := range tx.lockLog {
+		e := &tx.lockLog[i]
+		addr := &e.slab.words[e.lockID]
+		for {
+			w := atomic.LoadUint64(addr)
+			if w&tx.mask == 0 {
+				break // released already (read entry followed by upgrade entry)
+			}
+			nw := w &^ tx.mask
+			if wordIsWrite(w) {
+				nw &^= wFlag
+			}
+			if atomic.CompareAndSwapUint64(addr, w, nw) {
+				if qid := wordQueueID(nw); qid != 0 {
+					tx.rt.wakeQueue(qid, addr)
+				}
+				break
+			}
+		}
+	}
+	tx.lockLog = tx.lockLog[:0]
+}
+
+// accountMemory records the Table 8 components of this transaction.
+func (tx *Tx) accountMemory() {
+	st := &tx.rt.stats
+	st.RWSetBytes.Add(uint64(len(tx.lockLog))*16 + uint64(len(tx.undo))*40)
+	st.UndoEntries.Add(uint64(len(tx.undo)))
+	st.InitEntries.Add(uint64(len(tx.initLog)))
+	var buf uint64
+	for _, r := range tx.resources {
+		if bs, ok := r.(BufferSizer); ok {
+			buf += uint64(bs.BufferedBytes())
+		}
+	}
+	st.BufferBytes.Add(buf)
+	st.TxnsMeasured.Add(1)
+}
+
+// flushCounters moves the per-transaction counters into the runtime
+// aggregate.
+func (tx *Tx) flushCounters() {
+	st := &tx.rt.stats
+	st.Init.Add(tx.nInit)
+	st.CheckNew.Add(tx.nCheckNew)
+	st.CheckOwned.Add(tx.nCheckOwned)
+	st.Acquire.Add(tx.nAcq)
+	st.Contended.Add(tx.nContended)
+	st.CASFail.Add(tx.nCASFail)
+	tx.nInit, tx.nCheckNew, tx.nCheckOwned, tx.nAcq = 0, 0, 0, 0
+	tx.nContended, tx.nCASFail = 0, 0
+}
+
+// Commit ends the transaction successfully: resources commit (flushing
+// deferred I/O), new instances move to the UNALLOC state, locks are
+// released, deferred actions run, and the transaction ID returns to the
+// pool. The Tx must not be used afterwards.
+func (tx *Tx) Commit() {
+	if tx.ended {
+		panic("stm: Commit on ended transaction")
+	}
+	tx.ended = true
+	tx.accountMemory()
+	for _, r := range tx.resources {
+		r.Commit()
+	}
+	for _, o := range tx.initLog {
+		o.locks.Store(unallocSlab)
+	}
+	tx.releaseLocks()
+	tx.releaseInevitable()
+	deferred := tx.onCommit
+	tx.clearLogs()
+	tx.rt.stats.Commits.Add(1)
+	tx.flushCounters()
+	tx.rt.releaseID(tx)
+	for _, f := range deferred {
+		f()
+	}
+}
+
+// Reset rolls the transaction back and prepares it for a retry of the
+// same atomic section: resources roll back, the undo log is applied in
+// reverse, locks are released, deferred actions are dropped. The
+// transaction keeps its ID and its start ticket (so it ages toward being
+// the oldest, which guarantees progress).
+func (tx *Tx) Reset() {
+	if tx.ended {
+		panic("stm: Reset on ended transaction")
+	}
+	if tx.inevitable {
+		// Inevitability promises no rollback: the runtime never chooses
+		// an inevitable transaction as a victim, so reaching this point
+		// is a programming error.
+		panic("stm: Reset on an inevitable transaction")
+	}
+	tx.accountMemory()
+	for i := len(tx.resources) - 1; i >= 0; i-- {
+		tx.resources[i].Rollback()
+	}
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		e := &tx.undo[i]
+		switch e.kind {
+		case slotWord:
+			e.obj.words[e.slot] = e.oldWord
+		case slotRef:
+			e.obj.refs[e.slot] = e.oldRef
+		case slotStr:
+			e.obj.strs[e.slot] = e.oldStr
+		}
+	}
+	tx.releaseLocks()
+	tx.clearLogs()
+	tx.victim.Store(false)
+	tx.rt.stats.Aborts.Add(1)
+	tx.flushCounters()
+}
+
+// AbandonAfterReset releases the transaction ID of a reset transaction
+// that will not be retried (e.g. the thread is shutting down).
+func (tx *Tx) AbandonAfterReset() {
+	if tx.ended {
+		return
+	}
+	tx.ended = true
+	tx.rt.releaseID(tx)
+}
+
+func (tx *Tx) clearLogs() {
+	tx.undo = tx.undo[:0]
+	tx.initLog = tx.initLog[:0]
+	tx.resources = tx.resources[:0]
+	tx.onCommit = nil
+}

@@ -1,0 +1,160 @@
+package txio
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/stm"
+)
+
+// Conn is the transactional wrapper for a bidirectional byte stream (a
+// network connection). It implements the scheme of paper §4.4 verbatim:
+//
+//   - Writes go to a per-transaction buffer B_W and reach the device only
+//     on commit; an abort discards B_W.
+//   - Reads consume from the device but are recorded; an abort pushes the
+//     consumed bytes into the connection's replay buffer B_R, and
+//     subsequent reads are served from B_R until it drains. On commit the
+//     record is discarded.
+//
+// A connection is used by one transaction at a time (the usual shape for
+// client and per-connection server threads); the wrapper serializes
+// overlapping use defensively but provides no fairness.
+type Conn struct {
+	mu     sync.Mutex
+	raw    io.ReadWriter
+	replay []byte // B_R: bytes an aborted transaction had consumed
+	states map[*stm.Tx]*connTx
+}
+
+type connTx struct {
+	c        *Conn
+	tx       *stm.Tx
+	wbuf     []byte // B_W
+	consumed []byte // read record for building B_R on abort
+	active   bool
+}
+
+// NewConn wraps a raw stream.
+func NewConn(raw io.ReadWriter) *Conn {
+	return &Conn{raw: raw, states: make(map[*stm.Tx]*connTx)}
+}
+
+func (c *Conn) stateFor(tx *stm.Tx) *connTx {
+	c.mu.Lock()
+	s := c.states[tx]
+	if s == nil {
+		s = &connTx{c: c, tx: tx}
+		c.states[tx] = s
+	}
+	c.mu.Unlock()
+	if !s.active {
+		s.active = true
+		tx.Register(s)
+	}
+	return s
+}
+
+// Write defers p until tx commits.
+func (c *Conn) Write(tx *stm.Tx, p []byte) (int, error) {
+	s := c.stateFor(tx)
+	s.wbuf = append(s.wbuf, p...)
+	return len(p), nil
+}
+
+// WriteString defers s until tx commits.
+func (c *Conn) WriteString(tx *stm.Tx, str string) (int, error) {
+	return c.Write(tx, []byte(str))
+}
+
+// HasReplay reports whether the replay buffer B_R holds bytes; callers
+// that park on the raw device's readability must treat a non-empty B_R
+// as readable too.
+func (c *Conn) HasReplay() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.replay) > 0
+}
+
+// Read fills p, serving the replay buffer B_R first and the raw stream
+// after it drains. Every byte handed out is recorded so an abort can
+// reconstruct B_R.
+func (c *Conn) Read(tx *stm.Tx, p []byte) (int, error) {
+	s := c.stateFor(tx)
+	c.mu.Lock()
+	n := copy(p, c.replay)
+	c.replay = c.replay[n:]
+	c.mu.Unlock()
+	if n == 0 && len(p) > 0 {
+		var err error
+		n, err = c.raw.Read(p)
+		if err != nil {
+			return n, err
+		}
+	}
+	s.consumed = append(s.consumed, p[:n]...)
+	return n, nil
+}
+
+// ReadLine reads up to and including '\n' and returns the line without
+// the terminator. It is the unit the minihttp protocol parser consumes.
+func (c *Conn) ReadLine(tx *stm.Tx) (string, error) {
+	var line []byte
+	buf := make([]byte, 1)
+	for {
+		n, err := c.Read(tx, buf)
+		if err != nil {
+			return string(line), err
+		}
+		if n == 0 {
+			continue
+		}
+		if buf[0] == '\n' {
+			return string(line), nil
+		}
+		line = append(line, buf[0])
+	}
+}
+
+// ReadFull fills p completely (like io.ReadFull over the wrapper).
+func (c *Conn) ReadFull(tx *stm.Tx, p []byte) error {
+	got := 0
+	for got < len(p) {
+		n, err := c.Read(tx, p[got:])
+		if err != nil {
+			return err
+		}
+		got += n
+	}
+	return nil
+}
+
+// Commit flushes B_W and forgets the read record.
+func (s *connTx) Commit() {
+	s.c.mu.Lock()
+	wbuf := s.wbuf
+	delete(s.c.states, s.tx)
+	s.c.mu.Unlock()
+	if len(wbuf) > 0 {
+		s.c.raw.Write(wbuf) //nolint:errcheck // peer teardown races are benign at commit
+	}
+	s.wbuf, s.consumed, s.active = nil, nil, false
+}
+
+// Rollback discards B_W and prepends the consumed bytes to B_R so the
+// retry re-reads exactly what the aborted attempt saw.
+func (s *connTx) Rollback() {
+	s.c.mu.Lock()
+	if len(s.consumed) > 0 {
+		nr := make([]byte, 0, len(s.consumed)+len(s.c.replay))
+		nr = append(nr, s.consumed...)
+		nr = append(nr, s.c.replay...)
+		s.c.replay = nr
+	}
+	delete(s.c.states, s.tx)
+	s.c.mu.Unlock()
+	s.wbuf, s.consumed, s.active = nil, nil, false
+}
+
+// BufferedBytes reports B_W plus the read record (Table 8 accounting).
+func (s *connTx) BufferedBytes() int { return len(s.wbuf) + len(s.consumed) }

@@ -1,0 +1,62 @@
+package txio
+
+import (
+	"sync"
+
+	"repro/internal/memdb"
+	"repro/internal/stm"
+)
+
+// DBSession is the transactional wrapper for the database (the paper's
+// JDBC integration, §5.3): since the database has transactions of its
+// own, each STM transaction maps to one database transaction whose
+// commit and rollback are driven by the STM transaction's end.
+type DBSession struct {
+	mu     sync.Mutex
+	db     *memdb.DB
+	states map[*stm.Tx]*dbTx
+}
+
+type dbTx struct {
+	s   *DBSession
+	tx  *stm.Tx
+	txn *memdb.Txn
+}
+
+// NewDBSession wraps db.
+func NewDBSession(db *memdb.DB) *DBSession {
+	return &DBSession{db: db, states: make(map[*stm.Tx]*dbTx)}
+}
+
+// DB returns the underlying engine (for setup and verification).
+func (s *DBSession) DB() *memdb.DB { return s.db }
+
+// Txn returns the database transaction bound to tx, beginning one on
+// first use.
+func (s *DBSession) Txn(tx *stm.Tx) *memdb.Txn {
+	s.mu.Lock()
+	st := s.states[tx]
+	if st == nil {
+		st = &dbTx{s: s, tx: tx, txn: s.db.Begin()}
+		s.states[tx] = st
+	}
+	s.mu.Unlock()
+	tx.Register(st)
+	return st.txn
+}
+
+// Commit commits the bound database transaction.
+func (d *dbTx) Commit() {
+	d.txn.Commit() //nolint:errcheck // double-end is guarded by the state map
+	d.s.mu.Lock()
+	delete(d.s.states, d.tx)
+	d.s.mu.Unlock()
+}
+
+// Rollback rolls the bound database transaction back.
+func (d *dbTx) Rollback() {
+	d.txn.Rollback() //nolint:errcheck
+	d.s.mu.Lock()
+	delete(d.s.states, d.tx)
+	d.s.mu.Unlock()
+}

@@ -1,0 +1,61 @@
+package txio
+
+import (
+	"testing"
+
+	"repro/internal/memdb"
+	"repro/internal/stm"
+)
+
+func TestDBSessionCommitDrivesDBCommit(t *testing.T) {
+	rt := stm.NewRuntime()
+	db := memdb.New()
+	tbl, _ := db.CreateTable("t")
+	ses := NewDBSession(db)
+
+	tx := rt.Begin()
+	txn := ses.Txn(tx)
+	if err := txn.Insert(tbl, 1, []string{"v"}); err != nil {
+		t.Fatal(err)
+	}
+	if ses.Txn(tx) != txn {
+		t.Fatal("second Txn call returned a different DB transaction")
+	}
+	tx.Commit()
+
+	check := db.Begin()
+	if v, err := check.Get(tbl, 1); err != nil || v[0] != "v" {
+		t.Fatalf("DB commit not driven by STM commit: %v, %v", v, err)
+	}
+	check.Rollback()
+	if db.Stats().Commits.Load() != 1 {
+		t.Fatalf("db commits = %d", db.Stats().Commits.Load())
+	}
+}
+
+func TestDBSessionAbortDrivesDBRollback(t *testing.T) {
+	rt := stm.NewRuntime()
+	db := memdb.New()
+	tbl, _ := db.CreateTable("t")
+	ses := NewDBSession(db)
+
+	tx := rt.Begin()
+	ses.Txn(tx).Insert(tbl, 1, []string{"doomed"}) //nolint:errcheck
+	tx.Reset()
+
+	// The retry gets a fresh DB transaction.
+	txn2 := ses.Txn(tx)
+	if err := txn2.Insert(tbl, 1, []string{"kept"}); err != nil {
+		t.Fatalf("retry insert: %v (rollback did not release the row)", err)
+	}
+	tx.Commit()
+	if db.Stats().Rollbacks.Load() != 1 {
+		t.Fatalf("db rollbacks = %d", db.Stats().Rollbacks.Load())
+	}
+
+	check := db.Begin()
+	if v, _ := check.Get(tbl, 1); v[0] != "kept" {
+		t.Fatalf("got %v", v)
+	}
+	check.Rollback()
+}

@@ -1,0 +1,33 @@
+// Package txio implements the transactional wrappers of paper §3.4/§4.4:
+// in the SBD approach no code runs outside an atomic section, including
+// operations with external side effects, so every irreversible operation
+// goes through a hand-written wrapper that buffers it until the section
+// ends.
+//
+// Each wrapper follows the paper's four-step scheme:
+//
+//  1. An adapter with the device's interface forwards each call.
+//  2. A buffer saves state before (or instead of) a modification.
+//  3. Synchronization around queries/modifications ensures atomicity and
+//     isolation; irreversible modifications are deferred to commit.
+//  4. Commit applies deferred operations and clears the buffer; rollback
+//     undoes or discards using the buffer.
+//
+// Concretely:
+//
+//   - Writer defers all output in a per-transaction buffer B_W and flushes
+//     it atomically at commit — this is also the "aggregate output to
+//     console per transaction" modification of paper Table 4.
+//   - Conn wraps a bidirectional stream: writes are deferred (B_W), reads
+//     are recorded and, after an abort, pushed into a replay buffer B_R
+//     that satisfies subsequent reads until it drains — exactly the
+//     network-device behaviour the paper describes.
+//   - FileSystem wraps memfs: Open snapshots the file (reads are
+//     trivially repeatable), Create buffers the new content and writes it
+//     at commit.
+//
+// Two consequences for programs, noted in the paper, hold here too: an
+// observer sees output only after the producing section ends (so even
+// single-threaded programs need splits to make output appear), and all
+// irreversible operations must use these wrappers.
+package txio

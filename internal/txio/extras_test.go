@@ -1,0 +1,95 @@
+package txio
+
+import (
+	"testing"
+
+	"repro/internal/memfs"
+	"repro/internal/stm"
+)
+
+func TestInevitableWriterWritesDirectly(t *testing.T) {
+	rt := stm.NewRuntime()
+	var sink lockedBuffer
+	w := NewInevitableWriter(&sink)
+
+	tx := rt.Begin()
+	if _, err := w.WriteString(tx, "now"); err != nil {
+		t.Fatal(err)
+	}
+	// Unlike the buffered wrapper, the write is on the device before the
+	// transaction ends — that is the point of inevitability.
+	if sink.String() != "now" {
+		t.Fatalf("inevitable write deferred: %q", sink.String())
+	}
+	if !tx.Inevitable() {
+		t.Fatal("writer did not make the transaction inevitable")
+	}
+	tx.Commit()
+
+	// The token is free again: a later transaction can become inevitable
+	// without blocking.
+	tx2 := rt.Begin()
+	w.WriteString(tx2, "!") //nolint:errcheck
+	tx2.Commit()
+	if rt.Stats().Snapshot().InevWaits != 0 {
+		t.Fatal("sequential inevitable writers should never wait")
+	}
+}
+
+func TestFileReadAt(t *testing.T) {
+	rt := stm.NewRuntime()
+	fs := NewFileSystem(memfs.New())
+	fs.Raw().WriteFile("f", []byte("0123456789"))
+	tx := rt.Begin()
+	defer tx.Commit()
+	f, err := fs.Open(tx, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadAt(3, 4)
+	if err != nil || string(got) != "3456" {
+		t.Fatalf("ReadAt = %q, %v", got, err)
+	}
+	// ReadAt must not disturb the sequential position.
+	if string(f.ReadAll()) != "0123456789" {
+		t.Fatal("ReadAt moved the read position")
+	}
+	if _, err := f.ReadAt(8, 5); err == nil {
+		t.Fatal("out-of-bounds ReadAt succeeded")
+	}
+	if _, err := f.ReadAt(-1, 2); err == nil {
+		t.Fatal("negative-offset ReadAt succeeded")
+	}
+}
+
+func TestReadAtOnWriteHandlePanics(t *testing.T) {
+	rt := stm.NewRuntime()
+	fs := NewFileSystem(memfs.New())
+	tx := rt.Begin()
+	defer tx.Commit()
+	wf := fs.Create(tx, "w")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReadAt on write handle did not panic")
+		}
+	}()
+	wf.ReadAt(0, 0) //nolint:errcheck
+}
+
+func TestConnHasReplay(t *testing.T) {
+	rt := stm.NewRuntime()
+	raw := &halfPipe{}
+	raw.in.WriteString("abc")
+	c := NewConn(raw)
+	if c.HasReplay() {
+		t.Fatal("fresh conn reports replay data")
+	}
+	tx := rt.Begin()
+	buf := make([]byte, 3)
+	c.Read(tx, buf) //nolint:errcheck
+	tx.Reset()
+	if !c.HasReplay() {
+		t.Fatal("abort did not populate the replay buffer")
+	}
+	tx.Commit()
+}

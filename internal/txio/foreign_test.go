@@ -1,0 +1,79 @@
+package txio
+
+import (
+	"testing"
+
+	"repro/internal/stm"
+)
+
+func TestForeignDeferRunsOnCommit(t *testing.T) {
+	rt := stm.NewRuntime()
+	f := NewForeign()
+	var log []string
+
+	tx := rt.Begin()
+	f.Defer(tx, func() { log = append(log, "a") })
+	f.Defer(tx, func() { log = append(log, "b") })
+	if len(log) != 0 {
+		t.Fatal("deferred foreign op ran before commit")
+	}
+	tx.Commit()
+	if len(log) != 2 || log[0] != "a" || log[1] != "b" {
+		t.Fatalf("deferred ops: %v (want a,b in order)", log)
+	}
+}
+
+func TestForeignDeferDroppedOnAbort(t *testing.T) {
+	rt := stm.NewRuntime()
+	f := NewForeign()
+	ran := false
+	tx := rt.Begin()
+	f.Defer(tx, func() { ran = true })
+	tx.Reset()
+	tx.Commit()
+	if ran {
+		t.Fatal("deferred op survived an abort")
+	}
+}
+
+func TestForeignDoCompensatesOnAbort(t *testing.T) {
+	rt := stm.NewRuntime()
+	f := NewForeign()
+	// A fake foreign library: a counter mutated immediately.
+	counter := 0
+
+	tx := rt.Begin()
+	f.Do(tx, func() { counter += 5 }, func() { counter -= 5 })
+	f.Do(tx, func() { counter *= 2 }, func() { counter /= 2 })
+	if counter != 10 {
+		t.Fatalf("immediate ops: counter = %d", counter)
+	}
+	tx.Reset()
+	if counter != 0 {
+		t.Fatalf("compensations (reverse order) broken: counter = %d", counter)
+	}
+	// Retry succeeds and keeps the effect.
+	f.Do(tx, func() { counter += 3 }, func() { counter -= 3 })
+	tx.Commit()
+	if counter != 3 {
+		t.Fatalf("committed effect lost: counter = %d", counter)
+	}
+}
+
+func TestForeignIsolatedPerTransaction(t *testing.T) {
+	rt := stm.NewRuntime()
+	f := NewForeign()
+	var log []string
+	tx1 := rt.Begin()
+	tx2 := rt.Begin()
+	f.Defer(tx1, func() { log = append(log, "tx1") })
+	f.Defer(tx2, func() { log = append(log, "tx2") })
+	tx2.Commit()
+	if len(log) != 1 || log[0] != "tx2" {
+		t.Fatalf("per-transaction isolation broken: %v", log)
+	}
+	tx1.Commit()
+	if len(log) != 2 {
+		t.Fatalf("tx1 deferred op lost: %v", log)
+	}
+}

@@ -1,0 +1,36 @@
+package txio
+
+import (
+	"io"
+
+	"repro/internal/stm"
+)
+
+// InevitableWriter is the §3.4 alternative to buffered transactional
+// wrappers: instead of deferring output to commit, the writing
+// transaction becomes inevitable — it can never abort, so the write may
+// hit the device immediately. The cost is concurrency: only one
+// transaction can be inevitable at a time, so every transaction that
+// performs I/O serializes on the inevitability token for the rest of its
+// atomic section. The paper measures wrappers as the scalable choice;
+// BenchmarkAblationInevitable reproduces the comparison.
+type InevitableWriter struct {
+	dst io.Writer
+}
+
+// NewInevitableWriter wraps dst.
+func NewInevitableWriter(dst io.Writer) *InevitableWriter {
+	return &InevitableWriter{dst: dst}
+}
+
+// Write makes tx inevitable (blocking on the token if another
+// transaction holds it) and writes directly to the device.
+func (w *InevitableWriter) Write(tx *stm.Tx, p []byte) (int, error) {
+	tx.BecomeInevitable()
+	return w.dst.Write(p)
+}
+
+// WriteString writes s directly under inevitability.
+func (w *InevitableWriter) WriteString(tx *stm.Tx, s string) (int, error) {
+	return w.Write(tx, []byte(s))
+}

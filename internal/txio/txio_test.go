@@ -1,0 +1,309 @@
+package txio
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/memfs"
+	"repro/internal/stm"
+)
+
+// lockedBuffer is a goroutine-safe io.Writer capturing output.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestWriterDefersUntilCommit(t *testing.T) {
+	rt := stm.NewRuntime()
+	var sink lockedBuffer
+	w := NewWriter(&sink)
+
+	tx := rt.Begin()
+	w.Printf(tx, "hello %d", 42)
+	if sink.String() != "" {
+		t.Fatal("output visible before commit (opacity violated)")
+	}
+	tx.Commit()
+	if sink.String() != "hello 42" {
+		t.Fatalf("after commit: %q", sink.String())
+	}
+	if w.Flushes() != 1 {
+		t.Fatalf("flushes = %d", w.Flushes())
+	}
+}
+
+func TestWriterDiscardsOnAbort(t *testing.T) {
+	rt := stm.NewRuntime()
+	var sink lockedBuffer
+	w := NewWriter(&sink)
+
+	tx := rt.Begin()
+	w.Write(tx, []byte("doomed"))
+	tx.Reset()
+	if sink.String() != "" {
+		t.Fatal("aborted output leaked")
+	}
+	// The retry writes again and commits once.
+	w.Write(tx, []byte("kept"))
+	tx.Commit()
+	if sink.String() != "kept" {
+		t.Fatalf("after retry: %q", sink.String())
+	}
+}
+
+func TestWriterAtomicPerTransaction(t *testing.T) {
+	// Two transactions interleave writes; each transaction's output must
+	// appear contiguously (commit-time atomicity).
+	rt := stm.NewRuntime()
+	var sink lockedBuffer
+	w := NewWriter(&sink)
+
+	tx1 := rt.Begin()
+	tx2 := rt.Begin()
+	w.Write(tx1, []byte("aa"))
+	w.Write(tx2, []byte("bb"))
+	w.Write(tx1, []byte("AA"))
+	w.Write(tx2, []byte("BB"))
+	tx1.Commit()
+	tx2.Commit()
+	if got := sink.String(); got != "aaAAbbBB" {
+		t.Fatalf("interleaved output %q, want aaAAbbBB", got)
+	}
+}
+
+func TestWriterBufferAccounting(t *testing.T) {
+	rt := stm.NewRuntime()
+	w := NewWriter(io.Discard)
+	tx := rt.Begin()
+	w.Write(tx, make([]byte, 100))
+	tx.Commit()
+	if got := rt.Stats().Snapshot().BufferBytes; got != 100 {
+		t.Fatalf("BufferBytes = %d, want 100", got)
+	}
+}
+
+// halfPipe is an in-memory io.ReadWriter with independently prefilled
+// input and captured output.
+type halfPipe struct {
+	mu  sync.Mutex
+	in  bytes.Buffer
+	out bytes.Buffer
+}
+
+func (h *halfPipe) Read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.in.Read(p)
+}
+
+func (h *halfPipe) Write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.out.Write(p)
+}
+
+func TestConnWriteDeferred(t *testing.T) {
+	rt := stm.NewRuntime()
+	raw := &halfPipe{}
+	c := NewConn(raw)
+	tx := rt.Begin()
+	c.WriteString(tx, "GET /\n")
+	if raw.out.Len() != 0 {
+		t.Fatal("conn write reached the device before commit")
+	}
+	tx.Commit()
+	if raw.out.String() != "GET /\n" {
+		t.Fatalf("device got %q", raw.out.String())
+	}
+}
+
+func TestConnReadReplayAfterAbort(t *testing.T) {
+	rt := stm.NewRuntime()
+	raw := &halfPipe{}
+	raw.in.WriteString("response-1\nresponse-2\n")
+	c := NewConn(raw)
+
+	tx := rt.Begin()
+	line, err := c.ReadLine(tx)
+	if err != nil || line != "response-1" {
+		t.Fatalf("first read: %q, %v", line, err)
+	}
+	tx.Reset()
+
+	// The retry must see the same bytes again, from B_R.
+	line, err = c.ReadLine(tx)
+	if err != nil || line != "response-1" {
+		t.Fatalf("replayed read: %q, %v", line, err)
+	}
+	// And continue seamlessly into the raw stream.
+	line, err = c.ReadLine(tx)
+	if err != nil || line != "response-2" {
+		t.Fatalf("post-replay read: %q, %v", line, err)
+	}
+	tx.Commit()
+
+	// After a commit, nothing replays.
+	raw.in.WriteString("response-3\n")
+	tx2 := rt.Begin()
+	line, _ = c.ReadLine(tx2)
+	if line != "response-3" {
+		t.Fatalf("after commit read: %q", line)
+	}
+	tx2.Commit()
+}
+
+func TestConnAbortDiscardsWrites(t *testing.T) {
+	rt := stm.NewRuntime()
+	raw := &halfPipe{}
+	c := NewConn(raw)
+	tx := rt.Begin()
+	c.WriteString(tx, "doomed")
+	tx.Reset()
+	tx.Commit()
+	if raw.out.Len() != 0 {
+		t.Fatalf("aborted conn write leaked: %q", raw.out.String())
+	}
+}
+
+func TestConnReadFull(t *testing.T) {
+	rt := stm.NewRuntime()
+	raw := &halfPipe{}
+	raw.in.WriteString("abcdef")
+	c := NewConn(raw)
+	tx := rt.Begin()
+	buf := make([]byte, 6)
+	if err := c.ReadFull(tx, buf); err != nil || string(buf) != "abcdef" {
+		t.Fatalf("ReadFull: %q, %v", buf, err)
+	}
+	tx.Commit()
+}
+
+func TestFileCreateCommit(t *testing.T) {
+	rt := stm.NewRuntime()
+	fs := NewFileSystem(memfs.New())
+	tx := rt.Begin()
+	f := fs.Create(tx, "out.idx")
+	f.WriteString("part1 ")
+	f.WriteString("part2")
+	if fs.Raw().Exists("out.idx") {
+		t.Fatal("file visible before commit")
+	}
+	tx.Commit()
+	data, err := fs.Raw().ReadFile("out.idx")
+	if err != nil || string(data) != "part1 part2" {
+		t.Fatalf("committed file: %q, %v", data, err)
+	}
+}
+
+func TestFileCreateRollback(t *testing.T) {
+	rt := stm.NewRuntime()
+	fs := NewFileSystem(memfs.New())
+	tx := rt.Begin()
+	f := fs.Create(tx, "out.idx")
+	f.WriteString("doomed")
+	if f.BufferedBytes() != 6 {
+		t.Fatalf("BufferedBytes = %d", f.BufferedBytes())
+	}
+	tx.Reset()
+	tx.Commit()
+	if fs.Raw().Exists("out.idx") {
+		t.Fatal("aborted file creation leaked")
+	}
+}
+
+func TestFileOpenSnapshotIsolation(t *testing.T) {
+	rt := stm.NewRuntime()
+	fs := NewFileSystem(memfs.New())
+	fs.Raw().WriteFile("data", []byte("v1"))
+
+	tx := rt.Begin()
+	f, err := fs.Open(tx, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Raw().WriteFile("data", []byte("v2-completely-different"))
+	if string(f.ReadAll()) != "v1" {
+		t.Fatal("snapshot isolation broken")
+	}
+	if f.Size() != 2 {
+		t.Fatalf("Size = %d", f.Size())
+	}
+	tx.Commit()
+}
+
+func TestFileOpenMissing(t *testing.T) {
+	rt := stm.NewRuntime()
+	fs := NewFileSystem(memfs.New())
+	tx := rt.Begin()
+	defer tx.Commit()
+	if _, err := fs.Open(tx, "missing"); err == nil {
+		t.Fatal("Open on missing file succeeded")
+	}
+}
+
+func TestFileReadChunks(t *testing.T) {
+	rt := stm.NewRuntime()
+	fs := NewFileSystem(memfs.New())
+	fs.Raw().WriteFile("data", []byte("abcdefgh"))
+	tx := rt.Begin()
+	defer tx.Commit()
+	f, _ := fs.Open(tx, "data")
+	buf := make([]byte, 3)
+	var got []byte
+	for {
+		n, err := f.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(got) != "abcdefgh" {
+		t.Fatalf("chunked read: %q", got)
+	}
+}
+
+func TestFileHandleModePanics(t *testing.T) {
+	rt := stm.NewRuntime()
+	fs := NewFileSystem(memfs.New())
+	fs.Raw().WriteFile("r", nil)
+	tx := rt.Begin()
+	defer tx.Commit()
+
+	rf, _ := fs.Open(tx, "r")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Write on read handle did not panic")
+			}
+		}()
+		rf.Write([]byte("x"))
+	}()
+
+	wf := fs.Create(tx, "w")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Read on write handle did not panic")
+			}
+		}()
+		wf.Read(make([]byte, 1))
+	}()
+}

@@ -1,0 +1,209 @@
+package workloads
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/memdb"
+)
+
+func TestH2PlanProperties(t *testing.T) {
+	const accounts = 64
+	for thr := 0; thr < 8; thr++ {
+		for op := 0; op < 200; op++ {
+			from, to, amount := h2Plan(thr, op, 8, accounts)
+			if from == to {
+				t.Fatalf("plan(%d,%d): self transfer", thr, op)
+			}
+			if from < 0 || from >= accounts || to < 0 || to >= accounts {
+				t.Fatalf("plan(%d,%d): out of range %d->%d", thr, op, from, to)
+			}
+			if amount < 1 || amount > 7 {
+				t.Fatalf("plan(%d,%d): amount %d", thr, op, amount)
+			}
+			// Deterministic.
+			f2, t2, a2 := h2Plan(thr, op, 8, accounts)
+			if f2 != from || t2 != to || a2 != amount {
+				t.Fatalf("plan(%d,%d) not deterministic", thr, op)
+			}
+		}
+	}
+}
+
+func TestH2TransferConservesTotal(t *testing.T) {
+	in := &h2Input{nAccounts: 16, opsPerThr: 0, initBal: 100}
+	db, tbl := h2Setup(in)
+	txn := db.Begin()
+	if err := transfer(txn, tbl, 1, 2, 30); err != nil {
+		t.Fatal(err)
+	}
+	if total, err := audit(txn, tbl); err != nil || total != 16*100 {
+		t.Fatalf("audit after transfer: %d, %v", total, err)
+	}
+	txn.Commit() //nolint:errcheck
+
+	check := db.Begin()
+	defer check.Rollback() //nolint:errcheck
+	v, _ := check.Get(tbl, 1)
+	b1, _ := strconv.ParseInt(v[0], 10, 64)
+	v, _ = check.Get(tbl, 2)
+	b2, _ := strconv.ParseInt(v[0], 10, 64)
+	if b1 != 70 || b2 != 130 {
+		t.Fatalf("balances %d/%d, want 70/130", b1, b2)
+	}
+}
+
+func TestH2TransferMissingAccount(t *testing.T) {
+	in := &h2Input{nAccounts: 4, opsPerThr: 0, initBal: 10}
+	db, tbl := h2Setup(in)
+	txn := db.Begin()
+	defer txn.Rollback() //nolint:errcheck
+	if err := transfer(txn, tbl, 99, 1, 5); err != memdb.ErrNotFound {
+		t.Fatalf("transfer from missing account: %v", err)
+	}
+}
+
+func TestBuildTermDirCoversEveryTerm(t *testing.T) {
+	docs := index.GenCorpus(40, 30, 7)
+	idx := index.Build(docs)
+	encoded := index.Encode(idx)
+	dir := buildTermDir(encoded)
+	if len(dir) != len(idx.Postings) {
+		t.Fatalf("dir has %d terms, index %d", len(dir), len(idx.Postings))
+	}
+	for term, ids := range idx.Postings {
+		rng, ok := dir[term]
+		if !ok {
+			t.Fatalf("term %q missing from dir", term)
+		}
+		got := parsePostings(encoded[rng[0] : rng[0]+rng[1]])
+		if len(got) != len(ids) {
+			t.Fatalf("term %q: %d ids via dir, want %d", term, len(got), len(ids))
+		}
+		for i := range ids {
+			if got[i] != ids[i] {
+				t.Fatalf("term %q: ids differ at %d", term, i)
+			}
+		}
+	}
+}
+
+func TestParsePostings(t *testing.T) {
+	if got := parsePostings(nil); got != nil {
+		t.Fatalf("empty postings: %v", got)
+	}
+	got := parsePostings([]byte("0,12,345"))
+	want := []int32{0, 12, 345}
+	if len(got) != 3 {
+		t.Fatalf("postings %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("postings %v, want %v", got, want)
+		}
+	}
+	if got := parsePostings([]byte("7")); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("single posting %v", got)
+	}
+}
+
+func TestPickBestDeterministicAndMember(t *testing.T) {
+	hits := []int32{3, 17, 42, 99}
+	best := pickBest(5, hits)
+	if best != pickBest(5, hits) {
+		t.Fatal("pickBest not deterministic")
+	}
+	found := false
+	for _, h := range hits {
+		if h == best {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pickBest returned non-member %d", best)
+	}
+	if pickBest(5, nil) != -1 {
+		t.Fatal("pickBest on empty hits")
+	}
+}
+
+func TestHighlightCounts(t *testing.T) {
+	doc := []byte("lock the lock and split the lock")
+	if got := highlight(doc, []string{"lock", "split"}); got != 4 {
+		t.Fatalf("highlight = %d, want 4", got)
+	}
+	if got := highlight(doc, []string{"absent"}); got != 0 {
+		t.Fatalf("highlight = %d, want 0", got)
+	}
+}
+
+func TestTomcatItemIDStable(t *testing.T) {
+	seen := map[int]bool{}
+	for r := 0; r < 25; r++ {
+		id := tomcatItemID(3, r, 24)
+		if id < 0 || id >= 24 {
+			t.Fatalf("item id %d out of range", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("item sequence degenerate")
+	}
+}
+
+func TestTomcatBodyRendersAllFields(t *testing.T) {
+	body := tomcatBody(7, "widget-07", 3, "c1")
+	for _, want := range []string{"Item 7", "widget-07", "visit 3", "session c1"} {
+		if !contains(body, want) {
+			t.Fatalf("body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMergeSegmentsEqualsDirectBuild(t *testing.T) {
+	docs := index.GenCorpus(40, 25, 3)
+	direct := index.Build(docs)
+
+	// Split the corpus into 5-doc segments the way the worker does.
+	files := map[string][]byte{}
+	n := 0
+	for i := 0; i < len(docs); i += 5 {
+		end := i + 5
+		if end > len(docs) {
+			end = len(docs)
+		}
+		seg := index.Build(docs[i:end])
+		// Per-segment IDs are already global (Document.ID), matching the
+		// worker's behaviour.
+		files[segName(n)] = index.Encode(seg)
+		n++
+	}
+	merged, err := index.Decode(mergeSegments(func(name string) []byte { return files[name] }, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Checksum() != direct.Checksum() {
+		t.Fatal("segment merge differs from direct build")
+	}
+}
+
+func TestEncodeSegmentRoundTrip(t *testing.T) {
+	postings := map[string][]int32{"lock": {1, 5}, "split": {2}}
+	idx, err := index.Decode(encodeSegment(postings))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Postings["lock"]) != 2 || idx.Postings["split"][0] != 2 {
+		t.Fatalf("round trip %v", idx.Postings)
+	}
+}

@@ -1,0 +1,322 @@
+package workloads
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/memfs"
+	"repro/internal/sbdcol"
+	"repro/internal/stm"
+	"repro/internal/txio"
+)
+
+// LuIndex: text indexing with the paper's fixed main/worker threading
+// model (two threads). The main thread feeds documents through a shared
+// queue; the worker tokenizes them into in-memory segment buffers — new
+// objects, private to the indexing transaction, exactly like Lucene's
+// in-RAM segment — flushes a segment file to disk every batch, and
+// merges the segments into the final index file at the end, in a single
+// transaction.
+//
+// Paper profile: single overhead row (46.7%), dominated by Check-New
+// (186M/s) from the segment structures being built inside their own
+// transactions, and the largest undo/IO buffer of the suite because the
+// final index file is written in a single transaction (Table 8).
+
+type luindexInput struct {
+	docs []index.Document
+}
+
+const luindexBatch = 8
+
+// LuIndex builds the LuIndex workload.
+func LuIndex() *Workload {
+	return &Workload{
+		Name:         "luindex",
+		FixedThreads: 2,
+		Effort: Effort{
+			LOC: 5222, Split: 1, Custom: 0, CanSplit: 38, Final: 76,
+			Synchronized: 27, Volatile: 9,
+		},
+		Prepare: func(scale int) any {
+			return &luindexInput{docs: index.GenCorpus(120*scale, 40, 0x10DE)}
+		},
+		Baseline: luindexBaseline,
+		SBD:      luindexSBD,
+	}
+}
+
+func segName(n int) string { return fmt.Sprintf("seg-%d.idx", n) }
+
+// mergeSegments decodes every segment file and concatenates postings in
+// segment order (document IDs ascend across segments, so the result
+// stays sorted); it returns the encoded final index.
+func mergeSegments(read func(name string) []byte, nSegs int) []byte {
+	merged := make(map[string][]int32)
+	for s := 0; s < nSegs; s++ {
+		idx, err := index.Decode(read(segName(s)))
+		if err != nil {
+			panic(err)
+		}
+		for term, ids := range idx.Postings {
+			merged[term] = append(merged[term], ids...)
+		}
+	}
+	return index.Encode(&index.Index{Postings: merged})
+}
+
+// indexBatch tokenizes a batch into a postings map (the in-RAM segment)
+// and returns its encoded form. Pure; both variants share it — the SBD
+// variant's transactional twist is *where* the map lives (new objects in
+// the indexing transaction).
+func encodeSegment(postings map[string][]int32) []byte {
+	return index.Encode(&index.Index{Postings: postings})
+}
+
+func luindexBaseline(in any, _ int) uint64 {
+	input := in.(*luindexInput)
+	fs := memfs.New()
+
+	// Explicit synchronization: bounded queue with mutex + conds.
+	type queue struct {
+		mu     sync.Mutex
+		nonEmt *sync.Cond
+		docs   []index.Document
+		closed bool
+	}
+	q := &queue{}
+	q.nonEmt = sync.NewCond(&q.mu)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		segment := make(map[string][]int32)
+		inSeg := 0
+		nSegs := 0
+		flush := func() {
+			if inSeg == 0 {
+				return
+			}
+			fs.WriteFile(segName(nSegs), encodeSegment(segment))
+			nSegs++
+			segment = make(map[string][]int32)
+			inSeg = 0
+		}
+		for {
+			q.mu.Lock()
+			for len(q.docs) == 0 && !q.closed {
+				q.nonEmt.Wait()
+			}
+			if len(q.docs) == 0 {
+				q.mu.Unlock()
+				break
+			}
+			d := q.docs[0]
+			q.docs = q.docs[1:]
+			q.mu.Unlock()
+
+			seen := map[string]bool{}
+			for _, t := range index.Tokenize(d.Text) {
+				if !seen[t] {
+					seen[t] = true
+					segment[t] = append(segment[t], d.ID)
+				}
+			}
+			if inSeg++; inSeg == luindexBatch {
+				flush()
+			}
+		}
+		flush()
+		fs.WriteFile("index.dat", mergeSegments(func(name string) []byte {
+			data, err := fs.ReadFile(name)
+			if err != nil {
+				panic(err)
+			}
+			return data
+		}, nSegs))
+	}()
+
+	// Main: feeds documents.
+	for _, d := range input.docs {
+		q.mu.Lock()
+		q.docs = append(q.docs, d)
+		q.nonEmt.Signal()
+		q.mu.Unlock()
+	}
+	q.mu.Lock()
+	q.closed = true
+	q.nonEmt.Broadcast()
+	q.mu.Unlock()
+	wg.Wait()
+
+	data, err := fs.ReadFile("index.dat")
+	if err != nil {
+		panic(err)
+	}
+	idx, err := index.Decode(data)
+	if err != nil {
+		panic(err)
+	}
+	return idx.Checksum()
+}
+
+var luindexDocClass = stm.NewClass("luindex.Doc",
+	stm.FieldSpec{Name: "id", Kind: stm.KindWord, Final: true},
+	stm.FieldSpec{Name: "text", Kind: stm.KindStr, Final: true},
+)
+
+func luindexSBD(rt *core.Runtime, in any, _ int) uint64 {
+	input := in.(*luindexInput)
+	fs := txio.NewFileSystem(memfs.New())
+
+	docID := luindexDocClass.Field("id")
+	docText := luindexDocClass.Field("text")
+
+	var queue sbdcol.Queue
+	var closed *stm.Object
+	closedClass := stm.NewClass("luindex.Closed", stm.FieldSpec{Name: "v", Kind: stm.KindWord})
+	closedF := closedClass.Field("v")
+	seedObject(rt, func(tx *stm.Tx) {
+		queue = sbdcol.NewQueue(tx)
+		closed = tx.New(closedClass)
+	})
+
+	done := core.NewCond()
+	var checksum uint64
+	rt.Main(func(th *core.Thread) {
+		worker := th.Go("indexer", func(w *core.Thread) {
+			// The in-RAM segment: created fresh after every flush, so the
+			// whole segment lives as new-in-transaction objects — every
+			// access is a Check-New (the paper's LuIndex profile).
+			var segMap sbdcol.StrMap
+			inSeg := 0
+			nSegs := 0
+			newSegment := func() {
+				w.Atomic(func(tx *stm.Tx) { segMap = sbdcol.NewStrMap(tx, 128) })
+			}
+			flush := func() {
+				if inSeg == 0 {
+					return
+				}
+				seg := nSegs
+				w.Atomic(func(tx *stm.Tx) {
+					postings := make(map[string][]int32)
+					segMap.ForEach(tx, func(term string, h *stm.Object) {
+						pl := sbdcol.WordListFrom(h)
+						n := pl.Len(tx)
+						ids := make([]int32, n)
+						for i := 0; i < n; i++ {
+							ids[i] = int32(uint32(pl.Get(tx, i)))
+						}
+						postings[term] = ids
+					})
+					f := fs.Create(tx, segName(seg))
+					f.Write(encodeSegment(postings)) //nolint:errcheck
+				})
+				nSegs++
+				inSeg = 0
+				// The benchmark's single added split: flushing the segment
+				// ends the indexing transaction, publishing the file and
+				// releasing the queue locks.
+				w.Split()
+				newSegment()
+			}
+			newSegment()
+			for {
+				var id int64 = -1
+				var text string
+				gotDoc := false
+				isClosed := false
+				w.Atomic(func(tx *stm.Tx) {
+					if d := queue.Dequeue(tx); d != nil {
+						id = tx.ReadInt(d, docID)
+						text = tx.ReadStr(d, docText)
+						gotDoc = true
+					} else {
+						isClosed = tx.ReadBool(closed, closedF)
+					}
+				})
+				if gotDoc {
+					w.Atomic(func(tx *stm.Tx) {
+						seen := map[string]bool{}
+						for _, t := range index.Tokenize(text) {
+							if seen[t] {
+								continue
+							}
+							seen[t] = true
+							h := segMap.Get(tx, t)
+							var pl sbdcol.WordList
+							if h == nil {
+								pl = sbdcol.NewWordList(tx, 4)
+								segMap.Put(tx, t, pl.Handle())
+							} else {
+								pl = sbdcol.WordListFrom(h)
+							}
+							pl.Append(tx, uint64(uint32(id)))
+						}
+					})
+					if inSeg++; inSeg == luindexBatch {
+						flush()
+					}
+					continue
+				}
+				if isClosed {
+					break
+				}
+				w.Wait(done)
+			}
+			flush()
+			// Merge all segments and write the final index in a single
+			// transaction (Table 8: LuIndex's large buffers).
+			total := nSegs
+			w.Atomic(func(tx *stm.Tx) {
+				data := mergeSegments(func(name string) []byte {
+					f, err := fs.Open(tx, name)
+					if err != nil {
+						panic(err)
+					}
+					return f.ReadAll()
+				}, total)
+				f := fs.Create(tx, "index.dat")
+				f.Write(data) //nolint:errcheck
+			})
+		})
+
+		// Main thread: feed documents in batches, splitting between
+		// batches so the worker can drain.
+		const feedBatch = 8
+		for i := 0; i < len(input.docs); i += feedBatch {
+			th.Atomic(func(tx *stm.Tx) {
+				for j := i; j < i+feedBatch && j < len(input.docs); j++ {
+					d := tx.New(luindexDocClass)
+					tx.WriteInt(d, docID, int64(input.docs[j].ID))
+					tx.WriteStr(d, docText, input.docs[j].Text)
+					queue.Enqueue(tx, d)
+				}
+				th.NotifyAll(done)
+			})
+			th.Split()
+		}
+		th.Atomic(func(tx *stm.Tx) {
+			tx.WriteBool(closed, closedF, true)
+			th.NotifyAll(done)
+		})
+		th.Join(worker)
+
+		th.Atomic(func(tx *stm.Tx) {
+			f, err := fs.Open(tx, "index.dat")
+			if err != nil {
+				panic(err)
+			}
+			idx, err := index.Decode(f.ReadAll())
+			if err != nil {
+				panic(err)
+			}
+			checksum = idx.Checksum()
+		})
+	})
+	return checksum
+}

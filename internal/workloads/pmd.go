@@ -1,0 +1,334 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/analyzer"
+	"repro/internal/core"
+	"repro/internal/memfs"
+	"repro/internal/sbdcol"
+	"repro/internal/stm"
+	"repro/internal/txio"
+)
+
+// PMD: task-based source analysis with disk I/O. A pool of threads
+// drains a queue of source files; for each file it reads the source from
+// disk, parses it into a syntax tree, runs the rule set, and accumulates
+// per-rule violation counts in shared statistics.
+//
+// Paper profile (Table 7/9): dominated by Check-New operations — the
+// trees are built and analyzed inside the same transaction, so every
+// node access hits the new-instance fast path — with moderate overhead
+// (~35-43%), a large initialization log (Table 8: all those new tree
+// nodes), and speedup curves matching the baseline. The statistics
+// counters are the contention point; the SBD variant applies the Table 4
+// custom modification "thread-local update of statistic counters,
+// aggregate on read" (sbdcol.Counter, 2 custom changes).
+
+type pmdInput struct {
+	nFiles int
+	fs     *memfs.FS
+	rules  []analyzer.Rule
+}
+
+// PMD builds the PMD workload.
+func PMD() *Workload {
+	return &Workload{
+		Name: "pmd",
+		Effort: Effort{
+			LOC: 7121, Split: 2, Custom: 2, CanSplit: 4, Final: 158,
+			Synchronized: 2, Volatile: 0,
+		},
+		Prepare: func(scale int) any {
+			fs := memfs.New()
+			nFiles := 60 * scale
+			for i := 0; i < nFiles; i++ {
+				src := analyzer.Encode(analyzer.GenFile(i, 0xDACA90))
+				fs.WriteFile(pmdFileName(i), []byte(src))
+			}
+			return &pmdInput{nFiles: nFiles, fs: fs, rules: analyzer.DefaultRules()}
+		},
+		Baseline: pmdBaseline,
+		SBD:      pmdSBD,
+	}
+}
+
+func pmdFileName(i int) string { return fmt.Sprintf("src/File%d.ast", i) }
+
+// pmdChecksum folds the per-rule counts into one order-independent value.
+func pmdChecksum(counts map[string]int) uint64 {
+	names := make([]string, 0, len(counts))
+	for n, c := range counts {
+		if c > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var h uint64
+	for _, n := range names {
+		h = fnvStr(h, n)
+		h = fnvU64(h, uint64(counts[n]))
+	}
+	return h
+}
+
+func pmdBaseline(in any, threads int) uint64 {
+	input := in.(*pmdInput)
+	tasks := make(chan int, input.nFiles)
+	for i := 0; i < input.nFiles; i++ {
+		tasks <- i
+	}
+	close(tasks)
+
+	var mu sync.Mutex // explicit synchronization: shared statistics
+	counts := make(map[string]int)
+
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make(map[string]int)
+			for id := range tasks {
+				src, err := input.fs.ReadFile(pmdFileName(id))
+				if err != nil {
+					panic(err)
+				}
+				file, err := analyzer.Parse(string(src))
+				if err != nil {
+					panic(err)
+				}
+				for _, v := range analyzer.Analyze(file, input.rules) {
+					local[v.Rule]++
+				}
+			}
+			mu.Lock()
+			for r, n := range local {
+				counts[r] += n
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return pmdChecksum(counts)
+}
+
+// The SBD variant parses the source directly into the STM object model:
+// the analyzing transaction builds the tree (new-instance accesses) and
+// the rules walk it through transactional reads, reproducing the paper's
+// Check-New-dominated profile.
+
+var pmdNodeClass = stm.NewClass("pmd.Node",
+	stm.FieldSpec{Name: "kind", Kind: stm.KindWord, Final: true},
+	stm.FieldSpec{Name: "name", Kind: stm.KindStr, Final: true},
+	stm.FieldSpec{Name: "children", Kind: stm.KindRef, Final: true},
+)
+
+var (
+	pmdKind     = pmdNodeClass.Field("kind")
+	pmdName     = pmdNodeClass.Field("name")
+	pmdChildren = pmdNodeClass.Field("children")
+)
+
+// parseObject parses the source format of internal/analyzer directly
+// into STM objects (the SBD variant's AST builder).
+func parseObject(tx *stm.Tx, src string) (*stm.Object, error) {
+	n, rest, err := parseObjectNode(tx, src)
+	if err != nil {
+		return nil, err
+	}
+	if rest != "" {
+		return nil, fmt.Errorf("pmd: trailing input in source file")
+	}
+	return n, nil
+}
+
+func parseObjectNode(tx *stm.Tx, src string) (*stm.Object, string, error) {
+	if len(src) < 4 || src[0] != '(' || src[2] != ':' {
+		return nil, src, fmt.Errorf("pmd: malformed source near %q", head(src))
+	}
+	kind := int64(src[1] - '0')
+	rest := src[3:]
+	end := strings.IndexAny(rest, "()")
+	if end < 0 {
+		return nil, src, fmt.Errorf("pmd: unterminated node near %q", head(src))
+	}
+	name := rest[:end]
+	rest = rest[end:]
+	var kids []*stm.Object
+	for {
+		if rest == "" {
+			return nil, rest, fmt.Errorf("pmd: unexpected end of source")
+		}
+		if rest[0] == ')' {
+			o := tx.New(pmdNodeClass)
+			tx.WriteInt(o, pmdKind, kind)
+			tx.WriteStr(o, pmdName, name)
+			arr := tx.NewArray(stm.KindRef, len(kids))
+			for i, k := range kids {
+				tx.WriteElemRef(arr, i, k)
+			}
+			tx.WriteRef(o, pmdChildren, arr)
+			return o, rest[1:], nil
+		}
+		child, r, err := parseObjectNode(tx, rest)
+		if err != nil {
+			return nil, rest, err
+		}
+		kids = append(kids, child)
+		rest = r
+	}
+}
+
+func head(s string) string {
+	if len(s) > 16 {
+		return s[:16]
+	}
+	return s
+}
+
+func nodeKind(tx *stm.Tx, o *stm.Object) analyzer.NodeKind {
+	return analyzer.NodeKind(tx.ReadInt(o, pmdKind))
+}
+
+func nodeChildren(tx *stm.Tx, o *stm.Object) *stm.Object { return tx.ReadRef(o, pmdChildren) }
+
+// measureNode computes subtree size, height, and empty-block count in a
+// single traversal. The baseline's rule set walks the tree once per
+// rule; running the rules in one pass is the common-subexpression
+// elimination the paper's transformer-fed JIT performs, applied by hand
+// (every node is read through the transaction exactly once).
+func measureNode(tx *stm.Tx, o *stm.Object) (count, depth, empty int) {
+	kids := nodeChildren(tx, o)
+	if nodeKind(tx, o) == analyzer.KindBlock && kids.Len() == 0 {
+		empty = 1
+	}
+	count = 1
+	maxDepth := 0
+	for i := 0; i < kids.Len(); i++ {
+		c, d, e := measureNode(tx, tx.ReadElemRef(kids, i))
+		count += c
+		empty += e
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	return count, maxDepth + 1, empty
+}
+
+// analyzeTree mirrors analyzer.DefaultRules over the object tree; the
+// two implementations must agree violation-for-violation.
+func analyzeTree(tx *stm.Tx, file *stm.Object) map[string]int {
+	counts := make(map[string]int)
+	fileKids := nodeChildren(tx, file)
+	for c := 0; c < fileKids.Len(); c++ {
+		class := tx.ReadElemRef(fileKids, c)
+		if nodeKind(tx, class) != analyzer.KindClass {
+			continue
+		}
+		classKids := nodeChildren(tx, class)
+		nMethods := 0
+		for m := 0; m < classKids.Len(); m++ {
+			meth := tx.ReadElemRef(classKids, m)
+			if nodeKind(tx, meth) != analyzer.KindMethod {
+				continue
+			}
+			nMethods++
+			count, depth, empty := measureNode(tx, meth)
+			if depth > 6 {
+				counts["DeepNesting"]++
+			}
+			if count > 20 {
+				counts["LongMethod"]++
+			}
+			if len(tx.ReadStr(meth, pmdName)) < 3 {
+				counts["ShortName"]++
+			}
+			counts["EmptyBlock"] += empty
+		}
+		if nMethods > 6 {
+			counts["TooManyMethods"]++
+		}
+	}
+	return counts
+}
+
+var pmdRuleNames = []string{"DeepNesting", "LongMethod", "ShortName", "EmptyBlock", "TooManyMethods"}
+
+func pmdSBD(rt *core.Runtime, in any, threads int) uint64 {
+	input := in.(*pmdInput)
+	fs := txio.NewFileSystem(input.fs)
+
+	var queue sbdcol.Queue
+	counters := map[string]sbdcol.Counter{}
+	taskClass := stm.NewClass("pmd.Task", stm.FieldSpec{Name: "id", Kind: stm.KindWord, Final: true})
+	taskID := taskClass.Field("id")
+
+	seedObject(rt, func(tx *stm.Tx) {
+		queue = sbdcol.NewQueue(tx)
+		for i := 0; i < input.nFiles; i++ {
+			t := tx.New(taskClass)
+			tx.WriteInt(t, taskID, int64(i))
+			queue.Enqueue(tx, t)
+		}
+		// Custom modification (Table 4): thread-local update of statistic
+		// counters, aggregate on read.
+		for _, r := range pmdRuleNames {
+			counters[r] = sbdcol.NewCounter(tx, threads)
+		}
+	})
+
+	checks := make(map[string]int)
+	rt.Main(func(th *core.Thread) {
+		var kids []*core.Thread
+		for t := 0; t < threads; t++ {
+			slot := t
+			kids = append(kids, th.Go("pmd-worker", func(w *core.Thread) {
+				for {
+					var id int64 = -1
+					// split: release the queue head immediately after the
+					// contended dequeue.
+					w.AtomicSplit(func(tx *stm.Tx) {
+						if task := queue.Dequeue(tx); task != nil {
+							id = tx.ReadInt(task, taskID)
+						} else {
+							id = -1
+						}
+					})
+					if id < 0 {
+						return
+					}
+					w.AtomicSplit(func(tx *stm.Tx) {
+						f, err := fs.Open(tx, pmdFileName(int(id)))
+						if err != nil {
+							panic(err)
+						}
+						tree, err := parseObject(tx, string(f.ReadAll()))
+						if err != nil {
+							panic(err)
+						}
+						for r, n := range analyzeTree(tx, tree) {
+							if n > 0 {
+								counters[r].Add(tx, slot, int64(n))
+							}
+						}
+					})
+				}
+			}))
+		}
+		for _, k := range kids {
+			th.Join(k)
+		}
+		th.Atomic(func(tx *stm.Tx) {
+			for _, r := range pmdRuleNames {
+				if n := counters[r].Sum(tx); n > 0 {
+					checks[r] = int(n)
+				}
+			}
+		})
+	})
+	return pmdChecksum(checks)
+}

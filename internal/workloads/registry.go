@@ -1,0 +1,122 @@
+// Package workloads contains the six benchmark reproductions of the
+// paper's evaluation (§5): LuIndex, LuSearch, PMD, Sunflow, H2, and
+// Tomcat. Each exists in two variants built from the same deterministic
+// input:
+//
+//   - Baseline: explicit synchronization with locks (sync.Mutex /
+//     sync/atomic / channels), the shape of the original DaCapo code.
+//   - SBD: the synchronized-by-default variant on internal/core, with
+//     all shared state in the STM object model and all I/O through
+//     transactional wrappers, including the custom modifications of
+//     paper Table 4 (thread-local counter aggregation, per-client
+//     connections, isEmpty flags, disabled string cache, ...).
+//
+// Both variants return a checksum over their observable result; the
+// harness validates that the checksums match, which is the reproduction
+// of the paper's requirement that the two variants compute the same
+// thing.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stm"
+)
+
+// Effort is the Table 5 programming-effort record of one benchmark: how
+// many of each modification the SBD adaptation needed, and how much
+// explicit synchronization the baseline carries. LOC counts the lines of
+// this repository's workload implementation (both variants share the
+// substrate).
+type Effort struct {
+	LOC          int // lines executed by the benchmark (workload + substrate)
+	Split        int // split operations added
+	Custom       int // custom modifications (Table 4)
+	CanSplit     int // functions with the canSplit property (take *core.Thread)
+	Final        int // final fields (declared or inferred)
+	Synchronized int // lock-protected regions in the baseline
+	Volatile     int // atomics in the baseline
+}
+
+// Workload is one benchmark with its two variants.
+type Workload struct {
+	Name string
+	// FixedThreads pins the thread count (LuIndex's main/worker model);
+	// 0 means the thread count is a parameter.
+	FixedThreads int
+	Effort       Effort
+	// Prepare builds the deterministic input at the given scale
+	// (scale 1 = test size; benches use larger scales).
+	Prepare func(scale int) any
+	// Baseline runs the explicit-synchronization variant and returns the
+	// result checksum.
+	Baseline func(in any, threads int) uint64
+	// SBD runs the synchronized-by-default variant on rt and returns the
+	// result checksum.
+	SBD func(rt *core.Runtime, in any, threads int) uint64
+}
+
+// Threads returns the effective thread count for a requested one.
+func (w *Workload) Threads(requested int) int {
+	if w.FixedThreads > 0 {
+		return w.FixedThreads
+	}
+	if requested < 1 {
+		return 1
+	}
+	return requested
+}
+
+// All returns the six workloads in the paper's table order.
+func All() []*Workload {
+	return []*Workload{
+		LuIndex(),
+		LuSearch(),
+		PMD(),
+		Sunflow(),
+		H2(),
+		Tomcat(),
+	}
+}
+
+// ByName finds a workload.
+func ByName(name string) (*Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown benchmark %q", name)
+}
+
+// fnv64 folds bytes into an FNV-1a hash.
+func fnv64(h uint64, data []byte) uint64 {
+	if h == 0 {
+		h = 14695981039346656037
+	}
+	for _, b := range data {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h
+}
+
+func fnvStr(h uint64, s string) uint64 { return fnv64(h, []byte(s)) }
+
+func fnvU64(h uint64, v uint64) uint64 {
+	if h == 0 {
+		h = 14695981039346656037
+	}
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * 1099511628211
+		v >>= 8
+	}
+	return h
+}
+
+// seedObject builds committed STM state outside the measured region.
+func seedObject(rt *core.Runtime, f func(tx *stm.Tx)) {
+	tx := rt.STM().Begin()
+	f(tx)
+	tx.Commit()
+}

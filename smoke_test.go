@@ -1,0 +1,39 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+// TestHarnessSmoke runs every benchmark once through the steady-state
+// harness at minimal settings — the end-to-end path cmd/sbd-bench uses —
+// and cross-validates the variants, so `go test ./...` exercises the
+// whole reproduction stack from the repository root.
+func TestHarnessSmoke(t *testing.T) {
+	cfg := harness.Config{Window: 2, MaxCoV: 1.0, MaxIters: 2}
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			in := w.Prepare(1)
+			n := w.Threads(2)
+			var base, sbd uint64
+			baseRes := harness.Measure(cfg, func() { base = w.Baseline(in, n) })
+			sbdRes := harness.Measure(cfg, func() {
+				rt := core.New()
+				sbd = w.SBD(rt, in, n)
+			})
+			if base != sbd {
+				t.Fatalf("variants disagree: %x vs %x", base, sbd)
+			}
+			if baseRes.Mean <= 0 || sbdRes.Mean <= 0 {
+				t.Fatal("harness produced no timing")
+			}
+			if harness.OverheadPercent(baseRes.Mean, sbdRes.Mean) < -95 {
+				t.Fatal("implausible overhead; measurement broken")
+			}
+		})
+	}
+}
