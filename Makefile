@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench tables examples clean
+.PHONY: all build vet test race bench tables examples clean ci fmt-check stress
 
 all: build vet test
 
@@ -17,6 +17,22 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# The gate CI runs on every push/PR: formatting, build, vet, tests, and
+# a short deterministic stress smoke (see cmd/sbd-stress).
+ci: fmt-check build vet test
+	$(GO) run ./cmd/sbd-stress -rounds=5 -seed=1
+
+# Schedule-exploration stress harness. Seed/rounds overridable:
+#   make stress STRESS_ROUNDS=500 STRESS_SEED=$$RANDOM
+STRESS_ROUNDS ?= 100
+STRESS_SEED   ?= 1
+stress:
+	$(GO) run ./cmd/sbd-stress -rounds=$(STRESS_ROUNDS) -seed=$(STRESS_SEED) -artifact=stress-failure.txt
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -39,4 +55,4 @@ examples:
 	$(GO) run ./examples/pingpong
 
 clean:
-	rm -rf results test_output.txt bench_output.txt
+	rm -rf results test_output.txt bench_output.txt stress-failure.txt

@@ -21,9 +21,19 @@ func NewOpts(opts stm.Options) *Runtime {
 	return &Runtime{stm: stm.NewRuntimeOpts(opts)}
 }
 
+// FromSTM wraps an existing STM runtime in an SBD runtime. The stress
+// harness uses this to drive SBD-layer threads against an STM runtime
+// whose hooks it already owns; production code should use New/NewOpts.
+func FromSTM(s *stm.Runtime) *Runtime { return &Runtime{stm: s} }
+
 // STM exposes the underlying STM runtime (for statistics and advanced
 // use).
 func (rt *Runtime) STM() *stm.Runtime { return rt.stm }
+
+// CheckInvariants validates the structural invariants of the underlying
+// STM runtime (see stm.Runtime.CheckInvariants). Only meaningful when
+// the runtime is quiescent or serialized by a harness.
+func (rt *Runtime) CheckInvariants() error { return rt.stm.CheckInvariants() }
 
 // Stats returns the STM statistics counters.
 func (rt *Runtime) Stats() *stm.Stats { return rt.stm.Stats() }

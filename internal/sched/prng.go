@@ -1,0 +1,34 @@
+package sched
+
+// prng is a splitmix64 generator. The harness does not use math/rand:
+// schedule reproducibility must hold across Go versions (the CI matrix
+// runs 1.22–1.24), so the generator is pinned here.
+type prng struct{ state uint64 }
+
+func newPRNG(seed uint64) *prng { return &prng{state: seed} }
+
+func (p *prng) next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n). n must be > 0.
+func (p *prng) intn(n int) int { return int(p.next() % uint64(n)) }
+
+// chance reports true with probability num/den.
+func (p *prng) chance(num, den int) bool {
+	if num <= 0 {
+		return false
+	}
+	return p.intn(den) < num
+}
+
+// mix derives a child seed from a parent seed and a stream index, so
+// each scenario of a round gets an independent deterministic stream.
+func mix(seed, stream uint64) uint64 {
+	p := prng{state: seed ^ (stream+1)*0xd6e8feb86659fd93}
+	return p.next()
+}

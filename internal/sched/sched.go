@@ -1,0 +1,826 @@
+// Package sched is a deterministic schedule-exploration and
+// fault-injection harness for the STM runtime.
+//
+// The paper's correctness story rests on slow-path machinery — the
+// lock-word CAS protocol, fair FIFO queues, dreadlocks-style deadlock
+// resolution — that real contention on a single-core host exercises
+// only by accident. This package makes those interleavings a first-class
+// input: worker goroutines run under a cooperative token protocol (at
+// most one runs at a time), and at every instrumented yield point a
+// seeded policy decides who runs next and which faults (forced CAS
+// failures, delayed grants, spurious wake-ups) to inject. The same seed
+// replays the identical schedule; a recorded decision list can be
+// replayed and greedily shrunk (see Shrink) when a run fails.
+//
+// Invariants are checked two ways: structural sweeps through the
+// runtime's invariant accessors (stm.CheckInvariants/CheckObjectLocks),
+// and online event checkers for FIFO fairness and youngest-victim
+// deadlock resolution (see checker.go).
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stm"
+)
+
+// PointWorkload is the yield point used by workload code between
+// operations (Scheduler.Step), outside any STM slow path.
+const PointWorkload = stm.YieldPoint(200)
+
+type gstate uint8
+
+const (
+	gReady    gstate = iota // waiting for the token, runnable
+	gRunning                // holds the token
+	gBlocked                // parked (STM primitive or barrier), not runnable
+	gWakeable               // parked, but its wake-up has been issued
+	gDone
+)
+
+// goroutineState is one worker under the scheduler.
+type goroutineState struct {
+	idx   int
+	name  string
+	gid   uint64
+	state gstate
+	token chan struct{} // buffered(1) run-token grant
+	// pendingWake records a wake event that arrived while the goroutine
+	// was still running (e.g. it granted its own enqueued waiter); the
+	// next Block converts it straight to gWakeable.
+	pendingWake bool
+	// awaitTx, when >= 0, parks the goroutine until that transaction
+	// enqueues on a lock (AwaitBlocked).
+	awaitTx int
+	barrier string
+	// lastBlock is the yield point of the most recent Block; targeted
+	// wakes (ID pool, inevitability token) match on it.
+	lastBlock stm.YieldPoint
+}
+
+// Worker is one goroutine of a scenario.
+type Worker struct {
+	Name string
+	Body func()
+}
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Policy makes all scheduling and fault choices. Required.
+	Policy Policy
+	// MaxSteps bounds the number of yield-point decisions before the
+	// run is failed (livelock backstop). Default 200000.
+	MaxSteps int
+	// Timeout is the wall-clock watchdog for one Run. Default 30s.
+	Timeout time.Duration
+	// CheckEvery runs the structural invariant sweep every N yield
+	// points. 0 means every 64; negative disables sweeps.
+	CheckEvery int
+}
+
+// Scheduler serializes a set of worker goroutines at STM yield points
+// and implements stm.Hooks. One Scheduler drives one stm.Runtime for
+// one Run.
+type Scheduler struct {
+	cfg    Config
+	failed atomic.Bool
+
+	mu        sync.Mutex
+	gs        []*goroutineState
+	byGID     map[uint64]*goroutineState
+	byTx      [stm.MaxTxns]*goroutineState
+	blockedTx [stm.MaxTxns]bool
+	barriers  map[string][]*goroutineState
+	nLive     int
+	errs      []error
+	done      chan error
+
+	rt      *stm.Runtime
+	watched []*stm.Object
+
+	check *checker
+	cov   Coverage
+
+	decisions []Decision
+	steps     int
+	events    []string // diagnostic ring of recent events
+	evHead    int
+}
+
+// Coverage counts the protocol paths a run exercised.
+type Coverage struct {
+	Deadlocks     int // resolved deadlock cycles
+	Duels         int // dueling write-upgrades resolved
+	Grants        int // queue handoffs (EvGranted)
+	Blocked       int // enqueues on contended locks
+	CASFails      int // injected CAS failures
+	DelayedGrants int // suppressed grant scans
+	Redeliveries  int // redelivered grant scans
+	SpuriousWakes int // consumed spurious wake-ups
+	Commits       int
+	Aborts        int
+}
+
+func (c Coverage) String() string {
+	return fmt.Sprintf("deadlocks=%d duels=%d grants=%d blocked=%d casfail=%d delayed=%d redeliver=%d spurious=%d commits=%d aborts=%d",
+		c.Deadlocks, c.Duels, c.Grants, c.Blocked, c.CASFails, c.DelayedGrants, c.Redeliveries, c.SpuriousWakes, c.Commits, c.Aborts)
+}
+
+// Add accumulates c2 into c.
+func (c *Coverage) Add(c2 Coverage) {
+	c.Deadlocks += c2.Deadlocks
+	c.Duels += c2.Duels
+	c.Grants += c2.Grants
+	c.Blocked += c2.Blocked
+	c.CASFails += c2.CASFails
+	c.DelayedGrants += c2.DelayedGrants
+	c.Redeliveries += c2.Redeliveries
+	c.SpuriousWakes += c2.SpuriousWakes
+	c.Commits += c2.Commits
+	c.Aborts += c2.Aborts
+}
+
+// New creates a scheduler. Attach it to a runtime via stm.Options.Hooks
+// and Scheduler.Attach before Run.
+func New(cfg Config) *Scheduler {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 200000
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.CheckEvery == 0 {
+		cfg.CheckEvery = 64
+	}
+	s := &Scheduler{
+		cfg:      cfg,
+		byGID:    make(map[uint64]*goroutineState),
+		barriers: make(map[string][]*goroutineState),
+		check:    newChecker(),
+	}
+	for i := range s.byTx {
+		s.byTx[i] = nil
+	}
+	return s
+}
+
+// Attach binds the runtime the scheduler drives (for fault redelivery,
+// spurious-wake injection, and invariant sweeps). The runtime must have
+// been created with this scheduler as its Hooks.
+func (s *Scheduler) Attach(rt *stm.Runtime) { s.rt = rt }
+
+// Watch registers objects whose lock words the periodic invariant
+// sweep validates.
+func (s *Scheduler) Watch(objs ...*stm.Object) {
+	s.mu.Lock()
+	s.watched = append(s.watched, objs...)
+	s.mu.Unlock()
+}
+
+// Decisions returns a copy of the recorded decision trace.
+func (s *Scheduler) Decisions() []Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Decision, len(s.decisions))
+	copy(out, s.decisions)
+	return out
+}
+
+// Coverage returns the event coverage counters of the run.
+func (s *Scheduler) Coverage() Coverage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cov
+}
+
+// Errors returns all recorded violations.
+func (s *Scheduler) Errors() []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]error, len(s.errs))
+	copy(out, s.errs)
+	return out
+}
+
+// RecentEvents returns the diagnostic tail of the event log.
+func (s *Scheduler) RecentEvents() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	n := len(s.events)
+	for i := 0; i < n; i++ {
+		out = append(out, s.events[(s.evHead+i)%n])
+	}
+	return out
+}
+
+const eventRing = 256
+
+func (s *Scheduler) logEventLocked(line string) {
+	if len(s.events) < eventRing {
+		s.events = append(s.events, line)
+		return
+	}
+	s.events[s.evHead] = line
+	s.evHead = (s.evHead + 1) % eventRing
+}
+
+// gid parses the calling goroutine's ID from its stack header. Values
+// never influence schedule decisions (those use registration indices),
+// so run-to-run gid drift cannot perturb a replay.
+func gid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// "goroutine 123 [running]:"
+	const prefix = len("goroutine ")
+	var id uint64
+	for i := prefix; i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+func (s *Scheduler) current() *goroutineState {
+	id := gid()
+	s.mu.Lock()
+	g := s.byGID[id]
+	s.mu.Unlock()
+	return g
+}
+
+// Run executes the workers to completion under the schedule the policy
+// chooses, returning the first violation (invariant failure, fairness
+// violation, stall, worker panic) or nil.
+func (s *Scheduler) Run(workers ...Worker) error {
+	if len(workers) == 0 {
+		return nil
+	}
+	s.done = make(chan error, 1)
+	var reg sync.WaitGroup
+	for i, w := range workers {
+		g := &goroutineState{idx: i, name: w.Name, token: make(chan struct{}, 1), state: gReady, awaitTx: -1}
+		s.gs = append(s.gs, g)
+		s.nLive++
+		reg.Add(1)
+		go func(w Worker, g *goroutineState) {
+			id := gid()
+			s.mu.Lock()
+			g.gid = id
+			s.byGID[id] = g
+			s.mu.Unlock()
+			reg.Done()
+			<-g.token
+			defer s.exit(g)
+			defer func() {
+				if r := recover(); r != nil {
+					s.fail(fmt.Errorf("worker %s panicked: %v", g.name, r))
+				}
+			}()
+			w.Body()
+		}(w, g)
+	}
+	reg.Wait()
+
+	s.mu.Lock()
+	s.handoffLocked(nil, PointWorkload)
+	s.mu.Unlock()
+
+	select {
+	case err := <-s.done:
+		return err
+	case <-time.After(s.cfg.Timeout):
+		s.fail(fmt.Errorf("watchdog: run exceeded %v (%s)", s.cfg.Timeout, s.stallDiagnosis()))
+		return <-s.done
+	}
+}
+
+// stallDiagnosis summarizes goroutine states for stall errors.
+func (s *Scheduler) stallDiagnosis() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := ""
+	for _, g := range s.gs {
+		st := [...]string{"ready", "running", "blocked", "wakeable", "done"}[g.state]
+		out += fmt.Sprintf("%s=%s ", g.name, st)
+	}
+	var blocked []int
+	if s.rt != nil {
+		s.mu.Unlock()
+		blocked = s.rt.BlockedTxns()
+		s.mu.Lock()
+	}
+	return fmt.Sprintf("%senqueued-txns=%v", out, blocked)
+}
+
+// fail records a violation, aborts scheduling, and releases every
+// goroutine so the process can unwind. Parked STM waiters whose wake
+// will never come are leaked; the process is expected to report and
+// exit after a failed run.
+func (s *Scheduler) fail(err error) {
+	s.mu.Lock()
+	s.failLocked(err)
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) failLocked(err error) {
+	s.errs = append(s.errs, err)
+	if s.failed.Swap(true) {
+		return
+	}
+	for _, g := range s.gs {
+		select {
+		case g.token <- struct{}{}:
+		default:
+		}
+	}
+	select {
+	case s.done <- s.combinedLocked():
+	default:
+	}
+}
+
+func (s *Scheduler) combinedLocked() error {
+	if len(s.errs) == 0 {
+		return nil
+	}
+	return s.errs[0]
+}
+
+// exit retires a finished worker and hands the token onward.
+func (s *Scheduler) exit(g *goroutineState) {
+	if s.failed.Load() {
+		return
+	}
+	s.mu.Lock()
+	g.state = gDone
+	s.nLive--
+	if s.nLive == 0 {
+		select {
+		case s.done <- s.combinedLocked():
+		default:
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.handoffLocked(nil, PointWorkload)
+	s.mu.Unlock()
+}
+
+// candidatesLocked returns the indices of runnable goroutines in
+// registration order.
+func (s *Scheduler) candidatesLocked() []int {
+	var cands []int
+	for _, g := range s.gs {
+		if g.state == gReady || g.state == gWakeable {
+			cands = append(cands, g.idx)
+		}
+	}
+	return cands
+}
+
+// grantLocked makes g the running goroutine and sends it the token.
+func (s *Scheduler) grantLocked(g *goroutineState) {
+	g.state = gRunning
+	select {
+	case g.token <- struct{}{}:
+	default:
+	}
+}
+
+// handoffLocked picks the next runnable goroutine (cur excluded — it is
+// blocking or exiting; pass cur == nil at kick-off) and grants it the
+// token, rescuing delayed grants or failing on a genuine stall. Caller
+// holds s.mu; it is still held on return.
+func (s *Scheduler) handoffLocked(cur *goroutineState, p stm.YieldPoint) {
+	for {
+		cands := s.candidatesLocked()
+		if len(cands) > 0 {
+			curIdx := -1
+			if cur != nil && (cur.state == gReady || cur.state == gWakeable) {
+				curIdx = cur.idx
+			}
+			pick := s.cfg.Policy.PickNext(cands, curIdx, p)
+			pick = normalizePick(pick, cands, curIdx)
+			s.recordLocked(Decision{Kind: DecSwitch, Point: p, Target: pick})
+			s.grantLocked(s.gs[pick])
+			return
+		}
+		if s.nLive == 0 || s.failed.Load() {
+			return
+		}
+		// Nobody is runnable. The only recoverable cause is a grant
+		// scan suppressed by fault injection; redeliver outside s.mu
+		// (it emits events that re-enter the scheduler).
+		rt := s.rt
+		s.mu.Unlock()
+		redelivered := 0
+		if rt != nil && rt.DelayedGrantsPending() {
+			redelivered = rt.RedeliverDelayedGrants()
+		}
+		s.mu.Lock()
+		if redelivered > 0 {
+			s.cov.Redeliveries += redelivered
+			continue
+		}
+		s.failLocked(fmt.Errorf("global stall: no runnable goroutine and no delayed grants (%s)", s.stallStatesLocked()))
+		return
+	}
+}
+
+func (s *Scheduler) stallStatesLocked() string {
+	out := ""
+	for _, g := range s.gs {
+		st := [...]string{"ready", "running", "blocked", "wakeable", "done"}[g.state]
+		out += fmt.Sprintf("%s=%s ", g.name, st)
+	}
+	return out
+}
+
+// normalizePick clamps a policy answer onto the candidate set.
+func normalizePick(pick int, cands []int, cur int) int {
+	for _, c := range cands {
+		if c == pick {
+			return pick
+		}
+	}
+	if cur >= 0 {
+		return cur
+	}
+	return cands[0]
+}
+
+func (s *Scheduler) recordLocked(d Decision) {
+	s.decisions = append(s.decisions, d)
+	s.steps++
+	if s.steps == s.cfg.MaxSteps {
+		s.failLocked(fmt.Errorf("step budget exhausted (%d decisions): probable livelock", s.cfg.MaxSteps))
+	}
+}
+
+// Step is a voluntary yield point for workload code, between STM
+// operations.
+func (s *Scheduler) Step() { s.Yield(PointWorkload) }
+
+// ---- stm.Hooks implementation ----
+
+// Yield implements stm.Hooks: a preemption opportunity for the token
+// holder. It also carries the periodic fault pumps (spurious wake-ups,
+// grant redelivery) and the structural invariant sweep, all of which
+// must run outside the scheduler mutex.
+func (s *Scheduler) Yield(p stm.YieldPoint) {
+	if s.failed.Load() {
+		return
+	}
+	g := s.current()
+	if g == nil {
+		return
+	}
+
+	// Fault pumps, token-serialized so policy consultation order is
+	// deterministic.
+	rt := s.rt
+	if rt != nil {
+		if s.cfg.Policy.Fault(FaultSpurious) {
+			s.mu.Lock()
+			s.recordLocked(Decision{Kind: DecFault, FKind: FaultSpurious, Fault: true})
+			target := -1
+			for id := 0; id < stm.MaxTxns; id++ {
+				if s.blockedTx[id] {
+					target = id
+					break
+				}
+			}
+			s.mu.Unlock()
+			if target >= 0 && rt.InjectSpuriousWake(target) {
+				// The signal is pending in the waiter's channel, which is
+				// exactly the gWakeable contract — making it a candidate
+				// lets the policy schedule the waiter before the real
+				// grant, so the wake is observed as spurious rather than
+				// absorbed.
+				s.mu.Lock()
+				if og := s.byTx[target]; og != nil && og.state == gBlocked {
+					og.state = gWakeable
+				}
+				s.mu.Unlock()
+			}
+		} else {
+			s.mu.Lock()
+			s.recordLocked(Decision{Kind: DecFault, FKind: FaultSpurious, Fault: false})
+			s.mu.Unlock()
+		}
+		if rt.DelayedGrantsPending() {
+			fire := s.cfg.Policy.Fault(FaultRedeliver)
+			s.mu.Lock()
+			s.recordLocked(Decision{Kind: DecFault, FKind: FaultRedeliver, Fault: fire})
+			s.mu.Unlock()
+			if fire {
+				n := rt.RedeliverDelayedGrants()
+				s.mu.Lock()
+				s.cov.Redeliveries += n
+				s.mu.Unlock()
+			}
+		}
+	}
+
+	// Structural invariant sweep.
+	s.mu.Lock()
+	sweep := s.cfg.CheckEvery > 0 && s.steps > 0 && s.steps%s.cfg.CheckEvery == 0
+	watched := s.watched
+	s.mu.Unlock()
+	if sweep && rt != nil {
+		if err := rt.CheckInvariants(); err != nil {
+			s.fail(fmt.Errorf("invariant sweep: %w", err))
+			return
+		}
+		for _, o := range watched {
+			if err := rt.CheckObjectLocks(o); err != nil {
+				s.fail(fmt.Errorf("invariant sweep: %w", err))
+				return
+			}
+		}
+	}
+
+	// Scheduling decision.
+	s.mu.Lock()
+	if s.failed.Load() || g.state != gRunning {
+		s.mu.Unlock()
+		return
+	}
+	cands := s.candidatesLocked()
+	cands = append(cands, g.idx) // the runner itself is always a candidate
+	sortInts(cands)
+	pick := s.cfg.Policy.PickNext(cands, g.idx, p)
+	pick = normalizePick(pick, cands, g.idx)
+	if pick == g.idx {
+		s.recordLocked(Decision{Kind: DecSwitch, Point: p, Target: -1})
+		s.mu.Unlock()
+		return
+	}
+	s.recordLocked(Decision{Kind: DecSwitch, Point: p, Target: pick})
+	g.state = gReady
+	s.grantLocked(s.gs[pick])
+	s.mu.Unlock()
+	<-g.token
+}
+
+// Block implements stm.Hooks: the caller is about to park on a runtime
+// primitive. It must not park itself; it may hold runtime-internal
+// mutexes, so it only flips state and hands the token off.
+func (s *Scheduler) Block(p stm.YieldPoint) {
+	if s.failed.Load() {
+		return
+	}
+	g := s.current()
+	if g == nil {
+		return
+	}
+	s.mu.Lock()
+	if g.state != gRunning {
+		s.mu.Unlock()
+		return
+	}
+	g.lastBlock = p
+	if g.pendingWake {
+		g.pendingWake = false
+		g.state = gWakeable
+	} else {
+		g.state = gBlocked
+	}
+	s.handoffLocked(g, p)
+	s.mu.Unlock()
+}
+
+// Unblock implements stm.Hooks: the caller resumed from a park and must
+// wait to be rescheduled. Covers both scheduler-issued wakes and
+// self-wakes the scheduler did not initiate (idpool re-checks).
+func (s *Scheduler) Unblock(p stm.YieldPoint) {
+	if s.failed.Load() {
+		return
+	}
+	g := s.current()
+	if g == nil {
+		return
+	}
+	s.mu.Lock()
+	switch g.state {
+	case gRunning:
+		// Already granted the token (scheduler scheduled us before the
+		// physical wake-up); consume it below.
+	case gBlocked, gWakeable:
+		g.state = gWakeable
+	}
+	s.mu.Unlock()
+	<-g.token
+}
+
+// FailCAS implements stm.Hooks fault injection.
+func (s *Scheduler) FailCAS(p stm.YieldPoint) bool {
+	if s.failed.Load() {
+		return false
+	}
+	if s.current() == nil {
+		return false
+	}
+	fire := s.cfg.Policy.Fault(FaultCAS)
+	s.mu.Lock()
+	s.recordLocked(Decision{Kind: DecFault, FKind: FaultCAS, Fault: fire})
+	if fire {
+		s.cov.CASFails++
+	}
+	s.mu.Unlock()
+	return fire
+}
+
+// DelayGrant implements stm.Hooks fault injection.
+func (s *Scheduler) DelayGrant() bool {
+	if s.failed.Load() {
+		return false
+	}
+	if s.current() == nil {
+		return false
+	}
+	fire := s.cfg.Policy.Fault(FaultDelayGrant)
+	s.mu.Lock()
+	s.recordLocked(Decision{Kind: DecFault, FKind: FaultDelayGrant, Fault: fire})
+	s.mu.Unlock()
+	return fire
+}
+
+// Event implements stm.Hooks: protocol event intake. May run under the
+// detector mutex — it only updates scheduler state and never calls back
+// into the runtime.
+func (s *Scheduler) Event(ev stm.Event) {
+	g := s.current() // nil for unregistered goroutines (setup code)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logEventLocked(formatEvent(ev))
+	switch ev.Kind {
+	case stm.EvBegin:
+		if g != nil {
+			s.byTx[ev.TxID] = g
+		}
+	case stm.EvCommit:
+		s.cov.Commits++
+	case stm.EvReset:
+		s.cov.Aborts++
+		// An abort unwind never parks between its wake event and the
+		// reset, so any pending wake recorded for the goroutine is
+		// stale; dropping it keeps the wake accounting exact.
+		if g != nil {
+			g.pendingWake = false
+		}
+	case stm.EvIDRelease:
+		s.byTx[ev.TxID] = nil
+		for _, og := range s.gs {
+			if og.state == gBlocked && og.blockPointIs(stm.PointIDWait) {
+				s.wakeLocked(og)
+			}
+		}
+	case stm.EvInevRelease:
+		for _, og := range s.gs {
+			if og.state == gBlocked && og.blockPointIs(stm.PointInevWait) {
+				s.wakeLocked(og)
+			}
+		}
+	case stm.EvBlocked:
+		s.cov.Blocked++
+		s.blockedTx[ev.TxID] = true
+		for _, og := range s.gs {
+			if og.awaitTx == ev.TxID {
+				og.awaitTx = -1
+				s.wakeLocked(og)
+			}
+		}
+	case stm.EvGranted:
+		s.cov.Grants++
+		s.blockedTx[ev.TxID] = false
+		s.wakeLocked(s.byTx[ev.TxID])
+	case stm.EvAbortWaiter:
+		s.blockedTx[ev.TxID] = false
+		// A running target is the self-victim path in slowAcquire: the
+		// goroutine dequeues itself and unwinds by panic without ever
+		// parking, so recording a pending wake here would later pair a
+		// Block with a wake signal that was never sent.
+		if og := s.byTx[ev.TxID]; og != nil && og.state != gRunning {
+			s.wakeLocked(og)
+		}
+	case stm.EvDeadlock:
+		s.cov.Deadlocks++
+	case stm.EvDuel:
+		s.cov.Duels++
+	case stm.EvDelayedGrant:
+		s.cov.DelayedGrants++
+	case stm.EvSpuriousWake:
+		s.cov.SpuriousWakes++
+	}
+	if err := s.check.observe(ev); err != nil {
+		s.failLocked(fmt.Errorf("checker: %w", err))
+	}
+}
+
+// wakeLocked marks g runnable after a wake event. A nil g (transaction
+// not bound to a registered worker) is ignored. If g is currently
+// running — it issued the wake to its own enqueued waiter — the wake is
+// remembered for its upcoming Block.
+func (s *Scheduler) wakeLocked(g *goroutineState) {
+	if g == nil {
+		return
+	}
+	switch g.state {
+	case gBlocked:
+		g.state = gWakeable
+	case gRunning, gReady:
+		g.pendingWake = true
+	}
+}
+
+// blockPoint bookkeeping: Block stores the point so targeted wakes
+// (ID pool, inevitability token) find their parked goroutines.
+func (g *goroutineState) blockPointIs(p stm.YieldPoint) bool { return g.lastBlock == p }
+
+func formatEvent(ev stm.Event) string {
+	switch ev.Kind {
+	case stm.EvDeadlock:
+		return fmt.Sprintf("%v cycle=%v victim=%d", ev.Kind, ev.CycleIDs, ev.VictimID)
+	case stm.EvDuel:
+		return fmt.Sprintf("%v aborted=%d survivor=%d", ev.Kind, ev.TxID, ev.OtherID)
+	case stm.EvBlocked:
+		return fmt.Sprintf("%v tx=%d write=%t upgrader=%t", ev.Kind, ev.TxID, ev.Write, ev.Upgrader)
+	default:
+		return fmt.Sprintf("%v tx=%d", ev.Kind, ev.TxID)
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// ---- scheduler-native coordination primitives for scenarios ----
+
+// Barrier parks the caller until n workers have reached the tag, then
+// releases them all. Deterministic: the n-th arriver continues running,
+// the others become wakeable and are rescheduled by policy.
+func (s *Scheduler) Barrier(tag string, n int) {
+	if s.failed.Load() {
+		return
+	}
+	g := s.current()
+	if g == nil {
+		return
+	}
+	s.mu.Lock()
+	arrived := append(s.barriers[tag], g)
+	if len(arrived) >= n {
+		delete(s.barriers, tag)
+		for _, og := range arrived {
+			if og != g {
+				og.barrier = ""
+				s.wakeLocked(og)
+			}
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.barriers[tag] = arrived
+	g.barrier = tag
+	g.state = gBlocked
+	s.handoffLocked(g, PointWorkload)
+	s.mu.Unlock()
+	<-g.token
+	g.barrier = ""
+}
+
+// AwaitBlocked parks the caller until transaction txID is enqueued on a
+// lock (it returns immediately if it already is). Scenarios use it to
+// force "waiter is queued before holder releases" interleavings.
+func (s *Scheduler) AwaitBlocked(txID int) {
+	if s.failed.Load() {
+		return
+	}
+	g := s.current()
+	if g == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.blockedTx[txID] {
+		s.mu.Unlock()
+		return
+	}
+	g.awaitTx = txID
+	g.state = gBlocked
+	s.handoffLocked(g, PointWorkload)
+	s.mu.Unlock()
+	<-g.token
+}

@@ -1,0 +1,206 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{MaxSteps: 100000, Timeout: 20 * time.Second, CheckEvery: 16}
+}
+
+// Same seed must produce the identical schedule: decision-for-decision
+// equal traces, equal coverage, across independent executions.
+func TestSameSeedSameSchedule(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 12345} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			run := func() ([]Result, Coverage) {
+				results, cov, err := RunRound(seed, testConfig())
+				if err != nil {
+					t.Fatalf("round failed: %v", err)
+				}
+				return results, cov
+			}
+			r1, c1 := run()
+			r2, c2 := run()
+			if c1 != c2 {
+				t.Fatalf("coverage diverged:\n  run1: %s\n  run2: %s", c1, c2)
+			}
+			for i := range r1 {
+				d1, d2 := r1[i].Decisions, r2[i].Decisions
+				if len(d1) != len(d2) {
+					t.Fatalf("scenario %s: %d vs %d decisions", r1[i].Scenario, len(d1), len(d2))
+				}
+				for j := range d1 {
+					if d1[j] != d2[j] {
+						t.Fatalf("scenario %s: decision %d diverged: %v vs %v",
+							r1[i].Scenario, j, d1[j], d2[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// Different seeds should explore different schedules (statistically
+// certain for the randomized transfer workload).
+func TestDifferentSeedsDiffer(t *testing.T) {
+	res1 := RunScenario(ScenarioTransfer(1), NewRandomPolicy(1), testConfig())
+	res2 := RunScenario(ScenarioTransfer(2), NewRandomPolicy(2), testConfig())
+	if res1.Err != nil || res2.Err != nil {
+		t.Fatalf("runs failed: %v / %v", res1.Err, res2.Err)
+	}
+	if FormatDecisions(res1.Decisions) == FormatDecisions(res2.Decisions) {
+		t.Fatalf("seeds 1 and 2 produced the identical schedule (%d decisions)", len(res1.Decisions))
+	}
+}
+
+// A recorded trace replayed through ReplayPolicy must reproduce the
+// run: same decisions re-recorded, same coverage.
+func TestReplayReproduces(t *testing.T) {
+	for _, sc := range RoundScenarios(99) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			orig := RunScenario(sc, NewRandomPolicy(99), testConfig())
+			if orig.Err != nil {
+				t.Fatalf("original run failed: %v", orig.Err)
+			}
+			replay := RunScenario(sc, NewReplayPolicy(orig.Decisions), testConfig())
+			if replay.Err != nil {
+				t.Fatalf("replay failed: %v", replay.Err)
+			}
+			if replay.Coverage != orig.Coverage {
+				t.Fatalf("replay coverage diverged:\n  orig:   %s\n  replay: %s",
+					orig.Coverage, replay.Coverage)
+			}
+			if len(replay.Decisions) != len(orig.Decisions) {
+				t.Fatalf("replay recorded %d decisions, original %d",
+					len(replay.Decisions), len(orig.Decisions))
+			}
+			for i := range orig.Decisions {
+				if replay.Decisions[i] != orig.Decisions[i] {
+					t.Fatalf("decision %d diverged: %v vs %v", i, orig.Decisions[i], replay.Decisions[i])
+				}
+			}
+		})
+	}
+}
+
+// Every round must hit the coverage floor: the directed scenarios
+// guarantee at least one deadlock resolution, one dueling upgrade, and
+// one queue handoff regardless of the seed.
+func TestCoverageFloor(t *testing.T) {
+	for _, seed := range []uint64{3, 1000, 424242} {
+		_, cov, err := RunRound(seed, testConfig())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if cov.Deadlocks < 1 || cov.Duels < 1 || cov.Grants < 1 {
+			t.Fatalf("seed %d: coverage floor not met: %s", seed, cov)
+		}
+	}
+}
+
+// Fault injection must actually fire across a modest seed sweep.
+func TestFaultsAreExercised(t *testing.T) {
+	var total Coverage
+	for seed := uint64(0); seed < 5; seed++ {
+		_, cov, err := RunRound(seed, testConfig())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		total.Add(cov)
+	}
+	if total.CASFails == 0 {
+		t.Errorf("no forced CAS failures across 5 rounds: %s", total)
+	}
+	if total.DelayedGrants == 0 {
+		t.Errorf("no delayed grants across 5 rounds: %s", total)
+	}
+	if total.SpuriousWakes == 0 {
+		t.Errorf("no spurious wake-ups across 5 rounds: %s", total)
+	}
+}
+
+// Shrinking must return a smaller trace that still fails.
+func TestShrinkSynthetic(t *testing.T) {
+	// Synthetic failure: the run "fails" iff the trace both switches to
+	// goroutine 2 somewhere and fires a CAS fault somewhere after it.
+	failure := errors.New("synthetic failure")
+	run := func(dec []Decision) error {
+		sw := -1
+		for i, d := range dec {
+			if d.Kind == DecSwitch && d.Target == 2 && sw < 0 {
+				sw = i
+			}
+			if sw >= 0 && i > sw && d.Kind == DecFault && d.FKind == FaultCAS && d.Fault {
+				return failure
+			}
+		}
+		return nil
+	}
+	// A noisy 60-decision trace with many irrelevant non-neutral entries.
+	var noisy []Decision
+	for i := 0; i < 60; i++ {
+		switch i % 6 {
+		case 0:
+			noisy = append(noisy, Decision{Kind: DecSwitch, Target: i % 4})
+		case 3:
+			noisy = append(noisy, Decision{Kind: DecFault, FKind: FaultDelayGrant, Fault: true})
+		case 5:
+			noisy = append(noisy, Decision{Kind: DecFault, FKind: FaultCAS, Fault: i == 35})
+		default:
+			noisy = append(noisy, Decision{Kind: DecSwitch, Target: -1})
+		}
+	}
+	noisy[14] = Decision{Kind: DecSwitch, Target: 2}
+	if run(noisy) == nil {
+		t.Fatal("synthetic trace does not fail; test is broken")
+	}
+	res := Shrink(noisy, run, 0)
+	if res.Err == nil {
+		t.Fatal("shrunk trace no longer fails")
+	}
+	if run(res.Decisions) == nil {
+		t.Fatal("reported shrunk trace does not reproduce the failure")
+	}
+	if got, want := InterestingCount(res.Decisions), 2; got != want {
+		t.Errorf("shrunk to %d interesting decisions, want %d: %s",
+			got, want, FormatDecisions(res.Decisions))
+	}
+	if len(res.Decisions) >= len(noisy) {
+		t.Errorf("shrink did not reduce length: %d -> %d", len(noisy), len(res.Decisions))
+	}
+}
+
+// Shrinking a real failing schedule: break an invariant artificially by
+// using a checker-visible impossible event stream is hard to do without
+// breaking the runtime, so instead verify end-to-end that a shrunk
+// replay of a real scenario still satisfies determinism (shrink of a
+// passing run returns quickly with no failure).
+func TestShrinkRealScheduleNoFailure(t *testing.T) {
+	orig := RunScenario(ScenarioDeadlock(), NewRandomPolicy(5), testConfig())
+	if orig.Err != nil {
+		t.Fatalf("run failed: %v", orig.Err)
+	}
+	res := Shrink(orig.Decisions, func(dec []Decision) error {
+		return RunScenario(ScenarioDeadlock(), NewReplayPolicy(dec), testConfig()).Err
+	}, 40)
+	if res.Err != nil {
+		t.Fatalf("shrink fabricated a failure from a passing schedule: %v", res.Err)
+	}
+}
+
+// The PRNG must be stable across Go versions: pin a few outputs.
+func TestPRNGPinned(t *testing.T) {
+	p := newPRNG(0)
+	want := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x6c45d188009454f}
+	for i, w := range want {
+		if got := p.next(); got != w {
+			t.Fatalf("splitmix64 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}

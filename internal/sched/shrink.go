@@ -1,0 +1,94 @@
+package sched
+
+// Greedy shrinking of failing schedules. A failing run's decision trace
+// replays deterministically through ReplayPolicy; the shrinker searches
+// for a smaller trace that still fails by (1) truncating the suffix —
+// replay past the end of the list yields neutral decisions, so a prefix
+// is a complete schedule — and (2) neutralizing individual non-neutral
+// decisions (preemptions and faults). The result is the minimal set of
+// scheduling choices the failure actually depends on, which is what a
+// human debugging the runtime wants to read.
+
+// ShrinkResult reports the outcome of a shrink.
+type ShrinkResult struct {
+	// Decisions is the smallest still-failing trace found.
+	Decisions []Decision
+	// Err is the failure the shrunk trace reproduces.
+	Err error
+	// Runs is the number of replays spent shrinking.
+	Runs int
+}
+
+// Shrink minimizes a failing decision trace for one scenario. run must
+// execute the scenario under a ReplayPolicy for the given decisions and
+// return the resulting error (nil = the schedule no longer fails).
+// maxRuns bounds the replay budget; 0 means 400.
+func Shrink(failing []Decision, run func(dec []Decision) error, maxRuns int) ShrinkResult {
+	if maxRuns == 0 {
+		maxRuns = 400
+	}
+	res := ShrinkResult{Decisions: append([]Decision(nil), failing...)}
+	budget := maxRuns
+
+	try := func(dec []Decision) error {
+		if budget <= 0 {
+			return nil // out of budget: treat as not failing, keep current best
+		}
+		budget--
+		res.Runs++
+		return run(dec)
+	}
+
+	// Phase 1: binary-search the shortest failing prefix. Replay treats
+	// positions past the end as neutral, so truncation only removes
+	// constraints after the failure point.
+	lo, hi := 0, len(res.Decisions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if err := try(res.Decisions[:mid]); err != nil {
+			res.Err = err
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	res.Decisions = append([]Decision(nil), res.Decisions[:hi]...)
+
+	// Phase 2: greedily neutralize non-neutral decisions, latest first
+	// (late choices are most likely incidental), looping until a full
+	// pass removes nothing.
+	for changed := true; changed && budget > 0; {
+		changed = false
+		for i := len(res.Decisions) - 1; i >= 0 && budget > 0; i-- {
+			if res.Decisions[i].Neutral() {
+				continue
+			}
+			cand := append([]Decision(nil), res.Decisions...)
+			cand[i] = neutralize(cand[i])
+			if err := try(cand); err != nil {
+				res.Decisions = cand
+				res.Err = err
+				changed = true
+			}
+		}
+	}
+
+	// Final truncation: neutralizing may have made a shorter prefix
+	// sufficient; also drop any neutral tail outright.
+	for len(res.Decisions) > 0 && res.Decisions[len(res.Decisions)-1].Neutral() {
+		res.Decisions = res.Decisions[:len(res.Decisions)-1]
+	}
+	if res.Err == nil {
+		res.Err = try(res.Decisions)
+	}
+	return res
+}
+
+func neutralize(d Decision) Decision {
+	if d.Kind == DecSwitch {
+		d.Target = -1
+	} else {
+		d.Fault = false
+	}
+	return d
+}

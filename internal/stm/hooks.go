@@ -1,0 +1,225 @@
+package stm
+
+// Schedule-exploration hooks. The STM's correctness-critical behavior
+// lives in its slow paths — lock-word CAS loops, the fair wait queues,
+// the dreadlocks detector, the ID pool — which a single-core container
+// exercises only when interleavings are forced. The hooks below expose
+// every such decision point to an external harness (internal/sched)
+// that serializes goroutines deterministically and injects faults.
+//
+// The default is a nil Hooks: every instrumented site guards with one
+// predictable `rt.hooks != nil` branch, so the production fast path is
+// unchanged.
+
+// YieldPoint identifies one instrumented slow-path location.
+type YieldPoint uint8
+
+const (
+	// PointFastCAS is the fast-path lock acquisition CAS (Figure 5
+	// step 4) in Tx.lockFor.
+	PointFastCAS YieldPoint = iota
+	// PointSlowEnter is the entry of Tx.slowAcquire, before the
+	// detector mutex is taken.
+	PointSlowEnter
+	// PointRecheckCAS is the queue-bypass re-check CAS inside
+	// slowAcquire.
+	PointRecheckCAS
+	// PointInstallCAS is the CAS publishing a queue ID into a lock word.
+	PointInstallCAS
+	// PointUninstallCAS is the CAS clearing a queue ID from a lock word.
+	PointUninstallCAS
+	// PointFlagCAS covers the U-flag set/clear CAS loops.
+	PointFlagCAS
+	// PointGrantCAS is the CAS in grantLocked handing a lock to a
+	// queue-head waiter.
+	PointGrantCAS
+	// PointReleaseCAS is the CAS in Tx.releaseLocks clearing the
+	// transaction's bit.
+	PointReleaseCAS
+	// PointWakeQueue is the entry of Runtime.wakeQueue, between a
+	// release CAS and the grant scan it triggers.
+	PointWakeQueue
+	// PointParked marks a waiter parking on (Block) or resuming from
+	// (Unblock) its queue channel.
+	PointParked
+	// PointIDWait marks a Begin parking on (Block) or resuming from
+	// (Unblock) the exhausted transaction-ID pool.
+	PointIDWait
+	// PointIDPoolCAS is a CAS on the ID pool's free-bit mask.
+	PointIDPoolCAS
+	// PointInevWait marks BecomeInevitable parking on (Block) or
+	// resuming from (Unblock) the inevitability token.
+	PointInevWait
+)
+
+var pointNames = [...]string{
+	PointFastCAS:      "fast-cas",
+	PointSlowEnter:    "slow-enter",
+	PointRecheckCAS:   "recheck-cas",
+	PointInstallCAS:   "install-cas",
+	PointUninstallCAS: "uninstall-cas",
+	PointFlagCAS:      "flag-cas",
+	PointGrantCAS:     "grant-cas",
+	PointReleaseCAS:   "release-cas",
+	PointWakeQueue:    "wake-queue",
+	PointParked:       "parked",
+	PointIDWait:       "id-wait",
+	PointIDPoolCAS:    "idpool-cas",
+	PointInevWait:     "inev-wait",
+}
+
+func (p YieldPoint) String() string {
+	if int(p) < len(pointNames) {
+		return pointNames[p]
+	}
+	return "point?"
+}
+
+// EventKind classifies protocol events reported through Hooks.Event.
+type EventKind uint8
+
+const (
+	// EvBegin: a transaction acquired an ID and started (TxID, Ticket).
+	EvBegin EventKind = iota
+	// EvCommit: a transaction committed (TxID).
+	EvCommit
+	// EvReset: a transaction rolled back for retry (TxID).
+	EvReset
+	// EvBlocked: a transaction enqueued on a lock (TxID, Addr, Write,
+	// Upgrader).
+	EvBlocked
+	// EvGranted: a queued transaction was handed the lock (TxID, Addr,
+	// Write).
+	EvGranted
+	// EvAbortWaiter: a queued transaction was aborted — deadlock victim
+	// or duel loser (TxID, Addr).
+	EvAbortWaiter
+	// EvDeadlock: the detector resolved a cycle (VictimID; CycleIDs and
+	// CycleTickets parallel; CycleInev marks inevitable members).
+	EvDeadlock
+	// EvDuel: a dueling write-upgrade was resolved (TxID = aborted,
+	// VictimID = aborted, OtherID = survivor).
+	EvDuel
+	// EvSpuriousWake: a parked waiter consumed an injected wake-up and
+	// re-parked (TxID, Addr).
+	EvSpuriousWake
+	// EvDelayedGrant: a grant scan was suppressed by fault injection
+	// (QID); RedeliverDelayedGrants runs the suppressed scans.
+	EvDelayedGrant
+	// EvIDRelease: a transaction ID returned to the pool (TxID);
+	// emitted after the free bit is published and waiters broadcast.
+	EvIDRelease
+	// EvInevRelease: the inevitability token was returned (TxID).
+	EvInevRelease
+)
+
+var eventNames = [...]string{
+	EvBegin:        "begin",
+	EvCommit:       "commit",
+	EvReset:        "reset",
+	EvBlocked:      "blocked",
+	EvGranted:      "granted",
+	EvAbortWaiter:  "abort-waiter",
+	EvDeadlock:     "deadlock",
+	EvDuel:         "duel",
+	EvSpuriousWake: "spurious-wake",
+	EvDelayedGrant: "delayed-grant",
+	EvIDRelease:    "id-release",
+	EvInevRelease:  "inev-release",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return "event?"
+}
+
+// Event is one protocol event. Queue events are emitted synchronously
+// under the detector mutex, so an Event handler must not call back into
+// the runtime or block on anything a transaction could hold.
+type Event struct {
+	Kind     EventKind
+	TxID     int
+	Ticket   uint64
+	OtherID  int     // EvDuel: the surviving transaction
+	Addr     *uint64 // the lock word involved, when applicable
+	QID      int
+	Write    bool
+	Upgrader bool
+	// Inev marks the surviving transaction of an EvDuel as inevitable
+	// (an inevitable survivor is allowed to be younger than the victim).
+	Inev     bool
+	VictimID int
+	// Deadlock cycle description (parallel slices). The slices are
+	// owned by the callee after the call returns.
+	CycleIDs     []int
+	CycleTickets []uint64
+	CycleInev    []bool
+}
+
+// Hooks is the schedule-exploration interface. All methods are invoked
+// from the goroutine executing the instrumented operation. A Hooks
+// implementation must be safe for concurrent use.
+type Hooks interface {
+	// Yield marks a preemption opportunity. It is never called while
+	// the detector mutex is held, so an implementation may park the
+	// calling goroutine.
+	Yield(p YieldPoint)
+	// Block announces that the caller is about to park on a runtime
+	// primitive (queue channel, ID-pool cond, inevitability token) and
+	// will not run until a matching wake event. It must not park; it
+	// may be called with runtime-internal mutexes held.
+	Block(p YieldPoint)
+	// Unblock announces that the caller resumed from a Block. It may
+	// park the calling goroutine (to re-serialize it into a schedule).
+	Unblock(p YieldPoint)
+	// FailCAS reports whether the CAS at p should be forced to fail
+	// (fault injection). Called immediately before the hardware CAS;
+	// may run under the detector mutex, so it must not park.
+	FailCAS(p YieldPoint) bool
+	// DelayGrant reports whether a grant scan should be suppressed
+	// (fault injection); suppressed scans are recorded and re-run by
+	// Runtime.RedeliverDelayedGrants. Runs under the detector mutex.
+	DelayGrant() bool
+	// Event reports a protocol event. Queue events run under the
+	// detector mutex; the handler must not block or re-enter the STM.
+	Event(ev Event)
+}
+
+// yield, block, unblock, failCAS, event: nil-guarded dispatch helpers.
+
+func (rt *Runtime) yield(p YieldPoint) {
+	if rt.hooks != nil {
+		rt.hooks.Yield(p)
+	}
+}
+
+func (rt *Runtime) block(p YieldPoint) {
+	if rt.hooks != nil {
+		rt.hooks.Block(p)
+	}
+}
+
+func (rt *Runtime) unblock(p YieldPoint) {
+	if rt.hooks != nil {
+		rt.hooks.Unblock(p)
+	}
+}
+
+func (rt *Runtime) event(ev Event) {
+	if rt.hooks != nil {
+		rt.hooks.Event(ev)
+	}
+}
+
+// casWord performs the lock-word CAS at the given yield point, with
+// fault injection: under a harness, FailCAS may force the CAS to report
+// failure without attempting it, driving the caller's retry/slow path.
+// Every lock-word CAS in the runtime funnels through here.
+func (rt *Runtime) casWord(addr *uint64, old, new uint64, p YieldPoint) bool {
+	if h := rt.hooks; h != nil && h.FailCAS(p) {
+		return false
+	}
+	return casw(addr, old, new)
+}

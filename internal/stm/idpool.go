@@ -16,6 +16,7 @@ type idPool struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	waiters int
+	rt      *Runtime // for schedule-exploration hooks; set by NewRuntimeOpts
 }
 
 func newIDPool(n int) *idPool {
@@ -23,6 +24,16 @@ func newIDPool(n int) *idPool {
 	p.cond = sync.NewCond(&p.mu)
 	p.free.Store((uint64(1) << uint(n)) - 1)
 	return p
+}
+
+// cas is the fault-injectable CAS on the free-bit mask.
+func (p *idPool) cas(old, new uint64) bool {
+	if p.rt != nil {
+		if h := p.rt.hooks; h != nil && h.FailCAS(PointIDPoolCAS) {
+			return false
+		}
+	}
+	return p.free.CompareAndSwap(old, new)
 }
 
 // acquire returns a free ID, blocking if none is available; waited
@@ -34,7 +45,7 @@ func (p *idPool) acquire() (id int, waited bool) {
 			break
 		}
 		b := m & (-m)
-		if p.free.CompareAndSwap(m, m&^b) {
+		if p.cas(m, m&^b) {
 			return bitIndex(b), waited
 		}
 	}
@@ -44,7 +55,7 @@ func (p *idPool) acquire() (id int, waited bool) {
 		m := p.free.Load()
 		if m != 0 {
 			b := m & (-m)
-			if p.free.CompareAndSwap(m, m&^b) {
+			if p.cas(m, m&^b) {
 				p.waiters--
 				p.mu.Unlock()
 				return bitIndex(b), true
@@ -52,24 +63,37 @@ func (p *idPool) acquire() (id int, waited bool) {
 			continue
 		}
 		waited = true
+		if p.rt != nil {
+			p.rt.block(PointIDWait)
+		}
 		p.cond.Wait()
+		if p.rt != nil {
+			// Unblock may park the goroutine to re-serialize it into a
+			// harness schedule; drop the pool mutex first so releasers
+			// are never blocked behind a parked waiter.
+			p.mu.Unlock()
+			p.rt.unblock(PointIDWait)
+			p.mu.Lock()
+		}
 	}
 }
 
-// release returns an ID to the pool and wakes a waiter if any. The
-// signal happens under the mutex after the bit is published, and waiters
-// re-check the mask under the same mutex before parking, so no wake-up
-// can be lost.
+// release returns an ID to the pool and wakes the waiters if any. The
+// broadcast happens under the mutex after the bit is published, and
+// waiters re-check the mask under the same mutex before parking, so no
+// wake-up can be lost. Broadcast (not Signal) so that a harness — which
+// decides wake order itself — never strands a waiter the runtime chose
+// not to wake.
 func (p *idPool) release(id int) {
 	for {
 		m := p.free.Load()
-		if p.free.CompareAndSwap(m, m|uint64(1)<<uint(id)) {
+		if p.cas(m, m|uint64(1)<<uint(id)) {
 			break
 		}
 	}
 	p.mu.Lock()
 	if p.waiters > 0 {
-		p.cond.Signal()
+		p.cond.Broadcast()
 	}
 	p.mu.Unlock()
 }

@@ -1,0 +1,223 @@
+package stm
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Invariant accessors for the schedule-exploration harness
+// (internal/sched). They take the detector mutex, so they must only be
+// called from outside the runtime's own critical sections — in harness
+// terms, from a goroutine that is not currently inside an STM
+// operation.
+
+// CheckInvariants validates the runtime-global protocol invariants:
+//
+//   - every installed queue's lock word carries that queue's ID, and
+//     vice versa every queue ID in a checked word resolves to a live
+//     queue over the same address;
+//   - lock words with queues are wellformed (W implies exactly one
+//     holder; U implies an enqueued upgrader);
+//   - the blocked table and the queue waiter lists agree;
+//   - free queue IDs are disjoint from installed ones;
+//   - no granted-but-still-enqueued waiter exists.
+//
+// It returns the first violation found, or nil.
+func (rt *Runtime) CheckInvariants() error {
+	d := rt.det
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.checkLocked(rt)
+}
+
+func (d *detector) checkLocked(rt *Runtime) error {
+	var installed [MaxTxns + 1]bool
+	for qid := 1; qid <= MaxTxns; qid++ {
+		q := d.queues[qid]
+		if q == nil {
+			continue
+		}
+		installed[qid] = true
+		if q.qid != qid {
+			return fmt.Errorf("queue table slot %d holds queue with qid %d", qid, q.qid)
+		}
+		w := atomic.LoadUint64(q.addr)
+		if err := wellformed(w); err != nil {
+			return fmt.Errorf("queue %d lock word: %w", qid, err)
+		}
+		if got := wordQueueID(w); got != qid {
+			return fmt.Errorf("queue %d installed but lock word names queue %d (%s)",
+				qid, got, formatWord(w))
+		}
+		if wordHasUpgrader(w) && q.findUpgrader() == nil {
+			return fmt.Errorf("queue %d: U flag set but no upgrader enqueued (%s)",
+				qid, formatWord(w))
+		}
+		holders := wordHolders(w)
+		for _, wt := range q.waiters {
+			if wt.granted {
+				return fmt.Errorf("queue %d: granted waiter txn %d still enqueued", qid, wt.tx.id)
+			}
+			if wt.q != q {
+				return fmt.Errorf("queue %d: waiter txn %d points at queue %d", qid, wt.tx.id, wt.q.qid)
+			}
+			if d.blocked[wt.tx.id] != wt {
+				return fmt.Errorf("queue %d: waiter txn %d missing from blocked table", qid, wt.tx.id)
+			}
+			if holders&wt.tx.mask != 0 && !wt.upgrader {
+				return fmt.Errorf("queue %d: non-upgrader txn %d both holds and waits (%s)",
+					qid, wt.tx.id, formatWord(w))
+			}
+		}
+		// Holder bits must belong to live transactions.
+		for h := holders; h != 0; {
+			b := h & (-h)
+			h &^= b
+			id := bits.TrailingZeros64(b)
+			if rt.txByID[id].Load() == nil {
+				return fmt.Errorf("queue %d: holder bit for dead txn %d (%s)",
+					qid, id, formatWord(w))
+			}
+		}
+	}
+	for _, qid := range d.freeQIDs {
+		if installed[qid] {
+			return fmt.Errorf("queue ID %d both free and installed", qid)
+		}
+	}
+	for id := 0; id < MaxTxns; id++ {
+		wt := d.blocked[id]
+		if wt == nil {
+			continue
+		}
+		if wt.tx.id != id {
+			return fmt.Errorf("blocked table slot %d holds txn %d", id, wt.tx.id)
+		}
+		if !installed[wt.q.qid] || d.queues[wt.q.qid] != wt.q {
+			return fmt.Errorf("blocked txn %d waits on uninstalled queue %d", id, wt.q.qid)
+		}
+		found := false
+		for _, qwt := range wt.q.waiters {
+			if qwt == wt {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("blocked txn %d not in its queue %d", id, wt.q.qid)
+		}
+	}
+	return nil
+}
+
+// CheckObjectLocks validates the lock words of one object: structural
+// wellformedness, holder bits only for live transactions, and queue IDs
+// only for queues installed over that exact word. Objects with no lock
+// slab yet trivially pass.
+func (rt *Runtime) CheckObjectLocks(o *Object) error {
+	slab := o.locks.Load()
+	if slab == nil || slab == unallocSlab {
+		return nil
+	}
+	d := rt.det
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range slab.words {
+		addr := &slab.words[i]
+		w := atomic.LoadUint64(addr)
+		if err := wellformed(w); err != nil {
+			return fmt.Errorf("%s lock %d: %w", o.class.name, i, err)
+		}
+		for h := wordHolders(w); h != 0; {
+			b := h & (-h)
+			h &^= b
+			id := bits.TrailingZeros64(b)
+			if rt.txByID[id].Load() == nil {
+				return fmt.Errorf("%s lock %d: holder bit for dead txn %d (%s)",
+					o.class.name, i, id, formatWord(w))
+			}
+		}
+		if qid := wordQueueID(w); qid != 0 {
+			q := d.queues[qid]
+			if q == nil {
+				return fmt.Errorf("%s lock %d: names uninstalled queue %d (%s)",
+					o.class.name, i, qid, formatWord(w))
+			}
+			if q.addr != addr {
+				return fmt.Errorf("%s lock %d: queue %d installed over a different word",
+					o.class.name, i, qid)
+			}
+		}
+	}
+	return nil
+}
+
+// BlockedTxns returns the IDs of transactions currently enqueued on a
+// lock, for harness stall diagnosis.
+func (rt *Runtime) BlockedTxns() []int {
+	d := rt.det
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var ids []int
+	for id := 0; id < MaxTxns; id++ {
+		if d.blocked[id] != nil {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// InjectSpuriousWake delivers a wake-up signal to the parked waiter of
+// transaction txID without granting or aborting it (fault injection):
+// the waiter re-checks its flags, finds nothing, and re-parks. Reports
+// whether a parked waiter existed.
+func (rt *Runtime) InjectSpuriousWake(txID int) bool {
+	d := rt.det
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	wt := d.blocked[txID]
+	if wt == nil || wt.granted || wt.aborted {
+		return false
+	}
+	wt.signal()
+	return true
+}
+
+// RedeliverDelayedGrants re-runs the grant scans suppressed by the
+// DelayGrant fault (see Hooks) and returns the number of queues
+// re-scanned. The redelivered scans bypass further DelayGrant
+// injection so the fault cannot starve a queue forever.
+func (rt *Runtime) RedeliverDelayedGrants() int {
+	d := rt.det
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.redelivering = true
+	n := 0
+	for qid := 1; qid <= MaxTxns; qid++ {
+		if !d.delayed[qid] {
+			continue
+		}
+		d.delayed[qid] = false
+		if q := d.queues[qid]; q != nil {
+			n++
+			d.grantLocked(q)
+		}
+	}
+	d.redelivering = false
+	return n
+}
+
+// DelayedGrantsPending reports whether any suppressed grant scan has not
+// been redelivered yet.
+func (rt *Runtime) DelayedGrantsPending() bool {
+	d := rt.det
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for qid := 1; qid <= MaxTxns; qid++ {
+		if d.delayed[qid] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,6 +1,9 @@
 package stm
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // The 64-bit lock word (paper Figure 4b). Bits, LSB first:
 //
@@ -45,6 +48,31 @@ func wordIsWrite(w uint64) bool { return w&wFlag != 0 }
 
 // wordHasUpgrader reports whether an upgrading reader is enqueued.
 func wordHasUpgrader(w uint64) bool { return w&uFlag != 0 }
+
+// casw is the hardware CAS on a lock word. Runtime code goes through
+// Runtime.casWord (hooks.go) so a schedule-exploration harness can
+// inject failures; casw exists for the paths that must not be faulted
+// (and for tests).
+func casw(addr *uint64, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(addr, old, new)
+}
+
+// wellformed validates the static structure of a lock word: a write
+// lock has exactly one holder, and flags never appear without the
+// state that justifies them. Queue-related conditions need the
+// detector and are checked in invariants.go.
+func wellformed(w uint64) error {
+	holders := wordHolders(w)
+	if wordIsWrite(w) {
+		if holders == 0 || holders&(holders-1) != 0 {
+			return fmt.Errorf("stm: W flag with holders=%014x (want exactly one)", holders)
+		}
+	}
+	if wordHasUpgrader(w) && wordQueueID(w) == 0 {
+		return fmt.Errorf("stm: U flag without a wait queue (%s)", formatWord(w))
+	}
+	return nil
+}
 
 // formatWord renders a lock word for debugging and tests.
 func formatWord(w uint64) string {

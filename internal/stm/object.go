@@ -112,3 +112,17 @@ func NewCommittedArray(elem Kind, n int) *Object {
 	o.locks.Store(unallocSlab)
 	return o
 }
+
+// CommittedWord reads a word field of a quiescent object without a
+// transaction. It bypasses all synchronization and is only correct when
+// no transaction can touch the object — setup and post-run inspection
+// in tests, benchmarks, and the stress harness.
+func CommittedWord(o *Object, f FieldID) uint64 {
+	return o.words[o.class.fields[f].idx]
+}
+
+// SetCommittedWord writes a word field of a quiescent object without a
+// transaction. See CommittedWord for when this is safe.
+func SetCommittedWord(o *Object, f FieldID, v uint64) {
+	o.words[o.class.fields[f].idx] = v
+}

@@ -12,14 +12,29 @@ import (
 // lock, so serializing it does not affect the uncontended case the
 // paper's fast path (Figure 5) optimizes.
 
-// waiter is one blocked transaction in one lock queue.
+// waiter is one blocked transaction in one lock queue. The channel is a
+// buffered(1) wake-up signal, not a completion: a woken waiter re-reads
+// granted/aborted under the detector mutex and re-parks on neither —
+// which is what lets a harness inject spurious wake-ups without
+// breaking the protocol.
 type waiter struct {
 	tx       *Tx
 	write    bool
 	upgrader bool
 	granted  bool
+	aborted  bool
 	ch       chan struct{}
 	q        *lockQueue
+}
+
+// signal delivers a (possibly redundant) wake-up to the waiter. The
+// flags it will re-check are always written before signal is called, so
+// a dropped signal (buffer already full) is never a lost wake-up.
+func (wt *waiter) signal() {
+	select {
+	case wt.ch <- struct{}{}:
+	default:
+	}
 }
 
 // lockQueue is the fair FIFO queue of one contended lock. The paper caps
@@ -34,11 +49,16 @@ type lockQueue struct {
 
 type detector struct {
 	mu       sync.Mutex
+	rt       *Runtime
 	queues   [MaxTxns + 1]*lockQueue
 	freeQIDs []int
 	// blocked maps a transaction ID to its waiter while it is enqueued.
 	blocked [MaxTxns]*waiter
-	debug   *debugLog
+	// delayed marks queues whose grant scan was suppressed by fault
+	// injection; Runtime.RedeliverDelayedGrants re-runs them.
+	delayed      [MaxTxns + 1]bool
+	redelivering bool
+	debug        *debugLog
 }
 
 func newDetector() *detector {
@@ -48,6 +68,21 @@ func newDetector() *detector {
 		d.freeQIDs = append(d.freeQIDs, qid)
 	}
 	return d
+}
+
+// event forwards a protocol event to the runtime's hooks, if any.
+func (d *detector) event(ev Event) {
+	if d.rt != nil {
+		d.rt.event(ev)
+	}
+}
+
+// cas is a fault-injectable lock-word CAS for detector code paths.
+func (d *detector) cas(addr *uint64, old, new uint64, p YieldPoint) bool {
+	if d.rt != nil {
+		return d.rt.casWord(addr, old, new, p)
+	}
+	return casw(addr, old, new)
 }
 
 // slowAcquire is entered after the fast path failed. It re-checks the
@@ -60,6 +95,7 @@ func newDetector() *detector {
 func (tx *Tx) slowAcquire(addr *uint64, write bool) {
 	rt := tx.rt
 	d := rt.det
+	rt.yield(PointSlowEnter)
 	d.mu.Lock()
 
 	// Re-check: the lock may have been released between the failed fast
@@ -75,7 +111,7 @@ func (tx *Tx) slowAcquire(addr *uint64, write bool) {
 		if !ok {
 			break
 		}
-		if atomic.CompareAndSwapUint64(addr, w, nw) {
+		if d.cas(addr, w, nw, PointRecheckCAS) {
 			if q != nil {
 				d.uninstall(q)
 			}
@@ -100,6 +136,7 @@ func (tx *Tx) slowAcquire(addr *uint64, write bool) {
 				// (§3.4) must never abort, so it always survives.
 				if tx.inevitable || (!other.tx.inevitable && tx.ticket < other.tx.ticket) {
 					d.debug.duel(other.tx, tx)
+					d.event(Event{Kind: EvDuel, TxID: other.tx.id, VictimID: other.tx.id, OtherID: tx.id, Addr: addr, Inev: tx.inevitable})
 					d.abortWaiter(other)
 					// Aborting the queue's only waiter uninstalls the
 					// queue; re-fetch (and re-install if needed) so we do
@@ -107,15 +144,16 @@ func (tx *Tx) slowAcquire(addr *uint64, write bool) {
 					q = d.install(addr)
 				} else {
 					d.debug.duel(tx, other.tx)
+					d.event(Event{Kind: EvDuel, TxID: tx.id, VictimID: tx.id, OtherID: other.tx.id, Addr: addr, Inev: other.tx.inevitable})
 					d.mu.Unlock()
 					tx.selfAbort("dueling write-upgrade")
 				}
 			}
 		}
-		setWordFlag(addr, uFlag)
+		setWordFlag(d, addr, uFlag)
 	}
 
-	wt := &waiter{tx: tx, write: write, upgrader: upgrader, ch: make(chan struct{}), q: q}
+	wt := &waiter{tx: tx, write: write, upgrader: upgrader, ch: make(chan struct{}, 1), q: q}
 	if upgrader {
 		q.waiters = append([]*waiter{wt}, q.waiters...)
 	} else {
@@ -123,6 +161,7 @@ func (tx *Tx) slowAcquire(addr *uint64, write bool) {
 	}
 	d.blocked[tx.id] = wt
 	d.debug.blocked(tx, addr, write, wordHolders(atomic.LoadUint64(addr)), q)
+	d.event(Event{Kind: EvBlocked, TxID: tx.id, Ticket: tx.ticket, Addr: addr, QID: q.qid, Write: write, Upgrader: upgrader})
 
 	// A new waits-for edge can only complete cycles through the waiter
 	// that just blocked — but it can complete SEVERAL at once (e.g. an
@@ -136,6 +175,7 @@ func (tx *Tx) slowAcquire(addr *uint64, write bool) {
 		}
 		rt.stats.Deadlocks.Add(1)
 		if victim.tx == tx {
+			d.event(Event{Kind: EvAbortWaiter, TxID: tx.id, Addr: wt.q.addr})
 			d.removeWaiter(wt)
 			d.mu.Unlock()
 			tx.selfAbort("deadlock victim")
@@ -148,13 +188,23 @@ func (tx *Tx) slowAcquire(addr *uint64, write bool) {
 	d.grantLocked(q)
 	d.mu.Unlock()
 
-	<-wt.ch
-
-	d.mu.Lock()
-	granted := wt.granted
-	d.mu.Unlock()
-	if !granted {
-		tx.selfAbort("aborted while enqueued")
+	for {
+		rt.block(PointParked)
+		<-wt.ch
+		rt.unblock(PointParked)
+		d.mu.Lock()
+		granted, aborted := wt.granted, wt.aborted
+		d.mu.Unlock()
+		if granted {
+			return
+		}
+		if aborted {
+			tx.selfAbort("aborted while enqueued")
+		}
+		// Injected spurious wake-up (Runtime.InjectSpuriousWake): no
+		// state changed; re-check and re-park.
+		rt.stats.SpuriousWakes.Add(1)
+		rt.event(Event{Kind: EvSpuriousWake, TxID: tx.id, Addr: addr})
 	}
 }
 
@@ -176,10 +226,10 @@ func grantWord(w uint64, tx *Tx, write bool) (uint64, bool) {
 }
 
 // setWordFlag ORs flag into the lock word with a CAS loop.
-func setWordFlag(addr *uint64, flag uint64) {
+func setWordFlag(d *detector, addr *uint64, flag uint64) {
 	for {
 		w := atomic.LoadUint64(addr)
-		if w&flag != 0 || atomic.CompareAndSwapUint64(addr, w, w|flag) {
+		if w&flag != 0 || d.cas(addr, w, w|flag, PointFlagCAS) {
 			return
 		}
 	}
@@ -213,7 +263,7 @@ func (d *detector) install(addr *uint64) *lockQueue {
 	d.queues[qid] = q
 	for {
 		w = atomic.LoadUint64(addr)
-		if atomic.CompareAndSwapUint64(addr, w, wordWithQueue(w, qid)) {
+		if d.cas(addr, w, wordWithQueue(w, qid), PointInstallCAS) {
 			break
 		}
 	}
@@ -231,11 +281,12 @@ func (d *detector) uninstall(q *lockQueue) {
 		if wordQueueID(w) != q.qid {
 			break // already replaced (should not happen, but be tolerant)
 		}
-		if atomic.CompareAndSwapUint64(q.addr, w, wordWithQueue(w, 0)&^uFlag) {
+		if d.cas(q.addr, w, wordWithQueue(w, 0)&^uFlag, PointUninstallCAS) {
 			break
 		}
 	}
 	d.queues[q.qid] = nil
+	d.delayed[q.qid] = false
 	d.freeQIDs = append(d.freeQIDs, q.qid)
 }
 
@@ -251,6 +302,15 @@ func (q *lockQueue) findUpgrader() *waiter {
 // grantLocked hands the lock to as many queue-head waiters as the current
 // word permits: one writer, or a maximal run of readers. Caller holds d.mu.
 func (d *detector) grantLocked(q *lockQueue) {
+	if len(q.waiters) > 0 && !d.redelivering && d.rt != nil && d.rt.hooks != nil &&
+		d.rt.hooks.DelayGrant() {
+		// Fault injection: suppress this grant scan. The lock word is
+		// already consistent; the waiters simply stay parked until
+		// RedeliverDelayedGrants re-runs the scan.
+		d.delayed[q.qid] = true
+		d.event(Event{Kind: EvDelayedGrant, QID: q.qid, Addr: q.addr})
+		return
+	}
 	for len(q.waiters) > 0 {
 		head := q.waiters[0]
 		w := atomic.LoadUint64(q.addr)
@@ -261,14 +321,15 @@ func (d *detector) grantLocked(q *lockQueue) {
 		if head.write && wordHolders(w) != 0 && wordHolders(w) != head.tx.mask {
 			return
 		}
-		if !atomic.CompareAndSwapUint64(q.addr, w, nw) {
+		if !d.cas(q.addr, w, nw, PointGrantCAS) {
 			continue // racing release; recompute
 		}
 		q.waiters = q.waiters[1:]
 		d.blocked[head.tx.id] = nil
 		head.granted = true
 		d.debug.granted(head.tx, q.addr, head.write)
-		close(head.ch)
+		d.event(Event{Kind: EvGranted, TxID: head.tx.id, Ticket: head.tx.ticket, Addr: q.addr, QID: q.qid, Write: head.write, Upgrader: head.upgrader})
+		head.signal()
 		if head.write {
 			break // a write lock excludes everything behind it
 		}
@@ -282,6 +343,7 @@ func (d *detector) grantLocked(q *lockQueue) {
 // the lock word it just modified.
 func (rt *Runtime) wakeQueue(qid int, addr *uint64) {
 	d := rt.det
+	rt.yield(PointWakeQueue)
 	d.mu.Lock()
 	q := d.queues[qid]
 	if q != nil && q.addr == addr {
@@ -303,7 +365,7 @@ func (d *detector) removeWaiter(wt *waiter) {
 	}
 	d.blocked[wt.tx.id] = nil
 	if wt.upgrader && q.findUpgrader() == nil {
-		clearWordFlag(q.addr, uFlag)
+		clearWordFlag(d, q.addr, uFlag)
 	}
 	if len(q.waiters) == 0 {
 		d.uninstall(q)
@@ -316,14 +378,16 @@ func (d *detector) removeWaiter(wt *waiter) {
 // the victim unwinds via selfAbort when it resumes. Caller holds d.mu.
 func (d *detector) abortWaiter(wt *waiter) {
 	wt.tx.victim.Store(true)
+	wt.aborted = true
+	d.event(Event{Kind: EvAbortWaiter, TxID: wt.tx.id, Addr: wt.q.addr})
 	d.removeWaiter(wt)
-	close(wt.ch)
+	wt.signal()
 }
 
-func clearWordFlag(addr *uint64, flag uint64) {
+func clearWordFlag(d *detector, addr *uint64, flag uint64) {
 	for {
 		w := atomic.LoadUint64(addr)
-		if w&flag == 0 || atomic.CompareAndSwapUint64(addr, w, w&^flag) {
+		if w&flag == 0 || d.cas(addr, w, w&^flag, PointFlagCAS) {
 			return
 		}
 	}
@@ -417,6 +481,15 @@ func (d *detector) findDeadlockVictim(wt *waiter) *waiter {
 	}
 	if victim != nil {
 		d.debug.deadlock(members, victim)
+		if d.rt != nil && d.rt.hooks != nil {
+			ev := Event{Kind: EvDeadlock, VictimID: victim.tx.id, TxID: wt.tx.id}
+			for _, m := range members {
+				ev.CycleIDs = append(ev.CycleIDs, m.tx.id)
+				ev.CycleTickets = append(ev.CycleTickets, m.tx.ticket)
+				ev.CycleInev = append(ev.CycleInev, m.tx.inevitable)
+			}
+			d.event(ev)
+		}
 	}
 	return victim
 }

@@ -16,6 +16,9 @@ type Runtime struct {
 	txByID [MaxTxns]atomic.Pointer[Tx]
 	maxIDs int
 	debug  *debugLog
+	// hooks, when non-nil, routes slow-path decision points to a
+	// schedule-exploration harness (internal/sched). nil in production.
+	hooks Hooks
 	// inev is the single inevitability token (§3.4): at most one
 	// transaction can be inevitable at any moment.
 	inev chan struct{}
@@ -31,6 +34,11 @@ type Options struct {
 	// DebugLog, when non-nil, enables the §6 debug mode: one line per
 	// blocked thread, grant, deadlock resolution, and dueling upgrade.
 	DebugLog io.Writer
+	// Hooks, when non-nil, attaches a schedule-exploration and
+	// fault-injection harness to the runtime's slow paths (see
+	// hooks.go). Production runtimes leave it nil; the only residual
+	// cost is one nil check per instrumented slow-path site.
+	Hooks Hooks
 }
 
 // NewRuntime creates a runtime with default options.
@@ -49,6 +57,9 @@ func NewRuntimeOpts(opts Options) *Runtime {
 		inev:   make(chan struct{}, 1),
 	}
 	rt.inev <- struct{}{}
+	rt.hooks = opts.Hooks
+	rt.ids.rt = rt
+	rt.det.rt = rt
 	if opts.DebugLog != nil {
 		rt.debug = &debugLog{w: opts.DebugLog}
 		rt.det.debug = rt.debug
@@ -79,12 +90,14 @@ func (rt *Runtime) Begin() *Tx {
 		ticket: rt.ticket.Add(1),
 	}
 	rt.txByID[id].Store(tx)
+	rt.event(Event{Kind: EvBegin, TxID: id, Ticket: tx.ticket})
 	return tx
 }
 
 func (rt *Runtime) releaseID(tx *Tx) {
 	rt.txByID[tx.id].Store(nil)
 	rt.ids.release(tx.id)
+	rt.event(Event{Kind: EvIDRelease, TxID: tx.id})
 }
 
 // ActiveTxns returns the number of transaction IDs currently handed out.

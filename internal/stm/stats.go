@@ -22,6 +22,9 @@ type Stats struct {
 	IDWaits   atomic.Uint64 // Begin calls that had to wait for a free transaction ID
 	Deadlocks atomic.Uint64 // deadlock cycles resolved
 	InevWaits atomic.Uint64 // BecomeInevitable calls that had to wait for the token
+	// SpuriousWakes counts injected spurious wake-ups consumed by parked
+	// waiters (schedule-exploration fault injection; 0 in production).
+	SpuriousWakes atomic.Uint64
 
 	// Memory accounting (Table 8). Byte figures are estimates derived
 	// from entry counts, mirroring the paper's "largest contributors"
@@ -39,6 +42,7 @@ type StatsSnapshot struct {
 	Init, CheckNew, CheckOwned, Acquire    uint64
 	Commits, Aborts, Contended, CASFail    uint64
 	IDWaits, Deadlocks, InevWaits          uint64
+	SpuriousWakes                          uint64
 	LockBytes, RWSetBytes, UndoEntries     uint64
 	BufferBytes, InitEntries, TxnsMeasured uint64
 }
@@ -46,23 +50,24 @@ type StatsSnapshot struct {
 // Snapshot copies the current counter values.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Init:         s.Init.Load(),
-		CheckNew:     s.CheckNew.Load(),
-		CheckOwned:   s.CheckOwned.Load(),
-		Acquire:      s.Acquire.Load(),
-		Commits:      s.Commits.Load(),
-		Aborts:       s.Aborts.Load(),
-		Contended:    s.Contended.Load(),
-		CASFail:      s.CASFail.Load(),
-		IDWaits:      s.IDWaits.Load(),
-		Deadlocks:    s.Deadlocks.Load(),
-		InevWaits:    s.InevWaits.Load(),
-		LockBytes:    s.LockBytes.Load(),
-		RWSetBytes:   s.RWSetBytes.Load(),
-		UndoEntries:  s.UndoEntries.Load(),
-		BufferBytes:  s.BufferBytes.Load(),
-		InitEntries:  s.InitEntries.Load(),
-		TxnsMeasured: s.TxnsMeasured.Load(),
+		Init:          s.Init.Load(),
+		CheckNew:      s.CheckNew.Load(),
+		CheckOwned:    s.CheckOwned.Load(),
+		Acquire:       s.Acquire.Load(),
+		Commits:       s.Commits.Load(),
+		Aborts:        s.Aborts.Load(),
+		Contended:     s.Contended.Load(),
+		CASFail:       s.CASFail.Load(),
+		IDWaits:       s.IDWaits.Load(),
+		Deadlocks:     s.Deadlocks.Load(),
+		InevWaits:     s.InevWaits.Load(),
+		SpuriousWakes: s.SpuriousWakes.Load(),
+		LockBytes:     s.LockBytes.Load(),
+		RWSetBytes:    s.RWSetBytes.Load(),
+		UndoEntries:   s.UndoEntries.Load(),
+		BufferBytes:   s.BufferBytes.Load(),
+		InitEntries:   s.InitEntries.Load(),
+		TxnsMeasured:  s.TxnsMeasured.Load(),
 	}
 }
 
@@ -79,6 +84,7 @@ func (s *Stats) Reset() {
 	s.IDWaits.Store(0)
 	s.Deadlocks.Store(0)
 	s.InevWaits.Store(0)
+	s.SpuriousWakes.Store(0)
 	s.LockBytes.Store(0)
 	s.RWSetBytes.Store(0)
 	s.UndoEntries.Store(0)
@@ -91,23 +97,24 @@ func (s *Stats) Reset() {
 // measured region the way the paper samples per-iteration counters.
 func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{
-		Init:         s.Init - prev.Init,
-		CheckNew:     s.CheckNew - prev.CheckNew,
-		CheckOwned:   s.CheckOwned - prev.CheckOwned,
-		Acquire:      s.Acquire - prev.Acquire,
-		Commits:      s.Commits - prev.Commits,
-		Aborts:       s.Aborts - prev.Aborts,
-		Contended:    s.Contended - prev.Contended,
-		CASFail:      s.CASFail - prev.CASFail,
-		IDWaits:      s.IDWaits - prev.IDWaits,
-		Deadlocks:    s.Deadlocks - prev.Deadlocks,
-		InevWaits:    s.InevWaits - prev.InevWaits,
-		LockBytes:    s.LockBytes - prev.LockBytes,
-		RWSetBytes:   s.RWSetBytes - prev.RWSetBytes,
-		UndoEntries:  s.UndoEntries - prev.UndoEntries,
-		BufferBytes:  s.BufferBytes - prev.BufferBytes,
-		InitEntries:  s.InitEntries - prev.InitEntries,
-		TxnsMeasured: s.TxnsMeasured - prev.TxnsMeasured,
+		Init:          s.Init - prev.Init,
+		CheckNew:      s.CheckNew - prev.CheckNew,
+		CheckOwned:    s.CheckOwned - prev.CheckOwned,
+		Acquire:       s.Acquire - prev.Acquire,
+		Commits:       s.Commits - prev.Commits,
+		Aborts:        s.Aborts - prev.Aborts,
+		Contended:     s.Contended - prev.Contended,
+		CASFail:       s.CASFail - prev.CASFail,
+		IDWaits:       s.IDWaits - prev.IDWaits,
+		Deadlocks:     s.Deadlocks - prev.Deadlocks,
+		InevWaits:     s.InevWaits - prev.InevWaits,
+		SpuriousWakes: s.SpuriousWakes - prev.SpuriousWakes,
+		LockBytes:     s.LockBytes - prev.LockBytes,
+		RWSetBytes:    s.RWSetBytes - prev.RWSetBytes,
+		UndoEntries:   s.UndoEntries - prev.UndoEntries,
+		BufferBytes:   s.BufferBytes - prev.BufferBytes,
+		InitEntries:   s.InitEntries - prev.InitEntries,
+		TxnsMeasured:  s.TxnsMeasured - prev.TxnsMeasured,
 	}
 }
 

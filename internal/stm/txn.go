@@ -125,7 +125,9 @@ func (tx *Tx) BecomeInevitable() {
 	case <-tx.rt.inev:
 	default:
 		tx.rt.stats.InevWaits.Add(1)
+		tx.rt.block(PointInevWait)
 		<-tx.rt.inev
+		tx.rt.unblock(PointInevWait)
 	}
 	tx.inevitable = true
 }
@@ -137,6 +139,7 @@ func (tx *Tx) releaseInevitable() {
 	if tx.inevitable {
 		tx.inevitable = false
 		tx.rt.inev <- struct{}{}
+		tx.rt.event(Event{Kind: EvInevRelease, TxID: tx.id})
 	}
 }
 
@@ -209,10 +212,11 @@ func (tx *Tx) lockFor(o *Object, slot int32, kind slotKind, lockID int32, write 
 		// Read held, write needed: upgrade.
 	}
 	// Step (4): try to lock, else enqueue.
+	tx.rt.yield(PointFastCAS)
 	acquired := false
 	if wordQueueID(w) == 0 {
 		if nw, ok := grantWord(w, tx, write); ok {
-			if atomic.CompareAndSwapUint64(addr, w, nw) {
+			if tx.rt.casWord(addr, w, nw, PointFastCAS) {
 				acquired = true
 			} else {
 				tx.nCASFail++
@@ -431,6 +435,7 @@ func (tx *Tx) releaseLocks() {
 	for i := range tx.lockLog {
 		e := &tx.lockLog[i]
 		addr := &e.slab.words[e.lockID]
+		tx.rt.yield(PointReleaseCAS)
 		for {
 			w := atomic.LoadUint64(addr)
 			if w&tx.mask == 0 {
@@ -440,7 +445,7 @@ func (tx *Tx) releaseLocks() {
 			if wordIsWrite(w) {
 				nw &^= wFlag
 			}
-			if atomic.CompareAndSwapUint64(addr, w, nw) {
+			if tx.rt.casWord(addr, w, nw, PointReleaseCAS) {
 				if qid := wordQueueID(nw); qid != 0 {
 					tx.rt.wakeQueue(qid, addr)
 				}
@@ -502,6 +507,7 @@ func (tx *Tx) Commit() {
 	deferred := tx.onCommit
 	tx.clearLogs()
 	tx.rt.stats.Commits.Add(1)
+	tx.rt.event(Event{Kind: EvCommit, TxID: tx.id, Ticket: tx.ticket})
 	tx.flushCounters()
 	tx.rt.releaseID(tx)
 	for _, f := range deferred {
@@ -543,6 +549,7 @@ func (tx *Tx) Reset() {
 	tx.clearLogs()
 	tx.victim.Store(false)
 	tx.rt.stats.Aborts.Add(1)
+	tx.rt.event(Event{Kind: EvReset, TxID: tx.id, Ticket: tx.ticket})
 	tx.flushCounters()
 }
 
