@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench tables examples clean ci fmt-check stress
+.PHONY: all build vet test race bench bench-snapshot tables examples clean ci fmt-check stress
 
 all: build vet test
 
@@ -36,6 +36,14 @@ stress:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark snapshot: two representative workloads
+# (CPU-bound sunflow, contention-bound tomcat) with per-site contention
+# columns, written to BENCH_2.json. The first point of the repository's
+# performance trajectory; CI runs this non-gating and uploads the file.
+bench-snapshot:
+	$(GO) run ./cmd/sbd-bench -scale=1 -threads=1,2,4 \
+		-bench=sunflow,tomcat -json=BENCH_2.json
 
 # Regenerate every table and figure of the paper's evaluation into results/.
 tables:

@@ -7,6 +7,11 @@
 // iteration counts are configurable because the full paper configuration
 // (10 JVM invocations × up to 60 iterations) is a multi-hour run.
 //
+// Every run also emits the per-lock-site contention profile of the last
+// measured SBD iteration next to its timings, answering "which lock was
+// hot" without a rerun. -json writes a machine-readable snapshot;
+// -metrics serves live Prometheus metrics over TCP while measuring.
+//
 // Shape notes for single-core machines: speedups plateau at ~1× for both
 // variants (there is no parallel hardware), but the overhead column —
 // SBD vs. baseline at equal thread count — remains meaningful because
@@ -14,24 +19,32 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/stm"
 	"repro/internal/workloads"
 )
 
 var (
 	scale    = flag.Int("scale", 2, "workload input scale")
-	bench    = flag.String("bench", "", "run only this benchmark")
+	bench    = flag.String("bench", "", "comma-separated benchmark names (default: all)")
 	threads  = flag.String("threads", "1,2,4,8,16,32", "thread counts")
 	window   = flag.Int("window", 4, "steady-state window (paper: 30)")
 	maxIters = flag.Int("maxiters", 8, "max iterations (paper: 60)")
 	maxCoV   = flag.Float64("cov", 0.08, "CoV threshold (paper: 0.01)")
 	figure7  = flag.Bool("figure7", false, "print Figure 7 speedup series instead of Table 9")
+	jsonOut  = flag.String("json", "", "write a machine-readable result snapshot to this file")
+	topSites = flag.Int("topsites", 5, "per-site contention rows to print per workload (0 disables)")
+	metrics  = flag.String("metrics", "", "serve live /metrics+/profile over TCP on this address while measuring (e.g. 127.0.0.1:9464)")
 )
 
 func parseThreads(s string) []int {
@@ -46,6 +59,20 @@ func parseThreads(s string) []int {
 	return out
 }
 
+// selected reports whether -bench selects the named workload; an empty
+// -bench selects everything.
+func selected(name string) bool {
+	if *bench == "" {
+		return true
+	}
+	for _, b := range strings.Split(*bench, ",") {
+		if strings.TrimSpace(b) == name {
+			return true
+		}
+	}
+	return false
+}
+
 type cell struct {
 	threads   int
 	base, sbd time.Duration
@@ -55,18 +82,76 @@ type cell struct {
 	casFail   uint64
 }
 
+// JSON snapshot schema (BENCH_2.json). Abort rates are strings because
+// a livelocked window is +Inf, which encoding/json refuses as a number.
+type jsonCell struct {
+	Threads      int     `json:"threads"`
+	BaseNs       int64   `json:"base_ns"`
+	SbdNs        int64   `json:"sbd_ns"`
+	OverheadPct  float64 `json:"overhead_pct"`
+	AbortRatePct string  `json:"abort_rate_pct"`
+	Contended    uint64  `json:"contended"`
+	CASFail      uint64  `json:"cas_fail"`
+}
+
+type jsonSite struct {
+	Site      string `json:"site"`
+	Acquires  uint64 `json:"acquires"`
+	Contended uint64 `json:"contended"`
+	CASFails  uint64 `json:"cas_fails"`
+	Upgrades  uint64 `json:"upgrades"`
+	Deadlocks uint64 `json:"deadlocks"`
+	BlockNs   int64  `json:"block_ns"`
+}
+
+type jsonWorkload struct {
+	Name  string     `json:"name"`
+	Cells []jsonCell `json:"cells"`
+	Sites []jsonSite `json:"top_sites"`
+}
+
+type jsonReport struct {
+	Tool      string         `json:"tool"`
+	Scale     int            `json:"scale"`
+	Window    int            `json:"window"`
+	MaxIters  int            `json:"max_iters"`
+	Workloads []jsonWorkload `json:"workloads"`
+}
+
 func main() {
 	flag.Parse()
 	cfg := harness.Config{Window: *window, MaxCoV: *maxCoV, MaxIters: *maxIters}
 	counts := parseThreads(*threads)
 
+	// The live metrics endpoint follows the currently-measured runtime;
+	// between iterations it reads the most recent one. Scrapes run on
+	// their own goroutines, hence the atomic pointer.
+	var current atomic.Pointer[core.Runtime]
+	if *metrics != "" {
+		idle := stm.NewRuntime()
+		probe := func() *stm.Runtime {
+			if rt := current.Load(); rt != nil {
+				return rt.STM()
+			}
+			return idle
+		}
+		addr, err := obs.NewDynamicServer(probe).ServeTCP(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbd-bench: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("live metrics on http://%s/metrics (also /profile, /events)\n\n", addr)
+	}
+
+	report := jsonReport{Tool: "sbd-bench", Scale: *scale, Window: *window, MaxIters: *maxIters}
 	var overheads []float64
 	for _, w := range workloads.All() {
-		if *bench != "" && w.Name != *bench {
+		if !selected(w.Name) {
 			continue
 		}
 		in := w.Prepare(*scale)
 		var cells []cell
+		var lastRT *core.Runtime
 		for _, tc := range counts {
 			n := w.Threads(tc)
 			baseRes := harness.Measure(cfg, func() { w.Baseline(in, n) })
@@ -74,6 +159,7 @@ func main() {
 			var last *core.Runtime
 			sbdRes := harness.Measure(cfg, func() {
 				rt := core.New()
+				current.Store(rt)
 				w.SBD(rt, in, n)
 				last = rt
 			})
@@ -89,6 +175,7 @@ func main() {
 			}
 			cells = append(cells, c)
 			overheads = append(overheads, float64(sbdRes.Mean)/float64(baseRes.Mean))
+			lastRT = last
 			if w.FixedThreads > 0 {
 				break // LuIndex: single row
 			}
@@ -116,14 +203,68 @@ func main() {
 		for _, c := range cells {
 			tbl.Row(c.threads, c.base.Round(time.Microsecond).String(),
 				c.sbd.Round(time.Microsecond).String(),
-				c.overhead, c.abortRate, c.contended, c.casFail)
+				c.overhead, obs.FormatRate(c.abortRate), c.contended, c.casFail)
 		}
 		fmt.Print(tbl.String())
+
+		var sites []stm.SiteProfile
+		if lastRT != nil {
+			sites = lastRT.Profile().Snapshot()
+		}
+		if *topSites > 0 && len(sites) > 0 {
+			shown := sites
+			if len(shown) > *topSites {
+				shown = shown[:*topSites]
+			}
+			fmt.Printf("Contention profile — %s (last measured run, top %d of %d sites)\n",
+				w.Name, len(shown), len(sites))
+			fmt.Print(obs.ProfileTable(shown))
+		}
 		fmt.Println()
+
+		jw := jsonWorkload{Name: w.Name}
+		for _, c := range cells {
+			jw.Cells = append(jw.Cells, jsonCell{
+				Threads:      c.threads,
+				BaseNs:       c.base.Nanoseconds(),
+				SbdNs:        c.sbd.Nanoseconds(),
+				OverheadPct:  c.overhead,
+				AbortRatePct: obs.FormatRate(c.abortRate),
+				Contended:    c.contended,
+				CASFail:      c.casFail,
+			})
+		}
+		for i, s := range sites {
+			if *topSites > 0 && i >= *topSites {
+				break
+			}
+			jw.Sites = append(jw.Sites, jsonSite{
+				Site:      s.Site.String(),
+				Acquires:  s.Acquires,
+				Contended: s.Contended,
+				CASFails:  s.CASFails,
+				Upgrades:  s.Upgrades,
+				Deadlocks: s.Deadlocks,
+				BlockNs:   int64(s.BlockTime),
+			})
+		}
+		report.Workloads = append(report.Workloads, jw)
 	}
 
 	if !*figure7 && len(overheads) > 0 {
 		fmt.Printf("Geometric-mean SBD/baseline ratio: %.3f (paper: 1.239 overall, "+
 			"0.4%%..102%% per cell)\n", harness.GeoMean(overheads))
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbd-bench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 }

@@ -3,34 +3,67 @@
 // I/O buffers, init log) of the paper. Both tables come from
 // single-threaded runs of the six workloads with the STM statistics
 // counters enabled, mirroring the paper's methodology (§5.3, §5.5).
+//
+// -profile additionally prints each workload's per-lock-site contention
+// profile and a synchronization summary (commits, aborts, abort rate).
+// -serve exposes live /metrics, /profile, and /events over TCP while
+// the workloads run, then keeps serving the final state until
+// interrupted.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/stm"
 	"repro/internal/workloads"
 )
 
 var (
-	table = flag.Int("table", 0, "print only this table (7 or 8); 0 = both")
-	scale = flag.Int("scale", 2, "workload input scale")
+	table   = flag.Int("table", 0, "print only this table (7 or 8); 0 = both")
+	scale   = flag.Int("scale", 2, "workload input scale")
+	profile = flag.Bool("profile", false, "print per-lock-site contention profiles")
+	serve   = flag.String("serve", "", "serve live /metrics+/profile+/events over TCP on this address (e.g. 127.0.0.1:9464); keeps serving after the run until interrupted")
 )
 
 func main() {
 	flag.Parse()
+
+	var current atomic.Pointer[core.Runtime]
+	if *serve != "" {
+		idle := stm.NewRuntime()
+		srv := obs.NewDynamicServer(func() *stm.Runtime {
+			if rt := current.Load(); rt != nil {
+				return rt.STM()
+			}
+			return idle
+		})
+		addr, err := srv.ServeTCP(*serve)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbd-stats: -serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("live metrics on http://%s/metrics (also /profile, /events)\n\n", addr)
+	}
+
 	type result struct {
 		name    string
 		elapsed time.Duration
 		s       statsLine
+		snap    stm.StatsSnapshot
+		sites   []stm.SiteProfile
 	}
 	var results []result
 	for _, w := range workloads.All() {
 		in := w.Prepare(*scale)
 		rt := core.New()
+		current.Store(rt)
 		threads := w.Threads(1)
 		start := time.Now()
 		w.SBD(rt, in, threads)
@@ -41,7 +74,7 @@ func main() {
 			acq: snap.Acquire, lockBytes: snap.LockBytes,
 			rwSet: snap.RWSetBytes, buffers: snap.BufferBytes,
 			initLog: snap.InitEntries * 8, txns: snap.TxnsMeasured,
-		}})
+		}, snap, rt.Profile().Snapshot()})
 	}
 
 	if *table == 0 || *table == 7 {
@@ -73,6 +106,21 @@ func main() {
 		fmt.Println("Paper shape: LuSearch/Sunflow largest lock slabs, LuIndex largest")
 		fmt.Println("buffers (index file written in one transaction), Tomcat large R-W")
 		fmt.Println("set (many write locks), H2 almost nothing.")
+	}
+
+	if *profile {
+		fmt.Println()
+		for _, r := range results {
+			fmt.Printf("Contention profile — %s (commits %d, aborts %d, abort rate %s)\n",
+				r.name, r.snap.Commits, r.snap.Aborts, obs.FormatRate(r.snap.AbortRate()))
+			fmt.Print(obs.ProfileTable(r.sites))
+			fmt.Println()
+		}
+	}
+
+	if *serve != "" {
+		fmt.Println("\nserving final state; interrupt to exit")
+		select {}
 	}
 }
 

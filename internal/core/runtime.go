@@ -38,6 +38,13 @@ func (rt *Runtime) CheckInvariants() error { return rt.stm.CheckInvariants() }
 // Stats returns the STM statistics counters.
 func (rt *Runtime) Stats() *stm.Stats { return rt.stm.Stats() }
 
+// Profile returns the per-lock-site contention profile.
+func (rt *Runtime) Profile() *stm.Profile { return rt.stm.Profile() }
+
+// Recorder returns the protocol-event flight recorder (nil when
+// disabled via stm.Options.RecorderSize < 0).
+func (rt *Runtime) Recorder() *stm.FlightRecorder { return rt.stm.Recorder() }
+
 // Main runs body as the program's main SBD thread on the calling
 // goroutine and returns when it — not necessarily all threads it spawned
 // — has finished. A panic in the main thread is re-raised in the caller.

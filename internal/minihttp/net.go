@@ -12,6 +12,7 @@
 package minihttp
 
 import (
+	"bytes"
 	"errors"
 	"io"
 	"sync"
@@ -80,6 +81,35 @@ func (c *Conn) Read(p []byte) (int, error) { return c.r.read(p) }
 
 // Write appends to the peer's read queue.
 func (c *Conn) Write(p []byte) (int, error) { return c.w.write(p) }
+
+// ReadLine reads up to and including the next '\n' and returns the line
+// without it. Unlike wrapping Read in a one-byte loop, it consumes whole
+// buffered runs under one lock acquisition. A connection that closes
+// mid-line yields io.ErrUnexpectedEOF; a clean close yields io.EOF.
+func (c *Conn) ReadLine() (string, error) {
+	q := c.r
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var line []byte
+	for {
+		for len(q.buf) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.buf) == 0 {
+			if len(line) > 0 {
+				return "", io.ErrUnexpectedEOF
+			}
+			return "", io.EOF
+		}
+		if i := bytes.IndexByte(q.buf, '\n'); i >= 0 {
+			line = append(line, q.buf[:i]...)
+			q.buf = q.buf[i+1:]
+			return string(line), nil
+		}
+		line = append(line, q.buf...)
+		q.buf = q.buf[:0]
+	}
+}
 
 // WaitReadable blocks until data is available to Read and returns true,
 // or returns false once the connection is closed and drained. It lets an

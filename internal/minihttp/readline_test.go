@@ -1,0 +1,52 @@
+package minihttp
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestReadLineSplitsOnNewline(t *testing.T) {
+	a, b := Pair()
+	defer a.Close()
+	go func() {
+		b.Write([]byte("first line\nsecond"))
+		b.Write([]byte(" half\nthird\n"))
+		b.Close()
+	}()
+	for i, want := range []string{"first line", "second half", "third"} {
+		got, err := a.ReadLine()
+		if err != nil || got != want {
+			t.Fatalf("line %d = %q, %v; want %q", i, got, err, want)
+		}
+	}
+	if _, err := a.ReadLine(); err != io.EOF {
+		t.Fatalf("after close: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadLineBlocksAcrossChunks(t *testing.T) {
+	a, b := Pair()
+	defer a.Close()
+	go func() {
+		for _, chunk := range []string{"sp", "lit", "\n"} {
+			b.Write([]byte(chunk))
+		}
+	}()
+	got, err := a.ReadLine()
+	if err != nil || got != "split" {
+		t.Fatalf("ReadLine = %q, %v; want split", got, err)
+	}
+}
+
+func TestReadLineMidLineCloseIsUnexpectedEOF(t *testing.T) {
+	a, b := Pair()
+	defer a.Close()
+	go func() {
+		b.Write([]byte("no newline"))
+		b.Close()
+	}()
+	if _, err := a.ReadLine(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}

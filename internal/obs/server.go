@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"strings"
+
+	"repro/internal/minihttp"
+	"repro/internal/stm"
+)
+
+// Server serves the observability endpoints for one STM runtime:
+//
+//	/metrics  Prometheus text exposition (counters + per-site profile)
+//	/profile  per-site contention table, hottest first
+//	/events   flight-recorder dump, oldest first
+//
+// It speaks the minihttp wire format over in-memory listeners (the same
+// substrate the Tomcat workload uses) and plain HTTP/1.0 over TCP, so
+// both a test and a real curl can scrape a live run.
+type Server struct {
+	src func() *stm.Runtime
+}
+
+// NewServer creates a server reading from rt.
+func NewServer(rt *stm.Runtime) *Server {
+	return &Server{src: func() *stm.Runtime { return rt }}
+}
+
+// NewDynamicServer creates a server that asks src for the runtime on
+// every request — for tools like sbd-bench whose current runtime
+// changes between iterations. src runs on request goroutines and must
+// be safe for concurrent use; it must not return nil.
+func NewDynamicServer(src func() *stm.Runtime) *Server { return &Server{src: src} }
+
+// handle produces the response for one request path.
+func (s *Server) handle(path string) (status int, body string) {
+	rt := s.src()
+	switch path {
+	case "/metrics":
+		return 200, Metrics(rt.Stats().Snapshot(), rt.Profile().Snapshot(), rt.Recorder())
+	case "/profile":
+		return 200, ProfileTable(rt.Profile().Snapshot())
+	case "/events":
+		return 200, EventsDump(rt.Recorder())
+	default:
+		return 404, fmt.Sprintf("unknown path %s (try /metrics, /profile, /events)\n", path)
+	}
+}
+
+// ServeListener accepts and serves connections until the listener
+// closes. Run it on its own goroutine.
+func (s *Server) ServeListener(l *minihttp.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn serves minihttp requests on one connection until EOF.
+func (s *Server) serveConn(conn *minihttp.Conn) {
+	defer conn.Close()
+	for {
+		line, err := conn.ReadLine()
+		if err != nil {
+			return
+		}
+		req, err := minihttp.ParseRequest(line)
+		if err != nil {
+			conn.Write([]byte(minihttp.FormatResponse(400, err.Error()+"\n")))
+			return
+		}
+		status, body := s.handle(req.Path)
+		if _, err := conn.Write([]byte(minihttp.FormatResponse(status, body))); err != nil {
+			return
+		}
+	}
+}
+
+// Get performs one request against a listener served by ServeListener
+// and returns the response body. It is the client half tests and the
+// CLI tools use.
+func Get(l *minihttp.Listener, path string) (string, error) {
+	conn, err := l.Dial()
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(minihttp.FormatRequest("GET", path, nil))); err != nil {
+		return "", err
+	}
+	header, err := conn.ReadLine()
+	if err != nil {
+		return "", err
+	}
+	status, length, err := minihttp.ParseResponseHeader(header)
+	if err != nil {
+		return "", err
+	}
+	body := make([]byte, length)
+	for got := 0; got < length; {
+		n, err := conn.Read(body[got:])
+		if err != nil {
+			return "", err
+		}
+		got += n
+	}
+	if status != 200 {
+		return "", fmt.Errorf("obs: %s returned %d: %s", path, status, strings.TrimSpace(string(body)))
+	}
+	return string(body), nil
+}
+
+// ServeTCP binds addr (e.g. "127.0.0.1:0"), serves real HTTP/1.0 on it,
+// and returns the bound address. Each scrape is one-shot: request,
+// response, close — exactly what curl and Prometheus do by default.
+func (s *Server) ServeTCP(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.serveTCPConn(conn)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// serveTCPConn answers one real-HTTP request. It parses the request
+// line leniently (the " HTTP/1.x" suffix and any headers are ignored)
+// and writes a minimal HTTP/1.0 response.
+func (s *Server) serveTCPConn(conn net.Conn) {
+	defer conn.Close()
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil || n == 0 {
+		return
+	}
+	line, _, _ := strings.Cut(string(buf[:n]), "\n")
+	line = strings.TrimRight(line, "\r")
+	if i := strings.LastIndex(line, " HTTP/"); i >= 0 {
+		line = line[:i]
+	}
+	req, err := minihttp.ParseRequest(line)
+	var status int
+	var body string
+	if err != nil {
+		status, body = 400, err.Error()+"\n"
+	} else {
+		status, body = s.handle(req.Path)
+	}
+	text := map[int]string{200: "OK", 400: "Bad Request", 404: "Not Found"}[status]
+	fmt.Fprintf(conn, "HTTP/1.0 %d %s\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: %d\r\n\r\n%s",
+		status, text, len(body), body)
+}

@@ -165,6 +165,63 @@ func ScenarioDuel() Scenario {
 	}
 }
 
+// ScenarioInevDuel forces a dueling write-upgrade in which one duelist
+// is inevitable (paper §3.3 + §3.4): both workers read the same object,
+// synchronize so both hold the read lock, then write it. Duel
+// resolution normally favors the older ticket, but an inevitable
+// transaction must survive REGARDLESS of ticket order — it may have
+// externalized irrevocable effects. inevSecond selects which worker
+// becomes inevitable, so the round covers the inevitable duelist being
+// either party (and, across seeds, either ticket order). The post-run
+// check asserts the inevitable worker never aborted: not once, on any
+// schedule.
+func ScenarioInevDuel(inevSecond bool) Scenario {
+	name := "inev-duel-first"
+	inev := 0
+	if inevSecond {
+		name, inev = "inev-duel-second", 1
+	}
+	return Scenario{
+		Name: name,
+		Build: func(rt *stm.Runtime, s *Scheduler) ([]Worker, func() error) {
+			o := stm.NewCommitted(cellClass)
+			s.Watch(o)
+			var attempts [2]int // workers are serialized; post runs after both
+			mk := func(i int) Worker {
+				return Worker{Name: fmt.Sprintf("%s-%d", name, i), Body: func() {
+					arm := true
+					Retry(s, rt, func(tx *stm.Tx) {
+						attempts[i]++
+						if i == inev {
+							tx.BecomeInevitable()
+						}
+						v := tx.ReadWord(o, cellV)
+						if arm {
+							arm = false
+							s.Barrier("inev-duel", 2)
+						}
+						tx.WriteWord(o, cellV, v+1)
+					})
+				}}
+			}
+			post := func() error {
+				if v := stm.CommittedWord(o, cellV); v != 2 {
+					return fmt.Errorf("%s: object = %d, want 2 (lost update)", name, v)
+				}
+				if attempts[inev] != 1 {
+					return fmt.Errorf("%s: inevitable worker ran %d attempts, want 1 (an inevitable transaction aborted)",
+						name, attempts[inev])
+				}
+				if attempts[1-inev] < 1 {
+					return fmt.Errorf("%s: other worker never ran", name)
+				}
+				return nil
+			}
+			return []Worker{mk(0), mk(1)}, post
+		},
+	}
+}
+
 // ScenarioHandoff forces a queue handoff: the holder keeps a write lock
 // until the waiter is provably enqueued, then commits; the release must
 // grant the lock to the queue head.
@@ -348,6 +405,8 @@ func RoundScenarios(seed uint64) []Scenario {
 	return []Scenario{
 		ScenarioDeadlock(),
 		ScenarioDuel(),
+		ScenarioInevDuel(false),
+		ScenarioInevDuel(true),
 		ScenarioHandoff(),
 		ScenarioIDPool(),
 		ScenarioCoreAtomic(),

@@ -1,0 +1,137 @@
+package stm
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Regression tests for the access-path edge cases fixed alongside the
+// observability layer.
+
+// mustPanic runs f and returns the recovered panic value, failing the
+// test if f returns normally.
+func mustPanic(t *testing.T, what string, f func()) (msg string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+		s, ok := r.(string)
+		if !ok {
+			t.Fatalf("%s panicked with %T (%v), want a descriptive string", what, r, r)
+		}
+		msg = s
+	}()
+	f()
+	return ""
+}
+
+// A final field on a thread-local object is still final: the object is
+// born committed, so every write is post-construction. Before the fix,
+// the local fast path was checked first and silently undo-logged the
+// write.
+func TestFinalFieldOnLocalObjectPanics(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("FinLocal",
+		FieldSpec{Name: "id", Kind: KindWord, Final: true},
+		FieldSpec{Name: "v", Kind: KindWord})
+	tx := rt.Begin()
+	defer tx.Commit()
+
+	lo := tx.NewLocal(c)
+	msg := mustPanic(t, "final-field write on local object", func() {
+		tx.WriteInt(lo, c.Field("id"), 7)
+	})
+	if !strings.Contains(msg, "final field") {
+		t.Fatalf("panic %q does not name the final field", msg)
+	}
+	// Non-final local writes still take the local fast path.
+	tx.WriteInt(lo, c.Field("v"), 1)
+	if tx.ReadInt(lo, c.Field("v")) != 1 {
+		t.Fatal("local non-final write lost")
+	}
+	// Final reads on local objects stay legal.
+	if tx.ReadInt(lo, c.Field("id")) != 0 {
+		t.Fatal("final read on local object wrong")
+	}
+}
+
+// Final writes during construction (object new in this transaction)
+// must stay legal — the fix must not over-reach.
+func TestFinalFieldWriteDuringConstructionStillAllowed(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("FinNew",
+		FieldSpec{Name: "id", Kind: KindWord, Final: true})
+	tx := rt.Begin()
+	o := tx.New(c)
+	tx.WriteInt(o, c.Field("id"), 42)
+	tx.Commit()
+
+	check := rt.Begin()
+	defer check.Commit()
+	if check.ReadInt(o, c.Field("id")) != 42 {
+		t.Fatal("constructor write to final field lost")
+	}
+}
+
+// Out-of-range array indices must fail the bounds check up front with a
+// descriptive stm: panic — not deep inside the lock slab (shared
+// arrays) or after recording a corrupt undo slot (local arrays,
+// negative index).
+func TestElemAccessBoundsChecked(t *testing.T) {
+	rt := NewRuntime()
+	tx := rt.Begin()
+	defer tx.Commit()
+
+	shared := NewCommittedArray(KindWord, 3)
+	sharedRef := NewCommittedArray(KindRef, 3)
+	sharedStr := NewCommittedArray(KindStr, 3)
+	local := tx.NewLocalArray(KindWord, 3)
+
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"read word high", func() { tx.ReadElem(shared, 3) }},
+		{"read word negative", func() { tx.ReadElem(shared, -1) }},
+		{"write word high", func() { tx.WriteElem(shared, 3, 1) }},
+		{"write word negative", func() { tx.WriteElem(shared, -1, 1) }},
+		{"read ref high", func() { tx.ReadElemRef(sharedRef, 3) }},
+		{"write ref negative", func() { tx.WriteElemRef(sharedRef, -1, nil) }},
+		{"read str high", func() { tx.ReadElemStr(sharedStr, 3) }},
+		{"write str negative", func() { tx.WriteElemStr(sharedStr, -1, "x") }},
+		{"write local negative", func() { tx.WriteElem(local, -1, 1) }},
+		{"write local high", func() { tx.WriteElem(local, 3, 1) }},
+	}
+	for _, tc := range cases {
+		msg := mustPanic(t, tc.name, tc.f)
+		if !strings.Contains(msg, "out of range") || !strings.HasPrefix(msg, "stm:") {
+			t.Fatalf("%s: panic %q is not the descriptive stm bounds panic", tc.name, msg)
+		}
+	}
+
+	// A rejected access must not corrupt state: in-range accesses on the
+	// same arrays still work and the transaction still commits.
+	tx.WriteElem(shared, 2, 9)
+	tx.WriteElem(local, 1, 5)
+	if tx.ReadElem(shared, 2) != 9 || tx.ReadElem(local, 1) != 5 {
+		t.Fatal("in-range access broken after rejected accesses")
+	}
+}
+
+func TestAbortRateHonestWithoutCommits(t *testing.T) {
+	livelocked := StatsSnapshot{Aborts: 5}
+	if r := livelocked.AbortRate(); !math.IsInf(r, 1) {
+		t.Fatalf("AbortRate with aborts and no commits = %v, want +Inf", r)
+	}
+	idle := StatsSnapshot{}
+	if r := idle.AbortRate(); r != 0 {
+		t.Fatalf("AbortRate with no activity = %v, want 0", r)
+	}
+	normal := StatsSnapshot{Commits: 4, Aborts: 2}
+	if r := normal.AbortRate(); r != 0.5 {
+		t.Fatalf("AbortRate = %v, want 0.5", r)
+	}
+}

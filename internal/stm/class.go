@@ -50,6 +50,7 @@ type fieldMeta struct {
 	final  bool
 	idx    int32 // index into the kind-specific storage slice
 	lockID int32 // index into the lock slab; -1 for final fields
+	siteID int32 // global contention-profile site; -1 for final fields
 }
 
 // Class describes the layout of Objects: the field table, per-field kind
@@ -64,19 +65,20 @@ type Class struct {
 	nStrs   int32
 	nLocks  int32
 	isArray bool
-	elem    Kind // element kind when isArray
+	elem    Kind  // element kind when isArray
+	siteID  int32 // contention-profile site of array classes; -1 otherwise
 }
 
 // NewClass builds a class from field specifications. Field names must be
 // unique; NewClass panics otherwise (a class definition error is a
 // programming error, not a runtime condition).
 func NewClass(name string, specs ...FieldSpec) *Class {
-	c := &Class{name: name, byName: make(map[string]FieldID, len(specs))}
+	c := &Class{name: name, byName: make(map[string]FieldID, len(specs)), siteID: -1}
 	for _, s := range specs {
 		if _, dup := c.byName[s.Name]; dup {
 			panic(fmt.Sprintf("stm: class %s: duplicate field %s", name, s.Name))
 		}
-		m := fieldMeta{name: s.Name, kind: s.Kind, final: s.Final, lockID: -1}
+		m := fieldMeta{name: s.Name, kind: s.Kind, final: s.Final, lockID: -1, siteID: -1}
 		switch s.Kind {
 		case KindWord:
 			m.idx = c.nWords
@@ -93,6 +95,7 @@ func NewClass(name string, specs ...FieldSpec) *Class {
 		if !s.Final {
 			m.lockID = c.nLocks
 			c.nLocks++
+			m.siteID = registerSite(SiteInfo{Class: name, Field: s.Name})
 		}
 		c.byName[s.Name] = FieldID(len(c.fields))
 		c.fields = append(c.fields, m)
@@ -141,3 +144,11 @@ var (
 	arrayRefClass  = &Class{name: "[]ref", isArray: true, elem: KindRef}
 	arrayStrClass  = &Class{name: "[]str", isArray: true, elem: KindStr}
 )
+
+// Array elements share one contention-profile site per array class: the
+// element index is dynamic, the class is the static site identity.
+func init() {
+	for _, c := range []*Class{arrayWordClass, arrayRefClass, arrayStrClass} {
+		c.siteID = registerSite(SiteInfo{Class: c.name, Array: true})
+	}
+}

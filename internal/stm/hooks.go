@@ -208,9 +208,29 @@ func (rt *Runtime) unblock(p YieldPoint) {
 }
 
 func (rt *Runtime) event(ev Event) {
+	if r := rt.rec; r != nil && r.wants(ev.Kind) {
+		r.record(&ev)
+		if ev.Kind == EvDeadlock && rt.dumpOnDeadlock != nil {
+			// Best-effort post-mortem: the recorder holds the protocol
+			// history that led here. Like the §6 debug log, this writes
+			// while the detector works; use it for diagnosis, not in
+			// latency-sensitive production.
+			r.Dump(rt.dumpOnDeadlock)
+		}
+	}
 	if rt.hooks != nil {
 		rt.hooks.Event(ev)
 	}
+}
+
+// wantsEvent reports whether constructing an Event of kind k has an
+// audience — a harness, or a recorder retaining that kind. Emission
+// sites that must allocate (deadlock cycle slices) check this first.
+func (rt *Runtime) wantsEvent(k EventKind) bool {
+	if rt.hooks != nil {
+		return true
+	}
+	return rt.rec != nil && rt.rec.wants(k)
 }
 
 // casWord performs the lock-word CAS at the given yield point, with

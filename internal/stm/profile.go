@@ -1,0 +1,272 @@
+package stm
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Per-lock-site contention profiling. A lock site is the static identity
+// of a lock: one per non-final field of each class, plus one per array
+// class (array elements share a site — the element index is dynamic, the
+// class is the site). Sites are what the paper's evaluation reasons
+// about when a workload collapses: "the hot lock is the size field of
+// the queue class", not "lock word 0xc000123".
+//
+// The profiler follows the same zero-shared-atomics discipline as the
+// nAcq counters in Tx: every acquire updates a small per-transaction
+// delta buffer (no sharing, no atomics), and Commit/Reset flush the
+// buffer into the runtime's per-site atomic counters. The uncontended
+// check paths (new instance, already owned, final, thread-local) never
+// touch the profiler at all.
+
+// DefaultProfileSampleRate is the default sampling period of the
+// per-site acquire counter (Options.ProfileSampleRate): the fast path
+// charges one in every 64 acquires to its site and the flush scales the
+// sample back up, keeping the always-on cost of the profiler to one
+// add-and-branch per acquire. Contention counters are always exact.
+const DefaultProfileSampleRate = 64
+
+// SiteInfo is the static identity of one lock site.
+type SiteInfo struct {
+	Class string // class name (array class name for arrays)
+	Field string // field name; empty for array sites
+	Array bool
+}
+
+// String renders the site the way the contention table prints it.
+func (s SiteInfo) String() string {
+	if s.Array {
+		return s.Class + "[*]"
+	}
+	return s.Class + "." + s.Field
+}
+
+// siteReg is the process-global site registry. Classes are process-global
+// static metadata, so their sites are too; per-runtime counter storage is
+// indexed by these IDs.
+var siteReg struct {
+	mu    sync.RWMutex
+	sites []SiteInfo
+}
+
+// registerSite appends a site and returns its dense ID.
+func registerSite(info SiteInfo) int32 {
+	siteReg.mu.Lock()
+	defer siteReg.mu.Unlock()
+	siteReg.sites = append(siteReg.sites, info)
+	return int32(len(siteReg.sites) - 1)
+}
+
+// siteCount returns the number of registered sites.
+func siteCount() int {
+	siteReg.mu.RLock()
+	defer siteReg.mu.RUnlock()
+	return len(siteReg.sites)
+}
+
+// siteInfo returns the registered identity of a site ID.
+func siteInfo(id int32) SiteInfo {
+	siteReg.mu.RLock()
+	defer siteReg.mu.RUnlock()
+	return siteReg.sites[id]
+}
+
+// siteCounters is the per-site aggregate of one runtime. All fields are
+// only written by flushProfile (atomic adds) and read by Snapshot.
+type siteCounters struct {
+	acquires  atomic.Uint64
+	contended atomic.Uint64
+	casFails  atomic.Uint64
+	upgrades  atomic.Uint64
+	deadlocks atomic.Uint64
+	blockNs   atomic.Uint64
+}
+
+// siteDelta is the per-transaction buffered contribution to one site.
+type siteDelta struct {
+	site      int32
+	acquires  uint32
+	contended uint32
+	casFails  uint32
+	upgrades  uint32
+	deadlocks uint32
+	blockNs   uint64
+}
+
+// profAt returns the transaction's delta buffer entry for a site,
+// creating it on first touch. The newest-first linear search exploits
+// locality: a transaction usually hammers the site it touched last.
+//
+// The buffer lives in Runtime.profBufs, indexed by transaction ID, not
+// in Tx: the ID is exclusively owned by one goroutine between acquire
+// and release (with the ID pool providing the happens-before edge on
+// handoff), the buffer's capacity survives across transactions that
+// reuse the ID, and Tx itself — allocated fresh on every Begin — stays
+// a size class smaller than it would be carrying the slice header.
+func (tx *Tx) profAt(site int32) *siteDelta {
+	buf := tx.rt.profBufs[tx.id]
+	for i := len(buf) - 1; i >= 0; i-- {
+		if buf[i].site == site {
+			return &buf[i]
+		}
+	}
+	buf = append(buf, siteDelta{site: site})
+	tx.rt.profBufs[tx.id] = buf
+	return &buf[len(buf)-1]
+}
+
+// chargeAcquire scales one sampled acquire back up to the sampling
+// period and charges it to the site. Kept out of line so the inlined
+// profAt body does not bloat lockFor, whose code size the uncontended
+// fast path pays for on every access.
+//
+//go:noinline
+func (tx *Tx) chargeAcquire(site int32) {
+	tx.profAt(site).acquires += uint32(tx.rt.profMask) + 1
+}
+
+// chargeCASFail records a failed fast-path lock CAS, out of line for
+// the same reason as chargeAcquire.
+//
+//go:noinline
+func (tx *Tx) chargeCASFail(site int32) {
+	tx.nCASFail++
+	tx.profAt(site).casFails++
+}
+
+// flushProfile moves the per-transaction site deltas into the runtime
+// profile. Zero fields are skipped so the common uncontended acquire
+// costs one atomic add per touched site.
+func (tx *Tx) flushProfile() {
+	buf := tx.rt.profBufs[tx.id]
+	if len(buf) == 0 {
+		return
+	}
+	p := &tx.rt.profile
+	for i := range buf {
+		d := &buf[i]
+		c := p.counters(d.site)
+		if d.acquires != 0 {
+			c.acquires.Add(uint64(d.acquires))
+		}
+		if d.contended != 0 {
+			c.contended.Add(uint64(d.contended))
+		}
+		if d.casFails != 0 {
+			c.casFails.Add(uint64(d.casFails))
+		}
+		if d.upgrades != 0 {
+			c.upgrades.Add(uint64(d.upgrades))
+		}
+		if d.deadlocks != 0 {
+			c.deadlocks.Add(uint64(d.deadlocks))
+		}
+		if d.blockNs != 0 {
+			c.blockNs.Add(d.blockNs)
+		}
+	}
+	tx.rt.profBufs[tx.id] = buf[:0]
+}
+
+// Profile aggregates per-site contention counters for one runtime. The
+// storage is a copy-on-write slice indexed by global site ID, grown
+// lazily the first time a transaction flushes a site.
+type Profile struct {
+	mu    sync.Mutex
+	sites atomic.Pointer[[]*siteCounters]
+}
+
+func (p *Profile) load() []*siteCounters {
+	if s := p.sites.Load(); s != nil {
+		return *s
+	}
+	return nil
+}
+
+// counters returns the aggregate cell of a site, growing the table under
+// the mutex when a new site appears. Reads on the flush path are one
+// atomic pointer load plus an index.
+func (p *Profile) counters(site int32) *siteCounters {
+	s := p.load()
+	if int(site) < len(s) {
+		return s[site]
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s = p.load()
+	if int(site) < len(s) {
+		return s[site]
+	}
+	grown := make([]*siteCounters, siteCount())
+	copy(grown, s)
+	for i := len(s); i < len(grown); i++ {
+		grown[i] = new(siteCounters)
+	}
+	p.sites.Store(&grown)
+	return grown[site]
+}
+
+// SiteProfile is one row of a profile snapshot.
+type SiteProfile struct {
+	Site      SiteInfo
+	Acquires  uint64 // lock acquire+release pairs (sampled estimate; see ProfileSampleRate)
+	Contended uint64 // acquires that had to enqueue
+	CASFails  uint64 // failed lock-word CAS attempts
+	Upgrades  uint64 // read-to-write upgrades that enqueued
+	Deadlocks uint64 // abort involvements while acquiring (deadlock victim, duel loss)
+	BlockTime time.Duration
+}
+
+// Snapshot returns every site with at least one recorded event, hottest
+// first: descending block time, then contended acquires, then total
+// acquires — the order the "which lock melted" question wants.
+func (p *Profile) Snapshot() []SiteProfile {
+	s := p.load()
+	out := make([]SiteProfile, 0, len(s))
+	for id, c := range s {
+		if c == nil {
+			continue
+		}
+		row := SiteProfile{
+			Site:      siteInfo(int32(id)),
+			Acquires:  c.acquires.Load(),
+			Contended: c.contended.Load(),
+			CASFails:  c.casFails.Load(),
+			Upgrades:  c.upgrades.Load(),
+			Deadlocks: c.deadlocks.Load(),
+			BlockTime: time.Duration(c.blockNs.Load()),
+		}
+		if row.Acquires|row.Contended|row.CASFails|row.Upgrades|row.Deadlocks == 0 && row.BlockTime == 0 {
+			continue
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.BlockTime != b.BlockTime {
+			return a.BlockTime > b.BlockTime
+		}
+		if a.Contended != b.Contended {
+			return a.Contended > b.Contended
+		}
+		if a.Acquires != b.Acquires {
+			return a.Acquires > b.Acquires
+		}
+		return a.Site.String() < b.Site.String()
+	})
+	return out
+}
+
+// Reset zeroes every per-site counter (the table stays allocated).
+func (p *Profile) Reset() {
+	for _, c := range p.load() {
+		c.acquires.Store(0)
+		c.contended.Store(0)
+		c.casFails.Store(0)
+		c.upgrades.Store(0)
+		c.deadlocks.Store(0)
+		c.blockNs.Store(0)
+	}
+}

@@ -1,0 +1,250 @@
+package stm
+
+import (
+	"testing"
+	"time"
+)
+
+// exactProfileRuntime disables acquire sampling so tests can assert
+// exact per-site acquire counts.
+func exactProfileRuntime() *Runtime {
+	return NewRuntimeOpts(Options{ProfileSampleRate: 1})
+}
+
+func TestProfileCountsUncontendedAcquires(t *testing.T) {
+	rt := exactProfileRuntime()
+	c := NewClass("ProfPlain", FieldSpec{Name: "v", Kind: KindWord})
+	o := NewCommitted(c)
+	v := c.Field("v")
+
+	tx := rt.Begin()
+	tx.WriteInt(o, v, 1)
+	tx.Commit()
+
+	rows := rt.Profile().Snapshot()
+	var row *SiteProfile
+	for i := range rows {
+		if rows[i].Site.Class == "ProfPlain" {
+			row = &rows[i]
+		}
+	}
+	if row == nil {
+		t.Fatalf("no profile row for ProfPlain.v; got %+v", rows)
+	}
+	if row.Site.Field != "v" || row.Site.Array {
+		t.Fatalf("site identity wrong: %+v", row.Site)
+	}
+	if row.Acquires != 1 || row.Contended != 0 || row.BlockTime != 0 {
+		t.Fatalf("uncontended acquire miscounted: %+v", row)
+	}
+}
+
+func TestProfileTopSiteIsTheHotLock(t *testing.T) {
+	rt := exactProfileRuntime()
+	c := NewClass("ProfHot",
+		FieldSpec{Name: "hot", Kind: KindWord},
+		FieldSpec{Name: "cold", Kind: KindWord})
+	o := NewCommitted(c)
+	hot, cold := c.Field("hot"), c.Field("cold")
+
+	// The holder owns "hot" while a second transaction blocks on it;
+	// "cold" is only ever touched uncontended.
+	holder := rt.Begin()
+	holder.WriteInt(o, hot, 1)
+	holder.WriteInt(o, cold, 1)
+
+	done := make(chan struct{})
+	go func() {
+		retryLoop(rt, func(tx *Tx) { tx.WriteInt(o, hot, 2) })
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	holder.Commit()
+	<-done
+
+	rows := rt.Profile().Snapshot()
+	if len(rows) < 2 {
+		t.Fatalf("expected rows for hot and cold, got %+v", rows)
+	}
+	top := rows[0]
+	if top.Site.String() != "ProfHot.hot" {
+		t.Fatalf("top site = %s, want ProfHot.hot (rows %+v)", top.Site, rows)
+	}
+	if top.Contended == 0 {
+		t.Fatal("contended acquire not counted on the hot site")
+	}
+	if top.BlockTime == 0 {
+		t.Fatal("block time not charged to the hot site")
+	}
+	for _, r := range rows[1:] {
+		if r.Site.String() == "ProfHot.cold" && (r.Contended != 0 || r.BlockTime != 0) {
+			t.Fatalf("cold site charged with contention: %+v", r)
+		}
+	}
+}
+
+func TestProfileArrayElementsShareOneSite(t *testing.T) {
+	rt := exactProfileRuntime()
+	a := NewCommittedArray(KindWord, 8)
+
+	tx := rt.Begin()
+	for i := 0; i < 8; i++ {
+		tx.WriteElem(a, i, uint64(i))
+	}
+	tx.Commit()
+
+	var row *SiteProfile
+	rows := rt.Profile().Snapshot()
+	for i := range rows {
+		if rows[i].Site.Array && rows[i].Site.Class == "[]word" {
+			row = &rows[i]
+		}
+	}
+	if row == nil {
+		t.Fatalf("no array site row; got %+v", rows)
+	}
+	if row.Site.String() != "[]word[*]" {
+		t.Fatalf("array site renders as %q, want []word[*]", row.Site.String())
+	}
+	if row.Acquires != 8 {
+		t.Fatalf("array acquires = %d, want 8 (one per element, one shared site)", row.Acquires)
+	}
+}
+
+// TestProfileSampledAcquiresUnbiased drives enough acquires through a
+// default (sampled) runtime that the scaled estimate must land near the
+// true count: 256 transactions × 64 acquires = 16384 true acquires on
+// one site; the ticket-offset phase makes the estimate unbiased, so
+// even a generous ±50% tolerance would only fail on a broken sampler.
+func TestProfileSampledAcquiresUnbiased(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("ProfSampled", FieldSpec{Name: "v", Kind: KindWord})
+	v := c.Field("v")
+
+	const txns, perTx = 256, 64
+	objs := make([]*Object, perTx)
+	for i := range objs {
+		objs[i] = NewCommitted(c)
+	}
+	for i := 0; i < txns; i++ {
+		tx := rt.Begin()
+		for _, o := range objs {
+			tx.WriteInt(o, v, int64(i))
+		}
+		tx.Commit()
+	}
+
+	var got uint64
+	for _, r := range rt.Profile().Snapshot() {
+		if r.Site.Class == "ProfSampled" {
+			got = r.Acquires
+		}
+	}
+	const want = txns * perTx
+	if got < want/2 || got > want*2 {
+		t.Fatalf("sampled acquire estimate = %d, want within 2x of %d", got, want)
+	}
+}
+
+func TestProfileDeadlockInvolvement(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("ProfDead", FieldSpec{Name: "v", Kind: KindWord})
+	a, b := NewCommitted(c), NewCommitted(c)
+	v := c.Field("v")
+
+	older := rt.Begin()
+	younger := rt.Begin()
+	older.WriteInt(a, v, 1)
+	younger.WriteInt(b, v, 2)
+
+	done := make(chan struct{})
+	go func() {
+		// Younger blocks on a, then the older's write to b closes the
+		// cycle; younger is the victim (youngest member).
+		retryLoop2(rt, younger, func(tx *Tx) {
+			tx.WriteInt(b, v, 2)
+			tx.WriteInt(a, v, 3)
+		})
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	older.WriteInt(b, v, 4)
+	older.Commit()
+	<-done
+
+	var dead uint64
+	for _, r := range rt.Profile().Snapshot() {
+		if r.Site.Class == "ProfDead" {
+			dead += r.Deadlocks
+		}
+	}
+	if dead == 0 {
+		t.Fatal("deadlock involvement not attributed to any ProfDead site")
+	}
+}
+
+// retryLoop2 is retryLoop continuing an already-begun transaction.
+func retryLoop2(rt *Runtime, tx *Tx, body func(tx *Tx)) {
+	for {
+		done := func() (ok bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if ab, isAbort := r.(*Aborted); isAbort && ab.Tx == tx {
+						ok = false
+						return
+					}
+					panic(r)
+				}
+			}()
+			body(tx)
+			return true
+		}()
+		if done {
+			tx.Commit()
+			return
+		}
+		tx.Reset()
+	}
+}
+
+func TestProfileReset(t *testing.T) {
+	rt := exactProfileRuntime()
+	c := NewClass("ProfReset", FieldSpec{Name: "v", Kind: KindWord})
+	o := NewCommitted(c)
+
+	tx := rt.Begin()
+	tx.WriteInt(o, c.Field("v"), 1)
+	tx.Commit()
+
+	if len(rt.Profile().Snapshot()) == 0 {
+		t.Fatal("no rows before Reset")
+	}
+	rt.Profile().Reset()
+	for _, r := range rt.Profile().Snapshot() {
+		if r.Site.Class == "ProfReset" {
+			t.Fatalf("row survived Reset: %+v", r)
+		}
+	}
+}
+
+func TestProfileFlushedOnAbortReset(t *testing.T) {
+	rt := exactProfileRuntime()
+	c := NewClass("ProfAbort", FieldSpec{Name: "v", Kind: KindWord})
+	o := NewCommitted(c)
+
+	tx := rt.Begin()
+	tx.WriteInt(o, c.Field("v"), 1)
+	runAborting(t, func() { tx.Abort("testing") })
+	tx.Reset()
+	tx.Commit()
+
+	var acq uint64
+	for _, r := range rt.Profile().Snapshot() {
+		if r.Site.Class == "ProfAbort" {
+			acq += r.Acquires
+		}
+	}
+	if acq == 0 {
+		t.Fatal("acquire from the aborted attempt was not flushed at Reset")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The slow path: fair wait queues and deadlock handling. All queue
@@ -90,9 +91,11 @@ func (d *detector) cas(addr *uint64, old, new uint64, p YieldPoint) bool {
 // still unavailable (at the front for upgrading readers, paper §3.2), runs
 // deadlock detection, and blocks until granted or aborted. On grant the
 // lock word already contains the transaction's bits; the caller records
-// the lock in its logs. slowAcquire panics with *Aborted if the
-// transaction is chosen as a deadlock victim.
-func (tx *Tx) slowAcquire(addr *uint64, write bool) {
+// the lock in its logs. site is the contention-profile site of the lock;
+// every outcome of the slow path (enqueue, upgrade duel, deadlock loss,
+// time spent parked) is charged to it. slowAcquire panics with *Aborted
+// if the transaction is chosen as a deadlock victim.
+func (tx *Tx) slowAcquire(addr *uint64, site int32, write bool) {
 	rt := tx.rt
 	d := rt.det
 	rt.yield(PointSlowEnter)
@@ -119,13 +122,16 @@ func (tx *Tx) slowAcquire(addr *uint64, write bool) {
 			return
 		}
 		tx.nCASFail++
+		tx.profAt(site).casFails++
 	}
 
 	tx.nContended++
+	tx.profAt(site).contended++
 	upgrader := write && atomic.LoadUint64(addr)&tx.mask != 0
 
 	q := d.install(addr)
 	if upgrader {
+		tx.profAt(site).upgrades++
 		// Dueling write-upgrades (paper §3.3): the U bit makes the second
 		// upgrader detect the duel immediately. Two upgrading readers of
 		// the same lock always deadlock; resolve it now by aborting the
@@ -146,6 +152,7 @@ func (tx *Tx) slowAcquire(addr *uint64, write bool) {
 					d.debug.duel(tx, other.tx)
 					d.event(Event{Kind: EvDuel, TxID: tx.id, VictimID: tx.id, OtherID: other.tx.id, Addr: addr, Inev: other.tx.inevitable})
 					d.mu.Unlock()
+					tx.profAt(site).deadlocks++
 					tx.selfAbort("dueling write-upgrade")
 				}
 			}
@@ -178,6 +185,7 @@ func (tx *Tx) slowAcquire(addr *uint64, write bool) {
 			d.event(Event{Kind: EvAbortWaiter, TxID: tx.id, Addr: wt.q.addr})
 			d.removeWaiter(wt)
 			d.mu.Unlock()
+			tx.profAt(site).deadlocks++
 			tx.selfAbort("deadlock victim")
 		}
 		d.abortWaiter(victim)
@@ -188,6 +196,7 @@ func (tx *Tx) slowAcquire(addr *uint64, write bool) {
 	d.grantLocked(q)
 	d.mu.Unlock()
 
+	parkStart := time.Now()
 	for {
 		rt.block(PointParked)
 		<-wt.ch
@@ -196,9 +205,13 @@ func (tx *Tx) slowAcquire(addr *uint64, write bool) {
 		granted, aborted := wt.granted, wt.aborted
 		d.mu.Unlock()
 		if granted {
+			tx.profAt(site).blockNs += uint64(time.Since(parkStart))
 			return
 		}
 		if aborted {
+			pd := tx.profAt(site)
+			pd.blockNs += uint64(time.Since(parkStart))
+			pd.deadlocks++
 			tx.selfAbort("aborted while enqueued")
 		}
 		// Injected spurious wake-up (Runtime.InjectSpuriousWake): no
@@ -481,7 +494,7 @@ func (d *detector) findDeadlockVictim(wt *waiter) *waiter {
 	}
 	if victim != nil {
 		d.debug.deadlock(members, victim)
-		if d.rt != nil && d.rt.hooks != nil {
+		if d.rt != nil && d.rt.wantsEvent(EvDeadlock) {
 			ev := Event{Kind: EvDeadlock, VictimID: victim.tx.id, TxID: wt.tx.id}
 			for _, m := range members {
 				ev.CycleIDs = append(ev.CycleIDs, m.tx.id)

@@ -1,0 +1,269 @@
+package stm
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// The flight recorder retains the last N protocol events in production.
+// Before it existed, events were only observable with a schedule
+// harness attached (Options.Hooks); the recorder keeps the contention
+// history — blocks, grants, deadlock resolutions, upgrade duels —
+// available for dumping on demand or when a deadlock is resolved,
+// without any harness and without locks: one fetch-add claims a slot,
+// and per-slot sequence validation makes torn (overwritten-while-read)
+// slots detectable, so readers simply skip them.
+//
+// Per-transaction lifecycle events (begin/commit/reset/ID release) are
+// excluded by the default kind mask: they fire once per transaction on
+// the uncontended path, where the recorder must cost nothing beyond a
+// mask check. Options.RecorderKinds can opt them in.
+
+// DefaultRecorderSize is the event capacity used when Options.RecorderSize
+// is zero.
+const DefaultRecorderSize = 1024
+
+// defaultRecorderKinds are the contention-path protocol events retained
+// in production.
+var defaultRecorderKinds = []EventKind{
+	EvBlocked, EvGranted, EvAbortWaiter, EvDeadlock, EvDuel,
+	EvSpuriousWake, EvDelayedGrant, EvInevRelease,
+}
+
+// recSlot is one ring slot: a sequence word plus the packed payload.
+// Everything is atomic so concurrent overwrite is a torn read the
+// sequence check catches, never a data race.
+type recSlot struct {
+	seq atomic.Uint64 // logicalIndex*2 + 2 when stable; odd while writing
+	w   [5]atomic.Uint64
+}
+
+// FlightRecorder is the fixed-size lock-free protocol-event ring.
+type FlightRecorder struct {
+	mask   uint64
+	kinds  uint64 // bit mask over EventKind
+	start  time.Time
+	cursor atomic.Uint64
+	slots  []recSlot
+}
+
+func newFlightRecorder(size int, kinds []EventKind) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultRecorderSize
+	}
+	// Round up to a power of two so slot selection is one AND.
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	if kinds == nil {
+		kinds = defaultRecorderKinds
+	}
+	var mask uint64
+	for _, k := range kinds {
+		mask |= 1 << uint(k)
+	}
+	return &FlightRecorder{
+		mask:  uint64(n - 1),
+		kinds: mask,
+		start: time.Now(),
+		slots: make([]recSlot, n),
+	}
+}
+
+// wants reports whether events of kind k are recorded.
+func (r *FlightRecorder) wants(k EventKind) bool {
+	return r.kinds&(1<<uint(k)) != 0
+}
+
+// Cap returns the ring capacity in events.
+func (r *FlightRecorder) Cap() int { return len(r.slots) }
+
+// Recorded returns the total number of events recorded since creation
+// (not capped by the ring size).
+func (r *FlightRecorder) Recorded() uint64 { return r.cursor.Load() }
+
+// Payload packing, LSB first in w[0]:
+//
+//	[0..7]   kind     [8..15]  txID+1     [16..23] otherID+1
+//	[24..31] victimID+1        [32..39]  queue ID
+//	[40] write  [41] upgrader  [42] inevitable
+//	[48..55] deadlock-cycle length (clamped to 8)
+//
+// w[1] ticket, w[2] lock-word address, w[3] nanos since recorder start,
+// w[4] up to 8 cycle member IDs, one byte each (MaxTxns = 56 < 255).
+// IDs are stored +1 so 0 means "not applicable".
+func (r *FlightRecorder) record(ev *Event) {
+	idx := r.cursor.Add(1) - 1
+	s := &r.slots[idx&r.mask]
+	s.seq.Store(idx*2 + 1) // claim: odd while the payload is in flux
+
+	var w0 uint64
+	w0 |= uint64(ev.Kind)
+	w0 |= uint64(ev.TxID+1) << 8
+	if ev.Kind == EvDuel {
+		w0 |= uint64(ev.OtherID+1) << 16
+	}
+	if ev.Kind == EvDuel || ev.Kind == EvDeadlock {
+		w0 |= uint64(ev.VictimID+1) << 24
+	}
+	w0 |= uint64(ev.QID) << 32
+	if ev.Write {
+		w0 |= 1 << 40
+	}
+	if ev.Upgrader {
+		w0 |= 1 << 41
+	}
+	if ev.Inev {
+		w0 |= 1 << 42
+	}
+	var cyc uint64
+	n := len(ev.CycleIDs)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		cyc |= uint64(ev.CycleIDs[i]+1) << (8 * uint(i))
+	}
+	w0 |= uint64(n) << 48
+
+	s.w[0].Store(w0)
+	s.w[1].Store(ev.Ticket)
+	var addr uint64
+	if ev.Addr != nil {
+		addr = uint64(uintptr(unsafe.Pointer(ev.Addr)))
+	}
+	s.w[2].Store(addr)
+	s.w[3].Store(uint64(time.Since(r.start)))
+	s.w[4].Store(cyc)
+
+	s.seq.Store(idx*2 + 2) // publish
+}
+
+// RecordedEvent is one decoded flight-recorder entry.
+type RecordedEvent struct {
+	Seq      uint64        // global event index (monotonic)
+	T        time.Duration // offset from recorder start
+	Kind     EventKind
+	TxID     int
+	OtherID  int // EvDuel survivor; -1 when not applicable
+	VictimID int // EvDuel/EvDeadlock victim; -1 when not applicable
+	QID      int
+	Write    bool
+	Upgrader bool
+	Inev     bool
+	Ticket   uint64
+	Addr     uintptr // lock word identity (for correlating events)
+	CycleIDs []int   // EvDeadlock members (first 8)
+}
+
+// Snapshot decodes the retained events, oldest first. Slots overwritten
+// while being read are skipped; the result is a consistent best-effort
+// view, which is what a flight recorder promises.
+func (r *FlightRecorder) Snapshot() []RecordedEvent {
+	cur := r.cursor.Load()
+	n := uint64(len(r.slots))
+	lo := uint64(0)
+	if cur > n {
+		lo = cur - n
+	}
+	out := make([]RecordedEvent, 0, cur-lo)
+	for idx := lo; idx < cur; idx++ {
+		s := &r.slots[idx&r.mask]
+		want := idx*2 + 2
+		if s.seq.Load() != want {
+			continue
+		}
+		var w [5]uint64
+		for i := range w {
+			w[i] = s.w[i].Load()
+		}
+		if s.seq.Load() != want {
+			continue // overwritten mid-read
+		}
+		ev := RecordedEvent{
+			Seq:      idx,
+			T:        time.Duration(w[3]),
+			Kind:     EventKind(w[0] & 0xff),
+			TxID:     int((w[0]>>8)&0xff) - 1,
+			OtherID:  int((w[0]>>16)&0xff) - 1,
+			VictimID: int((w[0]>>24)&0xff) - 1,
+			QID:      int((w[0] >> 32) & 0xff),
+			Write:    w[0]&(1<<40) != 0,
+			Upgrader: w[0]&(1<<41) != 0,
+			Inev:     w[0]&(1<<42) != 0,
+			Ticket:   w[1],
+			Addr:     uintptr(w[2]),
+		}
+		if cn := int((w[0] >> 48) & 0xff); cn > 0 {
+			ev.CycleIDs = make([]int, cn)
+			for i := 0; i < cn; i++ {
+				ev.CycleIDs[i] = int((w[4]>>(8*uint(i)))&0xff) - 1
+			}
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// String renders one event in the dump format (see Dump).
+func (ev RecordedEvent) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s %-13s", ev.T.Round(time.Microsecond), ev.Kind)
+	if ev.TxID >= 0 {
+		fmt.Fprintf(&b, " tx=%d", ev.TxID)
+	}
+	if ev.Ticket != 0 {
+		fmt.Fprintf(&b, " ticket=%d", ev.Ticket)
+	}
+	if ev.Addr != 0 {
+		fmt.Fprintf(&b, " lock=0x%x", uint64(ev.Addr))
+	}
+	if ev.QID != 0 {
+		fmt.Fprintf(&b, " q=%d", ev.QID)
+	}
+	if ev.Kind == EvDuel || ev.Kind == EvDeadlock {
+		if ev.VictimID >= 0 {
+			fmt.Fprintf(&b, " victim=%d", ev.VictimID)
+		}
+	}
+	if ev.Kind == EvDuel && ev.OtherID >= 0 {
+		fmt.Fprintf(&b, " survivor=%d", ev.OtherID)
+	}
+	if len(ev.CycleIDs) > 0 {
+		fmt.Fprintf(&b, " cycle=%v", ev.CycleIDs)
+	}
+	if ev.Write {
+		b.WriteString(" write")
+	}
+	if ev.Upgrader {
+		b.WriteString(" upgrader")
+	}
+	if ev.Inev {
+		b.WriteString(" inev")
+	}
+	return b.String()
+}
+
+// Dump writes the retained events, one per line, oldest first:
+//
+//	seq=17       412µs blocked    tx=3 ticket=7 lock=0xc000123 q=2 write
+//
+// Times are offsets from recorder creation.
+func (r *FlightRecorder) Dump(w io.Writer) error {
+	evs := r.Snapshot()
+	if len(evs) == 0 {
+		_, err := fmt.Fprintln(w, "flight recorder: no events retained")
+		return err
+	}
+	for _, ev := range evs {
+		if _, err := fmt.Fprintf(w, "seq=%-8d %s\n", ev.Seq, ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

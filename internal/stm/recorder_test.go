@@ -1,0 +1,222 @@
+package stm
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderCapturesBlockAndGrant(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("RecBG", FieldSpec{Name: "v", Kind: KindWord})
+	o := NewCommitted(c)
+	v := c.Field("v")
+
+	holder := rt.Begin()
+	holder.WriteInt(o, v, 1)
+	done := make(chan struct{})
+	go func() {
+		retryLoop(rt, func(tx *Tx) { tx.WriteInt(o, v, 2) })
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	holder.Commit()
+	<-done
+
+	evs := rt.Recorder().Snapshot()
+	var blocked, granted *RecordedEvent
+	for i := range evs {
+		switch evs[i].Kind {
+		case EvBlocked:
+			blocked = &evs[i]
+		case EvGranted:
+			granted = &evs[i]
+		}
+	}
+	if blocked == nil || granted == nil {
+		t.Fatalf("missing blocked/granted events: %+v", evs)
+	}
+	if !blocked.Write {
+		t.Fatalf("blocked event lost the write flag: %+v", blocked)
+	}
+	if blocked.TxID != granted.TxID {
+		t.Fatalf("blocked tx %d granted as %d", blocked.TxID, granted.TxID)
+	}
+	if blocked.Addr == 0 || blocked.Addr != granted.Addr {
+		t.Fatalf("lock identity not preserved: blocked %x granted %x", blocked.Addr, granted.Addr)
+	}
+	if blocked.Seq >= granted.Seq {
+		t.Fatalf("grant (seq %d) not after block (seq %d)", granted.Seq, blocked.Seq)
+	}
+}
+
+func TestRecorderCapturesDeadlockAndDumps(t *testing.T) {
+	var mu sync.Mutex
+	var dump bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return dump.Write(p)
+	})
+	rt := NewRuntimeOpts(Options{DeadlockDump: w})
+	c := NewClass("RecDead", FieldSpec{Name: "v", Kind: KindWord})
+	a, b := NewCommitted(c), NewCommitted(c)
+	v := c.Field("v")
+
+	older := rt.Begin()
+	younger := rt.Begin()
+	youngID := younger.ID()
+	older.WriteInt(a, v, 1)
+	younger.WriteInt(b, v, 2)
+
+	done := make(chan struct{})
+	go func() {
+		retryLoop2(rt, younger, func(tx *Tx) {
+			tx.WriteInt(b, v, 2)
+			tx.WriteInt(a, v, 3)
+		})
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	older.WriteInt(b, v, 4)
+	older.Commit()
+	<-done
+
+	var deadlock *RecordedEvent
+	evs := rt.Recorder().Snapshot()
+	for i := range evs {
+		if evs[i].Kind == EvDeadlock {
+			deadlock = &evs[i]
+		}
+	}
+	if deadlock == nil {
+		t.Fatalf("no deadlock event recorded: %+v", evs)
+	}
+	if deadlock.VictimID != youngID {
+		t.Fatalf("victim = %d, want youngest %d", deadlock.VictimID, youngID)
+	}
+	if len(deadlock.CycleIDs) != 2 {
+		t.Fatalf("cycle = %v, want both members", deadlock.CycleIDs)
+	}
+
+	mu.Lock()
+	text := dump.String()
+	mu.Unlock()
+	if !strings.Contains(text, "deadlock") || !strings.Contains(text, "blocked") {
+		t.Fatalf("DeadlockDump missing protocol history:\n%s", text)
+	}
+}
+
+func TestRecorderWrapAround(t *testing.T) {
+	rt := NewRuntimeOpts(Options{
+		RecorderSize:  4,
+		RecorderKinds: []EventKind{EvCommit},
+	})
+	c := NewClass("RecWrap", FieldSpec{Name: "v", Kind: KindWord})
+	o := NewCommitted(c)
+	v := c.Field("v")
+
+	for i := 0; i < 10; i++ {
+		tx := rt.Begin()
+		tx.WriteInt(o, v, int64(i))
+		tx.Commit()
+	}
+
+	rec := rt.Recorder()
+	if rec.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", rec.Cap())
+	}
+	if rec.Recorded() != 10 {
+		t.Fatalf("Recorded = %d, want 10", rec.Recorded())
+	}
+	evs := rec.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Kind != EvCommit {
+			t.Fatalf("event %d kind %v, want commit", i, ev.Kind)
+		}
+		if ev.Seq != uint64(6+i) {
+			t.Fatalf("event %d seq %d, want %d (only the newest survive)", i, ev.Seq, 6+i)
+		}
+	}
+}
+
+func TestRecorderKindMaskExcludesLifecycleByDefault(t *testing.T) {
+	rt := NewRuntime()
+	c := NewClass("RecMask", FieldSpec{Name: "v", Kind: KindWord})
+	o := NewCommitted(c)
+
+	tx := rt.Begin()
+	tx.WriteInt(o, c.Field("v"), 1)
+	tx.Commit()
+
+	if n := rt.Recorder().Recorded(); n != 0 {
+		t.Fatalf("uncontended lifecycle recorded %d events, want 0 (default mask)", n)
+	}
+}
+
+func TestRecorderDisabled(t *testing.T) {
+	rt := NewRuntimeOpts(Options{RecorderSize: -1})
+	if rt.Recorder() != nil {
+		t.Fatal("RecorderSize -1 did not disable the recorder")
+	}
+	c := NewClass("RecOff", FieldSpec{Name: "v", Kind: KindWord})
+	o := NewCommitted(c)
+	v := c.Field("v")
+
+	// Contention with no recorder must still work.
+	holder := rt.Begin()
+	holder.WriteInt(o, v, 1)
+	done := make(chan struct{})
+	go func() {
+		retryLoop(rt, func(tx *Tx) { tx.WriteInt(o, v, 2) })
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	holder.Commit()
+	<-done
+}
+
+func TestRecorderConcurrentSnapshotIsClean(t *testing.T) {
+	rt := NewRuntimeOpts(Options{RecorderSize: 8})
+	c := NewClass("RecRace", FieldSpec{Name: "v", Kind: KindWord})
+	o := NewCommitted(c)
+	v := c.Field("v")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				retryLoop(rt, func(tx *Tx) { tx.WriteInt(o, v, 1) })
+			}
+		}()
+	}
+	// Snapshot concurrently with writers: every returned slot must be
+	// internally consistent (kind decodes, seq monotonic).
+	for i := 0; i < 200; i++ {
+		last := int64(-1)
+		for _, ev := range rt.Recorder().Snapshot() {
+			if int64(ev.Seq) <= last {
+				t.Fatalf("snapshot seqs not increasing: %d after %d", ev.Seq, last)
+			}
+			last = int64(ev.Seq)
+			if ev.Kind >= EventKind(len(eventNames)) {
+				t.Fatalf("undecodable kind %d", ev.Kind)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

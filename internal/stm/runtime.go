@@ -19,6 +19,23 @@ type Runtime struct {
 	// hooks, when non-nil, routes slow-path decision points to a
 	// schedule-exploration harness (internal/sched). nil in production.
 	hooks Hooks
+	// profile aggregates per-lock-site contention counters, fed by
+	// per-transaction delta buffers at Commit/Reset (profile.go).
+	profile Profile
+	// profMask gates the sampled per-site acquire counter: a lock acquire
+	// is charged to its site when (nAcq+ticket)&profMask == 0.
+	profMask uint64
+	// profBufs holds the per-transaction site-delta buffers, indexed by
+	// transaction ID (see profAt): the slot is exclusively owned by the
+	// goroutine holding the ID, and keeping the buffers here lets their
+	// capacity survive ID reuse without growing the Tx struct.
+	profBufs [MaxTxns][]siteDelta
+	// rec is the protocol-event flight recorder; nil when disabled via
+	// Options.RecorderSize < 0.
+	rec *FlightRecorder
+	// dumpOnDeadlock, when non-nil, receives a flight-recorder dump each
+	// time the detector resolves a deadlock.
+	dumpOnDeadlock io.Writer
 	// inev is the single inevitability token (§3.4): at most one
 	// transaction can be inevitable at any moment.
 	inev chan struct{}
@@ -39,6 +56,28 @@ type Options struct {
 	// hooks.go). Production runtimes leave it nil; the only residual
 	// cost is one nil check per instrumented slow-path site.
 	Hooks Hooks
+	// RecorderSize sizes the protocol-event flight recorder (rounded up
+	// to a power of two). 0 means DefaultRecorderSize; negative disables
+	// the recorder entirely.
+	RecorderSize int
+	// RecorderKinds selects which event kinds the flight recorder
+	// retains. nil means the contention-path default: blocked, granted,
+	// abort-waiter, deadlock, duel, spurious-wake, delayed-grant and
+	// inev-release — everything except the per-transaction lifecycle
+	// events, which would tax the uncontended fast path.
+	RecorderKinds []EventKind
+	// DeadlockDump, when non-nil, receives a flight-recorder dump every
+	// time the deadlock detector resolves a cycle — the protocol history
+	// leading up to the deadlock, captured at the moment it happened.
+	DeadlockDump io.Writer
+	// ProfileSampleRate is the sampling period of the per-site acquire
+	// counter: one in every ProfileSampleRate lock acquires is charged to
+	// its site (scaled back up at flush, so the reported totals stay
+	// unbiased estimates). 0 means DefaultProfileSampleRate; 1 counts
+	// every acquire exactly; other values are rounded up to a power of
+	// two. Contention counters (contended, CAS failures, upgrades,
+	// deadlocks, block time) are slow-path-only and always exact.
+	ProfileSampleRate int
 }
 
 // NewRuntime creates a runtime with default options.
@@ -58,6 +97,19 @@ func NewRuntimeOpts(opts Options) *Runtime {
 	}
 	rt.inev <- struct{}{}
 	rt.hooks = opts.Hooks
+	if opts.RecorderSize >= 0 {
+		rt.rec = newFlightRecorder(opts.RecorderSize, opts.RecorderKinds)
+	}
+	rt.dumpOnDeadlock = opts.DeadlockDump
+	rate := opts.ProfileSampleRate
+	if rate <= 0 {
+		rate = DefaultProfileSampleRate
+	}
+	pow := 1
+	for pow < rate {
+		pow <<= 1
+	}
+	rt.profMask = uint64(pow - 1)
 	rt.ids.rt = rt
 	rt.det.rt = rt
 	if opts.DebugLog != nil {
@@ -72,6 +124,13 @@ func (rt *Runtime) MaxConcurrentTxns() int { return rt.maxIDs }
 
 // Stats returns the runtime's statistics counters.
 func (rt *Runtime) Stats() *Stats { return &rt.stats }
+
+// Profile returns the runtime's per-lock-site contention profile.
+func (rt *Runtime) Profile() *Profile { return &rt.profile }
+
+// Recorder returns the protocol-event flight recorder, or nil when it
+// was disabled with Options.RecorderSize < 0.
+func (rt *Runtime) Recorder() *FlightRecorder { return rt.rec }
 
 // Begin starts a new transaction, blocking until a transaction ID is
 // available. The number of available IDs limits the achievable actual
@@ -90,14 +149,21 @@ func (rt *Runtime) Begin() *Tx {
 		ticket: rt.ticket.Add(1),
 	}
 	rt.txByID[id].Store(tx)
-	rt.event(Event{Kind: EvBegin, TxID: id, Ticket: tx.ticket})
+	// Guard the Event construction, not just its delivery: with the
+	// default recorder mask, lifecycle events are unwanted and the guard
+	// lets the compiler drop the struct build from the fast path.
+	if rt.wantsEvent(EvBegin) {
+		rt.event(Event{Kind: EvBegin, TxID: id, Ticket: tx.ticket})
+	}
 	return tx
 }
 
 func (rt *Runtime) releaseID(tx *Tx) {
 	rt.txByID[tx.id].Store(nil)
 	rt.ids.release(tx.id)
-	rt.event(Event{Kind: EvIDRelease, TxID: tx.id})
+	if rt.wantsEvent(EvIDRelease) {
+		rt.event(Event{Kind: EvIDRelease, TxID: tx.id})
+	}
 }
 
 // ActiveTxns returns the number of transaction IDs currently handed out.

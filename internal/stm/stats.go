@@ -1,6 +1,9 @@
 package stm
 
-import "sync/atomic"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Stats aggregates the runtime counters the paper's evaluation reports:
 // the lock-operation breakdown of Table 7 (Init / Check New / Check Owned
@@ -119,10 +122,16 @@ func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
 }
 
 // AbortRate returns aborts per successful commit (Table 9 column Abr.),
-// as a fraction (multiply by 100 for percent).
+// as a fraction (multiply by 100 for percent). A window with aborts but
+// no commits — total livelock, or a snapshot taken mid-retry — returns
+// +Inf rather than a misleading 0; only a window with no activity at
+// all is rate 0. Render +Inf as "inf" (or "—"), never as a number.
 func (s StatsSnapshot) AbortRate() float64 {
 	if s.Commits == 0 {
-		return 0
+		if s.Aborts == 0 {
+			return 0
+		}
+		return math.Inf(1)
 	}
 	return float64(s.Aborts) / float64(s.Commits)
 }

@@ -196,9 +196,10 @@ func (tx *Tx) ensureSlab(o *Object) *lockSlab {
 // lockFor implements the locking operation of paper Figure 5 for the lock
 // slot lockID of object o. The caller has already established that o is
 // not new (locks != nil), not thread-local, and that the field is not
-// final. When write is true the current value of the slot is captured in
-// the undo log at acquisition time.
-func (tx *Tx) lockFor(o *Object, slot int32, kind slotKind, lockID int32, write bool) {
+// final. site is the contention-profile site of the lock (profile.go).
+// When write is true the current value of the slot is captured in the
+// undo log at acquisition time.
+func (tx *Tx) lockFor(o *Object, slot int32, kind slotKind, lockID, site int32, write bool) {
 	slab := tx.ensureSlab(o)
 	addr := &slab.words[lockID]
 
@@ -219,14 +220,21 @@ func (tx *Tx) lockFor(o *Object, slot int32, kind slotKind, lockID int32, write 
 			if tx.rt.casWord(addr, w, nw, PointFastCAS) {
 				acquired = true
 			} else {
-				tx.nCASFail++
+				tx.chargeCASFail(site)
 			}
 		}
 	}
 	if !acquired {
-		tx.slowAcquire(addr, write) // blocks; panics with *Aborted on defeat
+		tx.slowAcquire(addr, site, write) // blocks; panics with *Aborted on defeat
 	}
 	tx.nAcq++
+	// The per-site acquire count is sampled 1-in-(profMask+1): the ticket
+	// offsets the sampling phase per transaction, so short transactions
+	// contribute in aggregate even though any single one usually skips.
+	// All other site counters are slow-path-only and stay exact.
+	if (tx.nAcq+tx.ticket)&tx.rt.profMask == 0 {
+		tx.chargeAcquire(site)
+	}
 	tx.lockLog = append(tx.lockLog, lockLogEntry{slab: slab, lockID: lockID})
 	if write {
 		tx.captureUndo(o, slot, kind)
@@ -256,16 +264,22 @@ func (tx *Tx) fieldAccess(o *Object, f FieldID, kind slotKind, write bool) int32
 		panic(fmt.Sprintf("stm: field %s.%s is %v, accessed as %v",
 			o.class.name, m.name, m.kind, kindOf(kind)))
 	}
-	if o.local {
-		if write {
-			tx.captureUndo(o, m.idx, kind)
-		}
-		return m.idx
-	}
 	if m.final {
+		// The final check must precede the thread-local branch: a final
+		// field is immutable after construction on EVERY object. A local
+		// object is born committed (locks == unallocSlab), so any write
+		// to its final fields is post-construction and must panic the
+		// same way it does on a shared object — it used to be silently
+		// permitted (and undo-logged) via the local fast path.
 		if write && o.locks.Load() != nil {
 			panic(fmt.Sprintf("stm: write to final field %s.%s outside construction",
 				o.class.name, m.name))
+		}
+		return m.idx
+	}
+	if o.local {
+		if write {
+			tx.captureUndo(o, m.idx, kind)
 		}
 		return m.idx
 	}
@@ -274,7 +288,7 @@ func (tx *Tx) fieldAccess(o *Object, f FieldID, kind slotKind, write bool) int32
 		tx.nCheckNew++
 		return m.idx
 	}
-	tx.lockFor(o, m.idx, kind, m.lockID, write)
+	tx.lockFor(o, m.idx, kind, m.lockID, m.siteID, write)
 	return m.idx
 }
 
@@ -286,6 +300,15 @@ func (tx *Tx) elemAccess(o *Object, i int, kind slotKind, write bool) {
 	if o.class.elem != kindOf(kind) {
 		panic(fmt.Sprintf("stm: array of %v accessed as %v", o.class.elem, kindOf(kind)))
 	}
+	// Bounds must be validated before any lock-slot or undo-slot use: the
+	// lock slab is indexed by the element index, so an out-of-range index
+	// used to panic deep inside slab.words with an opaque Go "index out
+	// of range" — and a negative index on the local/new paths could
+	// record a corrupt undo slot before the storage access panicked.
+	if n := o.Len(); i < 0 || i >= n {
+		panic(fmt.Sprintf("stm: index %d out of range for array %s of length %d",
+			i, o.class.name, n))
+	}
 	if o.local {
 		if write {
 			tx.captureUndo(o, int32(i), kind)
@@ -296,7 +319,7 @@ func (tx *Tx) elemAccess(o *Object, i int, kind slotKind, write bool) {
 		tx.nCheckNew++
 		return
 	}
-	tx.lockFor(o, int32(i), kind, int32(i), write)
+	tx.lockFor(o, int32(i), kind, int32(i), o.class.siteID, write)
 }
 
 func kindOf(s slotKind) Kind {
@@ -507,8 +530,11 @@ func (tx *Tx) Commit() {
 	deferred := tx.onCommit
 	tx.clearLogs()
 	tx.rt.stats.Commits.Add(1)
-	tx.rt.event(Event{Kind: EvCommit, TxID: tx.id, Ticket: tx.ticket})
+	if tx.rt.wantsEvent(EvCommit) {
+		tx.rt.event(Event{Kind: EvCommit, TxID: tx.id, Ticket: tx.ticket})
+	}
 	tx.flushCounters()
+	tx.flushProfile()
 	tx.rt.releaseID(tx)
 	for _, f := range deferred {
 		f()
@@ -549,8 +575,11 @@ func (tx *Tx) Reset() {
 	tx.clearLogs()
 	tx.victim.Store(false)
 	tx.rt.stats.Aborts.Add(1)
-	tx.rt.event(Event{Kind: EvReset, TxID: tx.id, Ticket: tx.ticket})
+	if tx.rt.wantsEvent(EvReset) {
+		tx.rt.event(Event{Kind: EvReset, TxID: tx.id, Ticket: tx.ticket})
+	}
 	tx.flushCounters()
+	tx.flushProfile()
 }
 
 // AbandonAfterReset releases the transaction ID of a reset transaction

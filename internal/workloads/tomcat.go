@@ -266,7 +266,7 @@ func serveBaselineConn(conn *minihttp.Conn, input *tomcatInput, sm *stringManage
 	mu *sync.Mutex, sessions map[string]int, served *int, initialized *bool) {
 	defer conn.Close()
 	for {
-		line, err := readLine(conn)
+		line, err := conn.ReadLine()
 		if err != nil {
 			return
 		}
@@ -293,26 +293,8 @@ func serveBaselineConn(conn *minihttp.Conn, input *tomcatInput, sm *stringManage
 	}
 }
 
-func readLine(conn *minihttp.Conn) (string, error) {
-	var line []byte
-	buf := make([]byte, 1)
-	for {
-		n, err := conn.Read(buf)
-		if err != nil {
-			return "", err
-		}
-		if n == 0 {
-			continue
-		}
-		if buf[0] == '\n' {
-			return string(line), nil
-		}
-		line = append(line, buf[0])
-	}
-}
-
 func readBaselineResponse(conn *minihttp.Conn) (string, error) {
-	header, err := readLine(conn)
+	header, err := conn.ReadLine()
 	if err != nil {
 		return "", err
 	}
