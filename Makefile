@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-snapshot tables examples clean ci fmt-check stress
+.PHONY: all build vet test race bench bench-snapshot bench-compare tables examples clean ci fmt-check stress
 
 all: build vet test
 
@@ -37,13 +37,34 @@ stress:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable benchmark snapshot: two representative workloads
-# (CPU-bound sunflow, contention-bound tomcat) with per-site contention
-# columns, written to BENCH_2.json. The first point of the repository's
-# performance trajectory; CI runs this non-gating and uploads the file.
+# Machine-readable benchmark snapshots. BENCH_2.json: two representative
+# workloads (CPU-bound sunflow, contention-bound tomcat) with per-site
+# contention columns. BENCH_3.json: the multi-thread scalability suite
+# (contended counter, read-mostly, write-heavy, upgrade duel at 1/2/4/8
+# threads) compared against the committed pre-sharding global-mutex
+# baseline. CI runs this non-gating and uploads both files.
 bench-snapshot:
 	$(GO) run ./cmd/sbd-bench -scale=1 -threads=1,2,4 \
 		-bench=sunflow,tomcat -json=BENCH_2.json
+	$(GO) run ./cmd/sbd-bench -scalability -ops=20000 \
+		-baseline=bench/scalability-global-mutex.json -json=BENCH_3.json
+
+# Compare head benchmarks against a base git ref (default main),
+# benchstat-style via the stdlib-only cmd/sbd-benchcmp. Informational
+# except for the uncontended fast path (Table6AcqRls*), which fails the
+# target when it regresses more than 5%.
+BENCH_BASE    ?= main
+BENCH_PATTERN ?= BenchmarkTable6AcqRls|BenchmarkScalability
+BENCH_COUNT   ?= 3
+BENCH_TIME    ?= 0.5s
+bench-compare:
+	rm -rf .benchcmp-base && git worktree add --force --detach .benchcmp-base $(BENCH_BASE)
+	cd .benchcmp-base && $(GO) test -run=NONE -bench '$(BENCH_PATTERN)' \
+		-benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . > $(CURDIR)/bench-base.txt || true
+	$(GO) test -run=NONE -bench '$(BENCH_PATTERN)' \
+		-benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . > bench-head.txt
+	git worktree remove --force .benchcmp-base
+	$(GO) run ./cmd/sbd-benchcmp -gate 'Table6AcqRls' -threshold 5 bench-base.txt bench-head.txt
 
 # Regenerate every table and figure of the paper's evaluation into results/.
 tables:
@@ -63,4 +84,5 @@ examples:
 	$(GO) run ./examples/pingpong
 
 clean:
-	rm -rf results test_output.txt bench_output.txt stress-failure.txt
+	rm -rf results test_output.txt bench_output.txt stress-failure.txt \
+		bench-base.txt bench-head.txt .benchcmp-base

@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/scalebench"
 	"repro/internal/stm"
 	"repro/internal/workloads"
 )
@@ -45,6 +46,10 @@ var (
 	jsonOut  = flag.String("json", "", "write a machine-readable result snapshot to this file")
 	topSites = flag.Int("topsites", 5, "per-site contention rows to print per workload (0 disables)")
 	metrics  = flag.String("metrics", "", "serve live /metrics+/profile over TCP on this address while measuring (e.g. 127.0.0.1:9464)")
+
+	scalability = flag.Bool("scalability", false, "run the contended-path scalability suite (internal/scalebench) instead of Table 9")
+	scalOps     = flag.Int("ops", 20000, "committed transactions per scalability cell")
+	scalBase    = flag.String("baseline", "", "earlier -scalability snapshot to print deltas against and embed as the 'before' half of -json")
 )
 
 func parseThreads(s string) []int {
@@ -118,8 +123,132 @@ type jsonReport struct {
 	Workloads []jsonWorkload `json:"workloads"`
 }
 
+// Scalability-suite JSON schema (BENCH_3.json). The file holds *two*
+// snapshots: "before" is an earlier capture loaded via -baseline (the
+// global-mutex detector, in the repo's trajectory), "after" is the run
+// that wrote the file.
+type scalCell struct {
+	Mix        string  `json:"mix"`
+	Threads    int     `json:"threads"`
+	Ops        uint64  `json:"ops"`
+	ElapsedNs  int64   `json:"elapsed_ns"`
+	TxnsPerSec float64 `json:"txns_per_sec"`
+	Aborts     uint64  `json:"aborts"`
+	Contended  uint64  `json:"contended"`
+	CASFails   uint64  `json:"cas_fails"`
+	Deadlocks  uint64  `json:"deadlocks"`
+	IDWaits    uint64  `json:"id_waits"`
+}
+
+type scalSnapshot struct {
+	Tool       string     `json:"tool"`
+	Mode       string     `json:"mode"`
+	OpsPerCell int        `json:"ops_per_cell"`
+	Cells      []scalCell `json:"cells"`
+}
+
+type scalReport struct {
+	Tool   string        `json:"tool"`
+	Mode   string        `json:"mode"`
+	Before *scalSnapshot `json:"before,omitempty"`
+	After  scalSnapshot  `json:"after"`
+}
+
+// loadScalBaseline accepts either a bare snapshot or a full before/after
+// report (in which case its "after" half is the baseline).
+func loadScalBaseline(path string) (*scalSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep scalReport
+	if err := json.Unmarshal(data, &rep); err == nil && len(rep.After.Cells) > 0 {
+		return &rep.After, nil
+	}
+	var snap scalSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+func runScalability() {
+	var before *scalSnapshot
+	if *scalBase != "" {
+		b, err := loadScalBaseline(*scalBase)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbd-bench: -baseline: %v\n", err)
+			os.Exit(1)
+		}
+		before = b
+	}
+	baseOf := func(mix string, threads int) *scalCell {
+		if before == nil {
+			return nil
+		}
+		for i := range before.Cells {
+			if before.Cells[i].Mix == mix && before.Cells[i].Threads == threads {
+				return &before.Cells[i]
+			}
+		}
+		return nil
+	}
+
+	after := scalSnapshot{Tool: "sbd-bench", Mode: "scalability", OpsPerCell: *scalOps}
+	for _, m := range scalebench.Mixes() {
+		fmt.Printf("Scalability — %s (%s)\n", m.Name, m.Desc)
+		hdr := []string{"Thr", "Txns/s", "Abr", "Con", "Fail", "Dlk"}
+		if before != nil {
+			hdr = append(hdr, "vs-base")
+		}
+		tbl := harness.NewTable(hdr...)
+		for _, tc := range scalebench.ThreadCounts {
+			res := scalebench.Run(m, tc, *scalOps)
+			after.Cells = append(after.Cells, scalCell{
+				Mix:        res.Mix,
+				Threads:    res.Threads,
+				Ops:        res.Ops,
+				ElapsedNs:  res.Elapsed.Nanoseconds(),
+				TxnsPerSec: res.TxnsPerSec,
+				Aborts:     res.Aborts,
+				Contended:  res.Contended,
+				CASFails:   res.CASFails,
+				Deadlocks:  res.Deadlocks,
+				IDWaits:    res.IDWaits,
+			})
+			row := []any{tc, fmt.Sprintf("%.0f", res.TxnsPerSec),
+				res.Aborts, res.Contended, res.CASFails, res.Deadlocks}
+			if b := baseOf(res.Mix, tc); b != nil && b.TxnsPerSec > 0 {
+				row = append(row, fmt.Sprintf("%.2fx", res.TxnsPerSec/b.TxnsPerSec))
+			} else if before != nil {
+				row = append(row, "-")
+			}
+			tbl.Row(row...)
+		}
+		fmt.Print(tbl.String())
+		fmt.Println()
+	}
+
+	if *jsonOut != "" {
+		rep := scalReport{Tool: "sbd-bench", Mode: "scalability", Before: before, After: after}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbd-bench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}
+
 func main() {
 	flag.Parse()
+	if *scalability {
+		runScalability()
+		return
+	}
 	cfg := harness.Config{Window: *window, MaxCoV: *maxCoV, MaxIters: *maxIters}
 	counts := parseThreads(*threads)
 

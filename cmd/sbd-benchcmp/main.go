@@ -1,0 +1,142 @@
+// sbd-benchcmp compares two `go test -bench` output files the way
+// benchstat does, with no dependency outside the stdlib (this module
+// vendors nothing). Each benchmark's ns/op is averaged across its
+// -count repetitions in each file and the relative delta is printed,
+// old to new.
+//
+// The comparison is informational by default: shared CI runners are too
+// noisy to gate a merge on throughput numbers. The one exception is the
+// uncontended fast path, whose cost the paper's whole design defends —
+// benchmarks matching -gate (and present in both files) fail the run
+// when their mean ns/op regresses by more than -threshold percent.
+//
+// Usage:
+//
+//	sbd-benchcmp [-gate regexp] [-threshold pct] old.txt new.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is the accumulated ns/op of one benchmark in one file.
+type sample struct {
+	sum float64
+	n   int
+}
+
+func (s sample) mean() float64 { return s.sum / float64(s.n) }
+
+// parseFile extracts "Benchmark<Name>[-P] <iters> <value> ns/op ..."
+// lines. Repetitions of the same name accumulate.
+func parseFile(path string) (map[string]sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]sample{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Locate the ns/op pair; custom -benchtime metrics may precede or
+		// follow it.
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			name := strings.TrimPrefix(fields[0], "Benchmark")
+			s := out[name]
+			s.sum += v
+			s.n++
+			out[name] = s
+			break
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	gate := flag.String("gate", "Table6AcqRls", "regexp of benchmark names whose regression fails the run")
+	threshold := flag.Float64("threshold", 5, "gated regression threshold in percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: sbd-benchcmp [-gate regexp] [-threshold pct] old.txt new.txt")
+		os.Exit(2)
+	}
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sbd-benchcmp: bad -gate:", err)
+		os.Exit(2)
+	}
+	old, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sbd-benchcmp:", err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sbd-benchcmp:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	w := len("name")
+	for _, name := range names {
+		if len(name) > w {
+			w = len(name)
+		}
+	}
+	fmt.Printf("%-*s  %12s  %12s  %8s\n", w, "name", "old ns/op", "new ns/op", "delta")
+	var failures []string
+	for _, name := range names {
+		ns := cur[name]
+		os_, ok := old[name]
+		if !ok {
+			fmt.Printf("%-*s  %12s  %12.1f  %8s\n", w, name, "-", ns.mean(), "new")
+			continue
+		}
+		delta := (ns.mean() - os_.mean()) / os_.mean() * 100
+		mark := ""
+		if gateRe.MatchString(name) {
+			mark = "  [gated]"
+			if delta > *threshold {
+				mark = "  [FAIL]"
+				failures = append(failures, fmt.Sprintf("%s: %.1f%% > %.1f%%", name, delta, *threshold))
+			}
+		}
+		fmt.Printf("%-*s  %12.1f  %12.1f  %+7.1f%%%s\n", w, name, os_.mean(), ns.mean(), delta, mark)
+	}
+	for name := range old {
+		if _, ok := cur[name]; !ok {
+			fmt.Printf("%-*s  %12.1f  %12s  %8s\n", w, name, old[name].mean(), "-", "gone")
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nsbd-benchcmp: fast-path regression over %.1f%%:\n", *threshold)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+}

@@ -69,6 +69,8 @@ func TestMetricsFormat(t *testing.T) {
 		"sbd_commits_total 2",
 		"sbd_contended_acquires_total 1",
 		"# TYPE sbd_abort_rate gauge",
+		"# TYPE sbd_id_wait_seconds_total counter",
+		"sbd_id_wait_seconds_total 0",
 		`sbd_site_acquires_total{site="ObsMetrics.v"} 2`,
 		`sbd_site_contended_total{site="ObsMetrics.v"} 1`,
 		`sbd_site_block_seconds_total{site="ObsMetrics.v"}`,

@@ -1,0 +1,225 @@
+// Package scalebench is the multi-thread scalability benchmark suite
+// for the STM's contended path, in the style of Synchrobench-like
+// read/write-mix methodology: fixed transaction mixes run at 1/2/4/8
+// goroutines, reported as transactions per second.
+//
+// On a single-core container two microsecond-scale critical sections
+// essentially never overlap by accident, so each mix forces real
+// contention by yielding the processor (runtime.Gosched) at chosen
+// points *inside* the critical section — while a lock is held, or while
+// a read lock is held just before an upgrade. This drives the slow path
+// (enqueue, deadlock pre-check, grant handoff, release wake) on every
+// transaction, which is exactly the machinery the sharded detector is
+// supposed to scale; the uncontended fast path is covered separately by
+// BenchmarkTable6*.
+package scalebench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stm"
+)
+
+var cellClass = stm.NewClass("scalebench.cell", stm.FieldSpec{Name: "v", Kind: stm.KindWord})
+var cellV = cellClass.Field("v")
+
+// Mix is one transaction mix of the suite.
+type Mix struct {
+	Name string
+	// Desc is the one-line description printed by -scalability.
+	Desc string
+	// body runs one transaction's accesses. w is the worker index, i the
+	// worker-local operation counter (used to pick read vs. write in
+	// mixed workloads); cells are the shared objects of the run.
+	body func(tx *stm.Tx, cells []*stm.Object, w, i int)
+	// cells is the number of shared objects the mix uses.
+	cells int
+	// verify checks the committed state after the run; ops is the total
+	// number of committed transactions.
+	verify func(cells []*stm.Object, ops uint64) error
+}
+
+// ThreadCounts is the default thread sweep of the suite.
+var ThreadCounts = []int{1, 2, 4, 8}
+
+// Mixes returns the four mixes of the suite, in reporting order.
+func Mixes() []Mix {
+	return []Mix{
+		{
+			Name:  "contended-counter",
+			Desc:  "every transaction increments one shared counter, yielding while the write lock is held",
+			cells: 1,
+			body: func(tx *stm.Tx, cells []*stm.Object, w, i int) {
+				v := tx.ReadWord(cells[0], cellV)
+				tx.WriteWord(cells[0], cellV, v+1)
+				runtime.Gosched() // hold the write lock across a reschedule
+			},
+			verify: func(cells []*stm.Object, ops uint64) error {
+				if got := stm.CommittedWord(cells[0], cellV); got != ops {
+					return fmt.Errorf("counter = %d after %d committed increments", got, ops)
+				}
+				return nil
+			},
+		},
+		{
+			Name:  "read-mostly",
+			Desc:  "90% read-only / 10% increment transactions on one shared cell",
+			cells: 1,
+			body: func(tx *stm.Tx, cells []*stm.Object, w, i int) {
+				if i%10 == 9 {
+					v := tx.ReadWord(cells[0], cellV)
+					tx.WriteWord(cells[0], cellV, v+1)
+				} else {
+					_ = tx.ReadWord(cells[0], cellV)
+				}
+				runtime.Gosched() // hold the lock (read or write) across a reschedule
+			},
+		},
+		{
+			Name:  "write-heavy",
+			Desc:  "every transaction write-locks two cells in global order (distinct queues, two-phase release)",
+			cells: 4,
+			body: func(tx *stm.Tx, cells []*stm.Object, w, i int) {
+				// Two locks per transaction, always in ascending index
+				// order (no deadlocks); the pair rotates so all four
+				// queues stay live and a release regularly wakes two
+				// queues at once.
+				a := i % len(cells)
+				b := (i + 1) % len(cells)
+				if b < a {
+					a, b = b, a
+				}
+				va := tx.ReadWord(cells[a], cellV)
+				tx.WriteWord(cells[a], cellV, va+1)
+				runtime.Gosched()
+				vb := tx.ReadWord(cells[b], cellV)
+				tx.WriteWord(cells[b], cellV, vb+1)
+			},
+		},
+		{
+			Name:  "upgrade-duel",
+			Desc:  "read-yield-write on one shared cell, forcing concurrent read holders into dueling upgrades",
+			cells: 1,
+			body: func(tx *stm.Tx, cells []*stm.Object, w, i int) {
+				v := tx.ReadWord(cells[0], cellV)
+				runtime.Gosched() // hold the read lock so another reader can join, then duel
+				tx.WriteWord(cells[0], cellV, v+1)
+			},
+			verify: func(cells []*stm.Object, ops uint64) error {
+				if got := stm.CommittedWord(cells[0], cellV); got != ops {
+					return fmt.Errorf("counter = %d after %d committed increments (duel lost an update)", got, ops)
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// MixByName returns the named mix.
+func MixByName(name string) (Mix, error) {
+	for _, m := range Mixes() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("scalebench: unknown mix %q", name)
+}
+
+// Result is the outcome of one (mix, threads) cell.
+type Result struct {
+	Mix        string
+	Threads    int
+	Ops        uint64
+	Elapsed    time.Duration
+	TxnsPerSec float64
+	// Contended-path counters of the run (always exact).
+	Aborts    uint64
+	Contended uint64
+	CASFails  uint64
+	Deadlocks uint64
+	IDWaits   uint64
+}
+
+// Run executes totalOps transactions of the mix spread over the given
+// number of worker goroutines against a fresh runtime, and returns the
+// cell result. It panics on a verification failure — a scalability
+// number measured over lost updates is worse than no number.
+func Run(m Mix, threads, totalOps int) Result {
+	rt := stm.NewRuntimeOpts(stm.Options{RecorderSize: -1})
+	cells := make([]*stm.Object, m.cells)
+	for i := range cells {
+		cells[i] = stm.NewCommitted(cellClass)
+	}
+
+	var next atomic.Uint64 // global op budget, claimed one at a time
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := 0
+			for {
+				if next.Add(1) > uint64(totalOps) {
+					return
+				}
+				runMixTxn(rt, m, cells, w, i)
+				i++
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := rt.Stats().Snapshot()
+	ops := snap.Commits
+	if m.verify != nil {
+		if err := m.verify(cells, ops); err != nil {
+			panic("scalebench: " + m.Name + ": " + err.Error())
+		}
+	}
+	return Result{
+		Mix:        m.Name,
+		Threads:    threads,
+		Ops:        ops,
+		Elapsed:    elapsed,
+		TxnsPerSec: float64(ops) / elapsed.Seconds(),
+		Aborts:     snap.Aborts,
+		Contended:  snap.Contended,
+		CASFails:   snap.CASFail,
+		Deadlocks:  snap.Deadlocks,
+		IDWaits:    snap.IDWaits,
+	}
+}
+
+// runMixTxn runs one transaction of the mix with the SBD retry
+// discipline: Reset and replay on abort, keeping the original ticket so
+// the transaction ages toward victory.
+func runMixTxn(rt *stm.Runtime, m Mix, cells []*stm.Object, w, i int) {
+	tx := rt.Begin()
+	for {
+		ok := func() (ok bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if ab, is := r.(*stm.Aborted); is && ab.Tx == tx {
+						ok = false
+						return
+					}
+					panic(r)
+				}
+			}()
+			m.body(tx, cells, w, i)
+			return true
+		}()
+		if ok {
+			tx.Commit()
+			return
+		}
+		tx.Reset()
+		runtime.Gosched()
+	}
+}

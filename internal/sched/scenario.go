@@ -257,6 +257,61 @@ func ScenarioHandoff() Scenario {
 	}
 }
 
+// ScenarioShardedRelease drives two independent holder/waiter pairs on
+// two different locks, so two release paths (each a clear-CAS plus a
+// wake of its own queue) interleave step by step across different
+// detector shards. Under the global-mutex detector these releases
+// serialized; with per-queue locking every interleaving of the two
+// grant scans must still hand each lock to exactly its own waiter.
+func ScenarioShardedRelease() Scenario {
+	return Scenario{
+		Name: "sharded-release",
+		Build: func(rt *stm.Runtime, s *Scheduler) ([]Worker, func() error) {
+			a, b := stm.NewCommitted(cellClass), stm.NewCommitted(cellClass)
+			s.Watch(a, b)
+			cells := [2]*stm.Object{a, b}
+			wid := [2]int{-1, -1} // written before the barrier, read after
+			mkHolder := func(i int) Worker {
+				o := cells[i]
+				return Worker{Name: fmt.Sprintf("shr-h%d", i), Body: func() {
+					arm := true
+					Retry(s, rt, func(tx *stm.Tx) {
+						tx.WriteWord(o, cellV, tx.ReadWord(o, cellV)+1)
+						if arm {
+							arm = false
+							s.Barrier("shr-held", 4)
+							s.AwaitBlocked(wid[i])
+						}
+					})
+				}}
+			}
+			mkWaiter := func(i int) Worker {
+				o := cells[i]
+				return Worker{Name: fmt.Sprintf("shr-w%d", i), Body: func() {
+					arm := true
+					Retry(s, rt, func(tx *stm.Tx) {
+						wid[i] = tx.ID()
+						if arm {
+							arm = false
+							s.Barrier("shr-held", 4)
+						}
+						tx.WriteWord(o, cellV, tx.ReadWord(o, cellV)+1)
+					})
+				}}
+			}
+			post := func() error {
+				for i, o := range cells {
+					if v := stm.CommittedWord(o, cellV); v != 2 {
+						return fmt.Errorf("sharded-release scenario: object %d = %d, want 2", i, v)
+					}
+				}
+				return nil
+			}
+			return []Worker{mkHolder(0), mkHolder(1), mkWaiter(0), mkWaiter(1)}, post
+		},
+	}
+}
+
 // ScenarioIDPool runs three workers against a runtime capped at two
 // concurrent transactions, forcing Begin to park on the exhausted ID
 // pool and resume on EvIDRelease.
@@ -408,6 +463,7 @@ func RoundScenarios(seed uint64) []Scenario {
 		ScenarioInevDuel(false),
 		ScenarioInevDuel(true),
 		ScenarioHandoff(),
+		ScenarioShardedRelease(),
 		ScenarioIDPool(),
 		ScenarioCoreAtomic(),
 		ScenarioTransfer(seed),

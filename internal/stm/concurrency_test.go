@@ -383,8 +383,70 @@ func TestTransactionIDPoolLimit(t *testing.T) {
 	}
 	tx2.Commit()
 	tx3.Commit()
-	if rt.Stats().Snapshot().IDWaits == 0 {
+	snap := rt.Stats().Snapshot()
+	if snap.IDWaits == 0 {
 		t.Fatal("ID wait not counted")
+	}
+	// The third Begin was parked for at least the 50ms probe window, so
+	// the pool must have charged a visible amount of wait time.
+	if snap.IDWaitNs < uint64(25*time.Millisecond) {
+		t.Fatalf("IDWaitNs = %d, want at least 25ms of charged pool wait", snap.IDWaitNs)
+	}
+}
+
+// TestTwoPhaseReleaseNoEarlyWake pins the two-phase release property: a
+// committing transaction clears ALL of its lock words before it wakes
+// any queue, so a granted waiter never immediately re-blocks on another
+// lock the releaser was still holding. The waiter needs a then b, both
+// write-held by the releaser; with the two-phase release it must
+// enqueue exactly once (on a) and take b on the fast path — the
+// per-site exact contended counters make a second enqueue visible.
+func TestTwoPhaseReleaseNoEarlyWake(t *testing.T) {
+	rt := NewRuntime()
+	ca := NewClass("TwoPhaseA", FieldSpec{Name: "v", Kind: KindWord})
+	cb := NewClass("TwoPhaseB", FieldSpec{Name: "v", Kind: KindWord})
+	a, b := NewCommitted(ca), NewCommitted(cb)
+	av, bv := ca.Field("v"), cb.Field("v")
+
+	holder := rt.Begin()
+	holder.WriteInt(a, av, 1)
+	holder.WriteInt(b, bv, 1)
+
+	done := make(chan struct{})
+	go func() {
+		retryLoop(rt, func(tx *Tx) {
+			tx.WriteInt(a, av, 2)
+			tx.WriteInt(b, bv, 2)
+		})
+		close(done)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(rt.BlockedTxns()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never blocked on a")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	holder.Commit()
+	<-done
+
+	var contendedA, contendedB uint64
+	for _, r := range rt.Profile().Snapshot() {
+		switch r.Site.Class {
+		case "TwoPhaseA":
+			contendedA = r.Contended
+		case "TwoPhaseB":
+			contendedB = r.Contended
+		}
+	}
+	if contendedA == 0 {
+		t.Fatal("waiter did not enqueue on a; test lost its setup")
+	}
+	if contendedB != 0 {
+		t.Fatalf("waiter enqueued on b (%d times): woken while the releaser still held b", contendedB)
+	}
+	if v := CommittedWord(b, bv); v != 2 {
+		t.Fatalf("b = %d, want 2", v)
 	}
 }
 

@@ -3,6 +3,7 @@ package stm
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // idPool hands out the bounded transaction IDs. The fast path is one CAS
@@ -37,7 +38,10 @@ func (p *idPool) cas(old, new uint64) bool {
 }
 
 // acquire returns a free ID, blocking if none is available; waited
-// reports whether it had to block.
+// reports whether it had to take the slow path. Slow-path time is
+// charged to Stats.IDWaitNs, so a pool running out of IDs shows up as
+// wait time, not just a wait count — the clock reads stay off the CAS
+// fast path.
 func (p *idPool) acquire() (id int, waited bool) {
 	for {
 		m := p.free.Load()
@@ -49,6 +53,7 @@ func (p *idPool) acquire() (id int, waited bool) {
 			return bitIndex(b), waited
 		}
 	}
+	start := time.Now()
 	p.mu.Lock()
 	p.waiters++
 	for {
@@ -58,6 +63,9 @@ func (p *idPool) acquire() (id int, waited bool) {
 			if p.cas(m, m&^b) {
 				p.waiters--
 				p.mu.Unlock()
+				if p.rt != nil {
+					p.rt.stats.IDWaitNs.Add(uint64(time.Since(start)))
+				}
 				return bitIndex(b), true
 			}
 			continue

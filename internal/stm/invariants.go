@@ -7,10 +7,12 @@ import (
 )
 
 // Invariant accessors for the schedule-exploration harness
-// (internal/sched). They take the detector mutex, so they must only be
-// called from outside the runtime's own critical sections — in harness
-// terms, from a goroutine that is not currently inside an STM
-// operation.
+// (internal/sched). They take the per-queue mutexes (one at a time), so
+// they must only be called from outside the runtime's own critical
+// sections — in harness terms, from a goroutine that is not currently
+// inside an STM operation — and they assume a quiescent runtime for a
+// consistent cross-queue view (which the harness's token serialization
+// provides).
 
 // CheckInvariants validates the runtime-global protocol invariants:
 //
@@ -26,86 +28,99 @@ import (
 // It returns the first violation found, or nil.
 func (rt *Runtime) CheckInvariants() error {
 	d := rt.det
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.checkLocked(rt)
-}
-
-func (d *detector) checkLocked(rt *Runtime) error {
 	var installed [MaxTxns + 1]bool
 	for qid := 1; qid <= MaxTxns; qid++ {
-		q := d.queues[qid]
+		q := d.queues[qid].Load()
 		if q == nil {
 			continue
 		}
-		installed[qid] = true
-		if q.qid != qid {
-			return fmt.Errorf("queue table slot %d holds queue with qid %d", qid, q.qid)
-		}
-		w := atomic.LoadUint64(q.addr)
-		if err := wellformed(w); err != nil {
-			return fmt.Errorf("queue %d lock word: %w", qid, err)
-		}
-		if got := wordQueueID(w); got != qid {
-			return fmt.Errorf("queue %d installed but lock word names queue %d (%s)",
-				qid, got, formatWord(w))
-		}
-		if wordHasUpgrader(w) && q.findUpgrader() == nil {
-			return fmt.Errorf("queue %d: U flag set but no upgrader enqueued (%s)",
-				qid, formatWord(w))
-		}
-		holders := wordHolders(w)
-		for _, wt := range q.waiters {
-			if wt.granted {
-				return fmt.Errorf("queue %d: granted waiter txn %d still enqueued", qid, wt.tx.id)
+		q.mu.Lock()
+		err := func() error {
+			if q.dead {
+				return nil // uninstalled between the table load and the lock
 			}
-			if wt.q != q {
-				return fmt.Errorf("queue %d: waiter txn %d points at queue %d", qid, wt.tx.id, wt.q.qid)
+			installed[qid] = true
+			if q.qid != qid {
+				return fmt.Errorf("queue table slot %d holds queue with qid %d", qid, q.qid)
 			}
-			if d.blocked[wt.tx.id] != wt {
-				return fmt.Errorf("queue %d: waiter txn %d missing from blocked table", qid, wt.tx.id)
+			w := atomic.LoadUint64(q.addr)
+			if err := wellformed(w); err != nil {
+				return fmt.Errorf("queue %d lock word: %w", qid, err)
 			}
-			if holders&wt.tx.mask != 0 && !wt.upgrader {
-				return fmt.Errorf("queue %d: non-upgrader txn %d both holds and waits (%s)",
-					qid, wt.tx.id, formatWord(w))
+			if got := wordQueueID(w); got != qid {
+				return fmt.Errorf("queue %d installed but lock word names queue %d (%s)",
+					qid, got, formatWord(w))
 			}
-		}
-		// Holder bits must belong to live transactions.
-		for h := holders; h != 0; {
-			b := h & (-h)
-			h &^= b
-			id := bits.TrailingZeros64(b)
-			if rt.txByID[id].Load() == nil {
-				return fmt.Errorf("queue %d: holder bit for dead txn %d (%s)",
-					qid, id, formatWord(w))
+			if wordHasUpgrader(w) && q.findUpgrader() == nil {
+				return fmt.Errorf("queue %d: U flag set but no upgrader enqueued (%s)",
+					qid, formatWord(w))
 			}
+			holders := wordHolders(w)
+			for _, wt := range q.waiters {
+				if wt.granted {
+					return fmt.Errorf("queue %d: granted waiter txn %d still enqueued", qid, wt.tx.id)
+				}
+				if wt.q != q {
+					return fmt.Errorf("queue %d: waiter txn %d points at queue %d", qid, wt.tx.id, wt.q.qid)
+				}
+				if d.blocked[wt.tx.id].Load() != wt {
+					return fmt.Errorf("queue %d: waiter txn %d missing from blocked table", qid, wt.tx.id)
+				}
+				if holders&wt.tx.mask != 0 && !wt.upgrader {
+					return fmt.Errorf("queue %d: non-upgrader txn %d both holds and waits (%s)",
+						qid, wt.tx.id, formatWord(w))
+				}
+			}
+			// Holder bits must belong to live transactions.
+			for h := holders; h != 0; {
+				b := h & (-h)
+				h &^= b
+				id := bits.TrailingZeros64(b)
+				if rt.txByID[id].Load() == nil {
+					return fmt.Errorf("queue %d: holder bit for dead txn %d (%s)",
+						qid, id, formatWord(w))
+				}
+			}
+			return nil
+		}()
+		q.mu.Unlock()
+		if err != nil {
+			return err
 		}
 	}
-	for _, qid := range d.freeQIDs {
-		if installed[qid] {
+	free := d.freeQIDs.Load()
+	for qid := 1; qid <= MaxTxns; qid++ {
+		if installed[qid] && free&(uint64(1)<<uint(qid)) != 0 {
 			return fmt.Errorf("queue ID %d both free and installed", qid)
 		}
 	}
 	for id := 0; id < MaxTxns; id++ {
-		wt := d.blocked[id]
+		wt := d.blocked[id].Load()
 		if wt == nil {
 			continue
 		}
 		if wt.tx.id != id {
 			return fmt.Errorf("blocked table slot %d holds txn %d", id, wt.tx.id)
 		}
-		if !installed[wt.q.qid] || d.queues[wt.q.qid] != wt.q {
-			return fmt.Errorf("blocked txn %d waits on uninstalled queue %d", id, wt.q.qid)
-		}
-		found := false
-		for _, qwt := range wt.q.waiters {
-			if qwt == wt {
-				found = true
-				break
+		q := wt.q
+		q.mu.Lock()
+		err := func() error {
+			if d.blocked[id].Load() != wt {
+				return nil // resolved between the loads
 			}
-		}
-		if !found {
-			return fmt.Errorf("blocked txn %d not in its queue %d", id, wt.q.qid)
+			if q.dead || d.queues[q.qid].Load() != q {
+				return fmt.Errorf("blocked txn %d waits on uninstalled queue %d", id, q.qid)
+			}
+			for _, qwt := range q.waiters {
+				if qwt == wt {
+					return nil
+				}
+			}
+			return fmt.Errorf("blocked txn %d not in its queue %d", id, q.qid)
+		}()
+		q.mu.Unlock()
+		if err != nil {
+			return err
 		}
 	}
 	return nil
@@ -121,8 +136,6 @@ func (rt *Runtime) CheckObjectLocks(o *Object) error {
 		return nil
 	}
 	d := rt.det
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	for i := range slab.words {
 		addr := &slab.words[i]
 		w := atomic.LoadUint64(addr)
@@ -139,7 +152,7 @@ func (rt *Runtime) CheckObjectLocks(o *Object) error {
 			}
 		}
 		if qid := wordQueueID(w); qid != 0 {
-			q := d.queues[qid]
+			q := d.queues[qid].Load()
 			if q == nil {
 				return fmt.Errorf("%s lock %d: names uninstalled queue %d (%s)",
 					o.class.name, i, qid, formatWord(w))
@@ -157,11 +170,9 @@ func (rt *Runtime) CheckObjectLocks(o *Object) error {
 // lock, for harness stall diagnosis.
 func (rt *Runtime) BlockedTxns() []int {
 	d := rt.det
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	var ids []int
 	for id := 0; id < MaxTxns; id++ {
-		if d.blocked[id] != nil {
+		if d.blocked[id].Load() != nil {
 			ids = append(ids, id)
 		}
 	}
@@ -174,10 +185,14 @@ func (rt *Runtime) BlockedTxns() []int {
 // whether a parked waiter existed.
 func (rt *Runtime) InjectSpuriousWake(txID int) bool {
 	d := rt.det
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	wt := d.blocked[txID]
-	if wt == nil || wt.granted || wt.aborted {
+	wt := d.blocked[txID].Load()
+	if wt == nil {
+		return false
+	}
+	q := wt.q
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if d.blocked[txID].Load() != wt || wt.granted || wt.aborted {
 		return false
 	}
 	wt.signal()
@@ -190,21 +205,22 @@ func (rt *Runtime) InjectSpuriousWake(txID int) bool {
 // injection so the fault cannot starve a queue forever.
 func (rt *Runtime) RedeliverDelayedGrants() int {
 	d := rt.det
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.redelivering = true
+	d.redelivering.Store(true)
 	n := 0
 	for qid := 1; qid <= MaxTxns; qid++ {
-		if !d.delayed[qid] {
+		q := d.queues[qid].Load()
+		if q == nil {
 			continue
 		}
-		d.delayed[qid] = false
-		if q := d.queues[qid]; q != nil {
+		q.mu.Lock()
+		if !q.dead && q.delayed {
+			q.delayed = false
 			n++
-			d.grantLocked(q)
+			d.grantScanLocked(q)
 		}
+		q.mu.Unlock()
 	}
-	d.redelivering = false
+	d.redelivering.Store(false)
 	return n
 }
 
@@ -212,10 +228,15 @@ func (rt *Runtime) RedeliverDelayedGrants() int {
 // been redelivered yet.
 func (rt *Runtime) DelayedGrantsPending() bool {
 	d := rt.det
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	for qid := 1; qid <= MaxTxns; qid++ {
-		if d.delayed[qid] {
+		q := d.queues[qid].Load()
+		if q == nil {
+			continue
+		}
+		q.mu.Lock()
+		pending := !q.dead && q.delayed
+		q.mu.Unlock()
+		if pending {
 			return true
 		}
 	}

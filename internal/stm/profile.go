@@ -25,7 +25,9 @@ import (
 // per-site acquire counter (Options.ProfileSampleRate): the fast path
 // charges one in every 64 acquires to its site and the flush scales the
 // sample back up, keeping the always-on cost of the profiler to one
-// add-and-branch per acquire. Contention counters are always exact.
+// add-and-branch per acquire. Per-site block time shares the same
+// period (two clock reads per block dominate the slow path under heavy
+// contention otherwise); the other contention counters are always exact.
 const DefaultProfileSampleRate = 64
 
 // SiteInfo is the static identity of one lock site.
@@ -211,12 +213,12 @@ func (p *Profile) counters(site int32) *siteCounters {
 // SiteProfile is one row of a profile snapshot.
 type SiteProfile struct {
 	Site      SiteInfo
-	Acquires  uint64 // lock acquire+release pairs (sampled estimate; see ProfileSampleRate)
-	Contended uint64 // acquires that had to enqueue
-	CASFails  uint64 // failed lock-word CAS attempts
-	Upgrades  uint64 // read-to-write upgrades that enqueued
-	Deadlocks uint64 // abort involvements while acquiring (deadlock victim, duel loss)
-	BlockTime time.Duration
+	Acquires  uint64        // lock acquire+release pairs (sampled estimate; see ProfileSampleRate)
+	Contended uint64        // acquires that had to enqueue
+	CASFails  uint64        // failed lock-word CAS attempts
+	Upgrades  uint64        // read-to-write upgrades that enqueued
+	Deadlocks uint64        // abort involvements while acquiring (deadlock victim, duel loss)
+	BlockTime time.Duration // time spent parked (sampled estimate; see ProfileSampleRate)
 }
 
 // Snapshot returns every site with at least one recorded event, hottest

@@ -28,9 +28,7 @@ func TestQueueIDRecycling(t *testing.T) {
 		// Wait until the waiter has installed a queue.
 		deadline := time.Now().Add(2 * time.Second)
 		for {
-			rt.det.mu.Lock()
-			installed := len(rt.det.freeQIDs) < MaxTxns
-			rt.det.mu.Unlock()
+			installed := rt.det.freeQIDCount() < MaxTxns
 			if installed || time.Now().After(deadline) {
 				break
 			}
@@ -39,9 +37,7 @@ func TestQueueIDRecycling(t *testing.T) {
 		holder.Commit()
 		<-done
 
-		rt.det.mu.Lock()
-		free := len(rt.det.freeQIDs)
-		rt.det.mu.Unlock()
+		free := rt.det.freeQIDCount()
 		if free != MaxTxns {
 			t.Fatalf("round %d: %d queue IDs free, want %d (leak)", round, free, MaxTxns)
 		}
@@ -75,17 +71,13 @@ func TestManyQueuesConcurrently(t *testing.T) {
 	// Let the waiters install their queues.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		rt.det.mu.Lock()
-		installed := MaxTxns - len(rt.det.freeQIDs)
-		rt.det.mu.Unlock()
+		installed := MaxTxns - rt.det.freeQIDCount()
 		if installed == locks || time.Now().After(deadline) {
 			break
 		}
 		time.Sleep(time.Millisecond)
 	}
-	rt.det.mu.Lock()
-	installed := MaxTxns - len(rt.det.freeQIDs)
-	rt.det.mu.Unlock()
+	installed := MaxTxns - rt.det.freeQIDCount()
 	if installed != locks {
 		t.Fatalf("%d queues installed, want %d", installed, locks)
 	}
@@ -94,9 +86,7 @@ func TestManyQueuesConcurrently(t *testing.T) {
 	}
 	wg.Wait()
 
-	rt.det.mu.Lock()
-	free := len(rt.det.freeQIDs)
-	rt.det.mu.Unlock()
+	free := rt.det.freeQIDCount()
 	if free != MaxTxns {
 		t.Fatalf("%d queue IDs free after drain, want %d", free, MaxTxns)
 	}

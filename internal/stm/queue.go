@@ -7,25 +7,50 @@ import (
 	"time"
 )
 
-// The slow path: fair wait queues and deadlock handling. All queue
-// bookkeeping and the dreadlocks digests are guarded by one detector
-// mutex; this code runs only after a fast-path CAS could not acquire a
-// lock, so serializing it does not affect the uncontended case the
-// paper's fast path (Figure 5) optimizes.
+// The slow path: fair wait queues and deadlock handling, sharded
+// per-queue. Each contended lock owns a lockQueue with its own mutex, so
+// slow-path traffic on unrelated locks never serializes. The queue-ID
+// table is a lock-free bitmask, and deadlock detection is split into a
+// lock-free dreadlocks pre-check over atomically-published per-waiter
+// dependency digests plus an exact confirmation pass behind a small
+// global mutex (detector.cycleMu) taken only when the pre-check reports
+// a potential cycle. This code runs only after a fast-path CAS could not
+// acquire a lock, so none of it affects the uncontended case the paper's
+// fast path (Figure 5) optimizes.
+//
+// Lock ordering: cycleMu before any q.mu. At most one q.mu is held at a
+// time everywhere except the confirmation pass, which (serialized by
+// cycleMu) locks the queues of all blocked waiters to take an exact
+// snapshot. No code parks or yields to the harness while holding a q.mu.
 
 // waiter is one blocked transaction in one lock queue. The channel is a
 // buffered(1) wake-up signal, not a completion: a woken waiter re-reads
-// granted/aborted under the detector mutex and re-parks on neither —
-// which is what lets a harness inject spurious wake-ups without
-// breaking the protocol.
+// granted/aborted under its queue mutex and re-parks on neither — which
+// is what lets a harness inject spurious wake-ups without breaking the
+// protocol.
+//
+// Waiter objects are owned by the runtime and reused across blocks of
+// the same transaction ID (Runtime.waiterSlots), so a slow-path block
+// costs no allocation in steady state. Because stale pointers to a
+// reused waiter can survive in a detection snapshot, each enqueue bumps
+// the epoch; a deferred abort only lands if the epoch still matches.
 type waiter struct {
 	tx       *Tx
 	write    bool
 	upgrader bool
-	granted  bool
-	aborted  bool
+	granted  bool // guarded by q.mu
+	aborted  bool // guarded by q.mu
 	ch       chan struct{}
 	q        *lockQueue
+	// epoch identifies the enqueue incarnation of this (reused) waiter
+	// object; bumped under q.mu on every enqueue.
+	epoch atomic.Uint64
+	// deps is the published dreadlocks digest: the bit set of
+	// transactions this waiter waits for, exact at publication time and a
+	// superset of the true dependencies afterwards (new lock holders can
+	// only be former waiters-ahead, which are already included; a
+	// front-inserted upgrader is OR-ed into the waiters behind it).
+	deps atomic.Uint64
 }
 
 // signal delivers a (possibly redundant) wake-up to the waiter. The
@@ -38,36 +63,48 @@ func (wt *waiter) signal() {
 	}
 }
 
-// lockQueue is the fair FIFO queue of one contended lock. The paper caps
-// the number of queues at the number of concurrently active transactions:
-// every waiting transaction waits on exactly one lock, so at most MaxTxns
+// lockQueue is the fair FIFO queue of one contended lock, with its own
+// mutex — the shard unit of the detector. The paper caps the number of
+// queues at the number of concurrently active transactions: every
+// waiting transaction waits on exactly one lock, so at most MaxTxns
 // queues can be populated at once. Queue IDs are 1..MaxTxns (0 = none).
 type lockQueue struct {
+	mu      sync.Mutex
 	qid     int
 	addr    *uint64
 	waiters []*waiter
+	// waitersBuf backs waiters while the queue is short (the common case:
+	// contention rarely stacks more than a few transactions on one lock),
+	// so installing a queue costs one allocation, not two.
+	waitersBuf [4]*waiter
+	// dead marks an uninstalled queue: a thread that fetched the pointer
+	// before the uninstall must drop it and re-resolve from the lock word.
+	dead bool
+	// delayed marks a queue whose grant scan was suppressed by fault
+	// injection; Runtime.RedeliverDelayedGrants re-runs it.
+	delayed bool
 }
 
 type detector struct {
-	mu       sync.Mutex
-	rt       *Runtime
-	queues   [MaxTxns + 1]*lockQueue
-	freeQIDs []int
+	rt *Runtime
+	// queues maps queue IDs to live queues; slots are published/retracted
+	// with atomic pointers so readers never need a table lock.
+	queues [MaxTxns + 1]atomic.Pointer[lockQueue]
+	// freeQIDs is the free-ID bitmask (bit i set = qid i free, 1..MaxTxns).
+	freeQIDs atomic.Uint64
 	// blocked maps a transaction ID to its waiter while it is enqueued.
-	blocked [MaxTxns]*waiter
-	// delayed marks queues whose grant scan was suppressed by fault
-	// injection; Runtime.RedeliverDelayedGrants re-runs them.
-	delayed      [MaxTxns + 1]bool
-	redelivering bool
+	blocked [MaxTxns]atomic.Pointer[waiter]
+	// cycleMu serializes exact deadlock confirmation (and is the only
+	// global lock left on the slow path). It is taken only after the
+	// lock-free digest pre-check reports a potential cycle.
+	cycleMu      sync.Mutex
+	redelivering atomic.Bool
 	debug        *debugLog
 }
 
 func newDetector() *detector {
 	d := &detector{}
-	d.freeQIDs = make([]int, 0, MaxTxns)
-	for qid := MaxTxns; qid >= 1; qid-- {
-		d.freeQIDs = append(d.freeQIDs, qid)
-	}
+	d.freeQIDs.Store(((1 << MaxTxns) - 1) << 1) // qids 1..MaxTxns free
 	return d
 }
 
@@ -78,6 +115,13 @@ func (d *detector) event(ev Event) {
 	}
 }
 
+// wantsEvent reports whether an event of kind k would be consumed; hot
+// paths use it to skip building the Event struct (a 100-byte copy)
+// entirely when neither recorder nor harness wants it.
+func (d *detector) wantsEvent(k EventKind) bool {
+	return d.rt != nil && d.rt.wantsEvent(k)
+}
+
 // cas is a fault-injectable lock-word CAS for detector code paths.
 func (d *detector) cas(addr *uint64, old, new uint64, p YieldPoint) bool {
 	if d.rt != nil {
@@ -86,8 +130,100 @@ func (d *detector) cas(addr *uint64, old, new uint64, p YieldPoint) bool {
 	return casw(addr, old, new)
 }
 
+// allocQID claims a free queue ID from the bitmask.
+func (d *detector) allocQID() int {
+	for {
+		m := d.freeQIDs.Load()
+		if m == 0 {
+			// Cannot happen: every populated queue has at least one of the
+			// at most MaxTxns waiting transactions, and empty queues are
+			// uninstalled eagerly under their own mutex.
+			panic("stm: queue table exhausted")
+		}
+		b := m & (-m)
+		if d.freeQIDs.CompareAndSwap(m, m&^b) {
+			return bitIndex(b)
+		}
+	}
+}
+
+// freeQID returns a queue ID to the bitmask.
+func (d *detector) freeQID(qid int) {
+	for {
+		m := d.freeQIDs.Load()
+		if d.freeQIDs.CompareAndSwap(m, m|uint64(1)<<uint(qid)) {
+			return
+		}
+	}
+}
+
+// freeQIDCount returns the number of uninstalled queue IDs (test hook).
+func (d *detector) freeQIDCount() int {
+	return bits.OnesCount64(d.freeQIDs.Load())
+}
+
+// lockedQueue resolves the queue installed over addr and returns it with
+// its mutex held, installing a fresh queue first if the word names none.
+// The caller must unlock (and must re-resolve rather than reuse the
+// pointer after unlocking, since the queue may be uninstalled).
+func (d *detector) lockedQueue(addr *uint64) *lockQueue {
+	for {
+		w := atomic.LoadUint64(addr)
+		if qid := wordQueueID(w); qid != 0 {
+			q := d.queues[qid].Load()
+			if q == nil || q.addr != addr {
+				continue // qid mid-uninstall or recycled; re-read the word
+			}
+			q.mu.Lock()
+			if q.dead || wordQueueID(atomic.LoadUint64(addr)) != q.qid {
+				q.mu.Unlock()
+				continue
+			}
+			return q
+		}
+		// No queue installed: claim an ID, publish the queue, then CAS the
+		// ID into the word. Publishing before the CAS means any thread that
+		// reads the qid from the word finds the queue in the table.
+		qid := d.allocQID()
+		q := &lockQueue{qid: qid, addr: addr}
+		q.waiters = q.waitersBuf[:0]
+		q.mu.Lock()
+		d.queues[qid].Store(q)
+		if d.cas(addr, w, wordWithQueue(w, qid), PointInstallCAS) {
+			return q
+		}
+		// Lost the install race; roll back and retry from the fresh word.
+		q.dead = true
+		d.queues[qid].Store(nil)
+		q.mu.Unlock()
+		d.freeQID(qid)
+	}
+}
+
+// uninstallLocked clears the queue ID from the lock word, retracts the
+// queue from the table, and frees its ID. Caller holds q.mu (still held
+// on return) and the queue must be empty.
+func (d *detector) uninstallLocked(q *lockQueue) {
+	if len(q.waiters) != 0 {
+		panic("stm: uninstall of non-empty queue")
+	}
+	for {
+		w := atomic.LoadUint64(q.addr)
+		if wordQueueID(w) != q.qid {
+			break // already replaced (should not happen, but be tolerant)
+		}
+		if d.cas(q.addr, w, wordWithQueue(w, 0)&^uFlag, PointUninstallCAS) {
+			break
+		}
+	}
+	q.dead = true
+	q.delayed = false
+	d.queues[q.qid].Store(nil)
+	d.freeQID(q.qid)
+}
+
 // slowAcquire is entered after the fast path failed. It re-checks the
-// lock under the detector mutex, enqueues the transaction if the lock is
+// lock under the queue mutex, enqueues the transaction if the lock is
 // still unavailable (at the front for upgrading readers, paper §3.2), runs
 // deadlock detection, and blocks until granted or aborted. On grant the
 // lock word already contains the transaction's bits; the caller records
@@ -99,126 +235,182 @@ func (tx *Tx) slowAcquire(addr *uint64, site int32, write bool) {
 	rt := tx.rt
 	d := rt.det
 	rt.yield(PointSlowEnter)
-	d.mu.Lock()
 
-	// Re-check: the lock may have been released between the failed fast
-	// path and taking the mutex. Bypassing the queue is only fair if no
-	// one is waiting.
+	var q *lockQueue
+	var upgrader bool
 	for {
+		// Re-check: the lock may have been released between the failed fast
+		// path and here. Bypassing the queue is only fair if no one is
+		// waiting.
 		w := atomic.LoadUint64(addr)
-		q := d.queueFor(w)
-		if q != nil && len(q.waiters) > 0 {
-			break
-		}
-		nw, ok := grantWord(w, tx, write)
-		if !ok {
-			break
-		}
-		if d.cas(addr, w, nw, PointRecheckCAS) {
-			if q != nil {
-				d.uninstall(q)
-			}
-			d.mu.Unlock()
-			return
-		}
-		tx.nCASFail++
-		tx.profAt(site).casFails++
-	}
-
-	tx.nContended++
-	tx.profAt(site).contended++
-	upgrader := write && atomic.LoadUint64(addr)&tx.mask != 0
-
-	q := d.install(addr)
-	if upgrader {
-		tx.profAt(site).upgrades++
-		// Dueling write-upgrades (paper §3.3): the U bit makes the second
-		// upgrader detect the duel immediately. Two upgrading readers of
-		// the same lock always deadlock; resolve it now by aborting the
-		// younger of the two instead of waiting for digest propagation.
-		if atomic.LoadUint64(addr)&uFlag != 0 {
-			if other := q.findUpgrader(); other != nil {
-				// Abort the younger duelist; an inevitable transaction
-				// (§3.4) must never abort, so it always survives.
-				if tx.inevitable || (!other.tx.inevitable && tx.ticket < other.tx.ticket) {
-					d.debug.duel(other.tx, tx)
-					d.event(Event{Kind: EvDuel, TxID: other.tx.id, VictimID: other.tx.id, OtherID: tx.id, Addr: addr, Inev: tx.inevitable})
-					d.abortWaiter(other)
-					// Aborting the queue's only waiter uninstalls the
-					// queue; re-fetch (and re-install if needed) so we do
-					// not enqueue onto a detached queue object.
-					q = d.install(addr)
-				} else {
-					d.debug.duel(tx, other.tx)
-					d.event(Event{Kind: EvDuel, TxID: tx.id, VictimID: tx.id, OtherID: other.tx.id, Addr: addr, Inev: other.tx.inevitable})
-					d.mu.Unlock()
-					tx.profAt(site).deadlocks++
-					tx.selfAbort("dueling write-upgrade")
+		if wordQueueID(w) == 0 {
+			nw, ok := grantWord(w, tx, write)
+			if ok {
+				if d.cas(addr, w, nw, PointRecheckCAS) {
+					return
 				}
+				tx.nCASFail++
+				tx.profAt(site).casFails++
+				continue
 			}
 		}
-		setWordFlag(d, addr, uFlag)
-	}
+		q = d.lockedQueue(addr)
+		if len(q.waiters) == 0 {
+			// Queue installed but empty: the bypass is still fair.
+			w = atomic.LoadUint64(addr)
+			nw, ok := grantWord(w, tx, write)
+			if ok {
+				if d.cas(addr, w, nw, PointRecheckCAS) {
+					d.uninstallLocked(q)
+					q.mu.Unlock()
+					return
+				}
+				tx.nCASFail++
+				tx.profAt(site).casFails++
+				q.mu.Unlock()
+				continue
+			}
+		}
 
-	wt := &waiter{tx: tx, write: write, upgrader: upgrader, ch: make(chan struct{}, 1), q: q}
+		tx.nContended++
+		tx.profAt(site).contended++
+		upgrader = write && atomic.LoadUint64(addr)&tx.mask != 0
+		if !upgrader {
+			break
+		}
+
+		tx.profAt(site).upgrades++
+		// Dueling write-upgrades (paper §3.3): two upgrading readers of the
+		// same lock always deadlock; resolve it now by aborting the younger
+		// of the two instead of waiting for digest propagation. The duel is
+		// detected structurally (an upgrader already enqueued) under q.mu.
+		other := q.findUpgrader()
+		if other == nil {
+			break
+		}
+		// An inevitable transaction (§3.4) must never abort, so it always
+		// survives.
+		if tx.inevitable || (!other.tx.inevitable && tx.ticket < other.tx.ticket) {
+			d.debug.duel(other.tx, tx)
+			if d.wantsEvent(EvDuel) {
+				d.event(Event{Kind: EvDuel, TxID: other.tx.id, VictimID: other.tx.id, OtherID: tx.id, Addr: addr, Inev: tx.inevitable})
+			}
+			d.abortWaiterLocked(q, other)
+			if q.dead {
+				// Aborting the loser emptied (and uninstalled) the queue;
+				// re-resolve — the bypass may even succeed now.
+				q.mu.Unlock()
+				continue
+			}
+			break
+		}
+		d.debug.duel(tx, other.tx)
+		if d.wantsEvent(EvDuel) {
+			d.event(Event{Kind: EvDuel, TxID: tx.id, VictimID: tx.id, OtherID: other.tx.id, Addr: addr, Inev: other.tx.inevitable})
+		}
+		q.mu.Unlock()
+		tx.profAt(site).deadlocks++
+		tx.selfAbort("dueling write-upgrade")
+	}
+	// q.mu is held from here through the enqueue.
+
+	wt := rt.waiterFor(tx)
+	wt.write, wt.upgrader, wt.q = write, upgrader, q
+	wt.granted, wt.aborted = false, false
+	wt.epoch.Add(1)
 	if upgrader {
-		q.waiters = append([]*waiter{wt}, q.waiters...)
+		// Upgraders enqueue at the front (paper §3.2). Everyone already
+		// queued now also waits on the upgrader; fold its bit into their
+		// published digests so the superset property survives reordering.
+		for _, p := range q.waiters {
+			p.deps.Store(p.deps.Load() | tx.mask)
+		}
+		q.waiters = append(q.waiters, nil)
+		copy(q.waiters[1:], q.waiters)
+		q.waiters[0] = wt
 	} else {
 		q.waiters = append(q.waiters, wt)
 	}
-	d.blocked[tx.id] = wt
-	d.debug.blocked(tx, addr, write, wordHolders(atomic.LoadUint64(addr)), q)
-	d.event(Event{Kind: EvBlocked, TxID: tx.id, Ticket: tx.ticket, Addr: addr, QID: q.qid, Write: write, Upgrader: upgrader})
-
-	// A new waits-for edge can only complete cycles through the waiter
-	// that just blocked — but it can complete SEVERAL at once (e.g. an
-	// upgrader blocking on two readers that each wait on it). Resolve
-	// until no cycle through this waiter remains; each round aborts one
-	// victim, which removes its edges.
-	for {
-		victim := d.findDeadlockVictim(wt)
-		if victim == nil {
-			break
-		}
-		rt.stats.Deadlocks.Add(1)
-		if victim.tx == tx {
-			d.event(Event{Kind: EvAbortWaiter, TxID: tx.id, Addr: wt.q.addr})
-			d.removeWaiter(wt)
-			d.mu.Unlock()
-			tx.profAt(site).deadlocks++
-			tx.selfAbort("deadlock victim")
-		}
-		d.abortWaiter(victim)
+	wt.deps.Store(q.depsOfLocked(wt))
+	d.blocked[tx.id].Store(wt)
+	if upgrader {
+		setWordFlag(d, addr, uFlag)
+	}
+	if d.debug != nil {
+		d.debug.blocked(tx, addr, write, wordHolders(atomic.LoadUint64(addr)), q)
+	}
+	if d.wantsEvent(EvBlocked) {
+		d.event(Event{Kind: EvBlocked, TxID: tx.id, Ticket: tx.ticket, Addr: addr, QID: q.qid, Write: write, Upgrader: upgrader})
 	}
 
 	// The queue may have become serviceable while we enqueued (e.g. a
 	// grant raced with the install); try once before sleeping.
-	d.grantLocked(q)
-	d.mu.Unlock()
+	d.grantScanLocked(q)
+	q.mu.Unlock()
 
-	parkStart := time.Now()
+	// Dreadlocks pre-check (lock-free): a new waits-for edge can only
+	// complete cycles through the waiter that just blocked. Walk the
+	// published digests; only a potential cycle pays for the global
+	// confirmation lock.
+	if d.potentialCycle(wt) {
+		d.resolveDeadlocks(wt, site)
+	}
+
+	// Per-site block time is sampled at the profile sampling period, like
+	// acquire counts: two clock reads per block are the single largest
+	// slow-path cost under heavy contention, and a 1-in-N sample scaled
+	// back up keeps the profile's ranking intact. ProfileSampleRate 1
+	// measures every block exactly. The ticket offsets the sampling phase
+	// per transaction (see lockFor).
+	var parkStart time.Time
+	blockSampled := (tx.nContended+tx.ticket)&rt.profMask == 0
+	if blockSampled {
+		parkStart = time.Now()
+	}
 	for {
 		rt.block(PointParked)
 		<-wt.ch
 		rt.unblock(PointParked)
-		d.mu.Lock()
+		q.mu.Lock()
 		granted, aborted := wt.granted, wt.aborted
-		d.mu.Unlock()
+		q.mu.Unlock()
 		if granted {
-			tx.profAt(site).blockNs += uint64(time.Since(parkStart))
+			if blockSampled {
+				tx.profAt(site).blockNs += uint64(time.Since(parkStart)) * (rt.profMask + 1)
+			}
 			return
 		}
 		if aborted {
 			pd := tx.profAt(site)
-			pd.blockNs += uint64(time.Since(parkStart))
+			if blockSampled {
+				pd.blockNs += uint64(time.Since(parkStart)) * (rt.profMask + 1)
+			}
 			pd.deadlocks++
 			tx.selfAbort("aborted while enqueued")
 		}
 		// Injected spurious wake-up (Runtime.InjectSpuriousWake): no
 		// state changed; re-check and re-park.
 		rt.stats.SpuriousWakes.Add(1)
-		rt.event(Event{Kind: EvSpuriousWake, TxID: tx.id, Addr: addr})
+		if rt.wantsEvent(EvSpuriousWake) {
+			rt.event(Event{Kind: EvSpuriousWake, TxID: tx.id, Addr: addr})
+		}
 	}
+}
+
+// waiterFor returns the reusable waiter slot of tx's ID, draining any
+// stale wake-up token left by a previous block.
+func (rt *Runtime) waiterFor(tx *Tx) *waiter {
+	wt := rt.waiterSlots[tx.id]
+	if wt == nil {
+		wt = &waiter{ch: make(chan struct{}, 1)}
+		rt.waiterSlots[tx.id] = wt
+	}
+	select {
+	case <-wt.ch:
+	default:
+	}
+	wt.tx = tx
+	return wt
 }
 
 // grantWord computes the lock word after tx acquires in the given mode,
@@ -248,59 +440,13 @@ func setWordFlag(d *detector, addr *uint64, flag uint64) {
 	}
 }
 
-// queueFor returns the installed queue of lock word w, if any.
-func (d *detector) queueFor(w uint64) *lockQueue {
-	qid := wordQueueID(w)
-	if qid == 0 {
-		return nil
-	}
-	return d.queues[qid]
-}
-
-// install returns the queue of the lock at addr, creating and installing
-// one if necessary. Caller holds d.mu.
-func (d *detector) install(addr *uint64) *lockQueue {
-	w := atomic.LoadUint64(addr)
-	if q := d.queueFor(w); q != nil {
-		return q
-	}
-	if len(d.freeQIDs) == 0 {
-		// Cannot happen: every populated queue has at least one of the at
-		// most MaxTxns waiting transactions, and empty queues are
-		// uninstalled eagerly under d.mu.
-		panic("stm: queue table exhausted")
-	}
-	qid := d.freeQIDs[len(d.freeQIDs)-1]
-	d.freeQIDs = d.freeQIDs[:len(d.freeQIDs)-1]
-	q := &lockQueue{qid: qid, addr: addr}
-	d.queues[qid] = q
+func clearWordFlag(d *detector, addr *uint64, flag uint64) {
 	for {
-		w = atomic.LoadUint64(addr)
-		if d.cas(addr, w, wordWithQueue(w, qid), PointInstallCAS) {
-			break
+		w := atomic.LoadUint64(addr)
+		if w&flag == 0 || d.cas(addr, w, w&^flag, PointFlagCAS) {
+			return
 		}
 	}
-	return q
-}
-
-// uninstall clears the queue ID from the lock word and frees the queue.
-// Caller holds d.mu and the queue must be empty.
-func (d *detector) uninstall(q *lockQueue) {
-	if len(q.waiters) != 0 {
-		panic("stm: uninstall of non-empty queue")
-	}
-	for {
-		w := atomic.LoadUint64(q.addr)
-		if wordQueueID(w) != q.qid {
-			break // already replaced (should not happen, but be tolerant)
-		}
-		if d.cas(q.addr, w, wordWithQueue(w, 0)&^uFlag, PointUninstallCAS) {
-			break
-		}
-	}
-	d.queues[q.qid] = nil
-	d.delayed[q.qid] = false
-	d.freeQIDs = append(d.freeQIDs, q.qid)
 }
 
 func (q *lockQueue) findUpgrader() *waiter {
@@ -312,15 +458,31 @@ func (q *lockQueue) findUpgrader() *waiter {
 	return nil
 }
 
-// grantLocked hands the lock to as many queue-head waiters as the current
-// word permits: one writer, or a maximal run of readers. Caller holds d.mu.
-func (d *detector) grantLocked(q *lockQueue) {
-	if len(q.waiters) > 0 && !d.redelivering && d.rt != nil && d.rt.hooks != nil &&
+// depsOfLocked returns the bit set of transactions waiter wt waits for:
+// the current holders of the lock (minus itself, for upgraders) plus
+// every waiter queued ahead of it (FIFO fairness makes those
+// dependencies real). Caller holds q.mu.
+func (q *lockQueue) depsOfLocked(wt *waiter) uint64 {
+	deps := wordHolders(atomic.LoadUint64(q.addr)) &^ wt.tx.mask
+	for _, p := range q.waiters {
+		if p == wt {
+			break
+		}
+		deps |= p.tx.mask
+	}
+	return deps
+}
+
+// grantScanLocked hands the lock to as many queue-head waiters as the
+// current word permits: one writer, or a maximal run of readers. The
+// queue is uninstalled when it drains. Caller holds q.mu.
+func (d *detector) grantScanLocked(q *lockQueue) {
+	if len(q.waiters) > 0 && !d.redelivering.Load() && d.rt != nil && d.rt.hooks != nil &&
 		d.rt.hooks.DelayGrant() {
 		// Fault injection: suppress this grant scan. The lock word is
 		// already consistent; the waiters simply stay parked until
 		// RedeliverDelayedGrants re-runs the scan.
-		d.delayed[q.qid] = true
+		q.delayed = true
 		d.event(Event{Kind: EvDelayedGrant, QID: q.qid, Addr: q.addr})
 		return
 	}
@@ -338,17 +500,32 @@ func (d *detector) grantLocked(q *lockQueue) {
 			continue // racing release; recompute
 		}
 		q.waiters = q.waiters[1:]
-		d.blocked[head.tx.id] = nil
+		d.blocked[head.tx.id].Store(nil)
 		head.granted = true
 		d.debug.granted(head.tx, q.addr, head.write)
-		d.event(Event{Kind: EvGranted, TxID: head.tx.id, Ticket: head.tx.ticket, Addr: q.addr, QID: q.qid, Write: head.write, Upgrader: head.upgrader})
+		if d.wantsEvent(EvGranted) {
+			d.event(Event{Kind: EvGranted, TxID: head.tx.id, Ticket: head.tx.ticket, Addr: q.addr, QID: q.qid, Write: head.write, Upgrader: head.upgrader})
+		}
 		head.signal()
 		if head.write {
 			break // a write lock excludes everything behind it
 		}
 	}
 	if len(q.waiters) == 0 {
-		d.uninstall(q)
+		d.uninstallLocked(q)
+		return
+	}
+	// Republish exact digests for the waiters that stay. Published digests
+	// only ever widen between publications (the superset property), so
+	// after a release-plus-grant cycle they can still name transactions
+	// that are long gone — and a stale bit is enough to make the lock-free
+	// pre-check report a phantom cycle and pay for an exact confirmation.
+	// Every release that changes a contended word funnels through a grant
+	// scan, so tightening here keeps the digests near-exact for free.
+	ahead := wordHolders(atomic.LoadUint64(q.addr))
+	for _, p := range q.waiters {
+		p.deps.Store(ahead &^ p.tx.mask)
+		ahead |= p.tx.mask
 	}
 }
 
@@ -357,92 +534,209 @@ func (d *detector) grantLocked(q *lockQueue) {
 func (rt *Runtime) wakeQueue(qid int, addr *uint64) {
 	d := rt.det
 	rt.yield(PointWakeQueue)
-	d.mu.Lock()
-	q := d.queues[qid]
-	if q != nil && q.addr == addr {
-		d.grantLocked(q)
+	q := d.queues[qid].Load()
+	if q == nil || q.addr != addr {
+		return // queue drained (or qid recycled) since the release CAS
 	}
-	d.mu.Unlock()
+	q.mu.Lock()
+	if !q.dead {
+		d.grantScanLocked(q)
+	}
+	q.mu.Unlock()
 }
 
-// removeWaiter removes wt from its queue (e.g. because its transaction
-// aborts) and re-runs grant, since wt may have been blocking others.
-// Caller holds d.mu.
-func (d *detector) removeWaiter(wt *waiter) {
-	q := wt.q
+// removeWaiterLocked removes wt from q (e.g. because its transaction
+// aborts) and re-runs the grant scan, since wt may have been blocking
+// others. Caller holds q.mu.
+func (d *detector) removeWaiterLocked(q *lockQueue, wt *waiter) {
 	for i, w := range q.waiters {
 		if w == wt {
 			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
 			break
 		}
 	}
-	d.blocked[wt.tx.id] = nil
+	d.blocked[wt.tx.id].Store(nil)
 	if wt.upgrader && q.findUpgrader() == nil {
 		clearWordFlag(d, q.addr, uFlag)
 	}
 	if len(q.waiters) == 0 {
-		d.uninstall(q)
+		d.uninstallLocked(q)
 	} else {
-		d.grantLocked(q)
+		d.grantScanLocked(q)
 	}
 }
 
-// abortWaiter marks a blocked transaction as deadlock victim and wakes it;
-// the victim unwinds via selfAbort when it resumes. Caller holds d.mu.
-func (d *detector) abortWaiter(wt *waiter) {
+// abortWaiterLocked marks a blocked transaction as deadlock victim,
+// removes it, and wakes it; the victim unwinds via selfAbort when it
+// resumes. Caller holds q.mu.
+func (d *detector) abortWaiterLocked(q *lockQueue, wt *waiter) {
 	wt.tx.victim.Store(true)
 	wt.aborted = true
-	d.event(Event{Kind: EvAbortWaiter, TxID: wt.tx.id, Addr: wt.q.addr})
-	d.removeWaiter(wt)
+	if d.wantsEvent(EvAbortWaiter) {
+		d.event(Event{Kind: EvAbortWaiter, TxID: wt.tx.id, Addr: q.addr})
+	}
+	d.removeWaiterLocked(q, wt)
 	wt.signal()
 }
 
-func clearWordFlag(d *detector, addr *uint64, flag uint64) {
+// potentialCycle walks the published dependency digests transitively
+// from wt and reports whether wt's own bit is reachable — the dreadlocks
+// cycle test, lock-free. Digests are supersets of the true waits-for
+// sets, so a hit may be a phantom (filtered by the exact confirmation),
+// but a real cycle is never missed: every member of a stable cycle has
+// its blocked entry and digest published before the last member's
+// pre-check runs.
+func (d *detector) potentialCycle(wt *waiter) bool {
+	self := wt.tx.mask
+	seen := wt.deps.Load()
+	if seen&self != 0 {
+		return true
+	}
+	frontier := seen
+	for frontier != 0 {
+		var next uint64
+		for rest := frontier; rest != 0; {
+			b := rest & (-rest)
+			rest &^= b
+			if bw := d.blocked[bitIndex(b)].Load(); bw != nil {
+				next |= bw.deps.Load()
+			}
+		}
+		if next&self != 0 {
+			return true
+		}
+		frontier = next &^ seen
+		seen |= next
+	}
+	return false
+}
+
+// resolveDeadlocks runs exact deadlock confirmation after a positive
+// pre-check: under cycleMu it repeatedly takes an exact snapshot, picks
+// the youngest non-inevitable member of a cycle through wt, and aborts
+// it, until no cycle through wt remains. A new waits-for edge can
+// complete SEVERAL cycles at once (e.g. an upgrader blocking on two
+// readers that each wait on it); each round aborts one victim, which
+// removes its edges.
+func (d *detector) resolveDeadlocks(wt *waiter, site int32) {
+	tx := wt.tx
+	d.cycleMu.Lock()
 	for {
-		w := atomic.LoadUint64(addr)
-		if w&flag == 0 || d.cas(addr, w, w&^flag, PointFlagCAS) {
+		victim, vq, epoch := d.exactVictim(wt)
+		if victim == nil {
+			d.cycleMu.Unlock()
 			return
 		}
-	}
-}
-
-// depsOf returns the bit set of transactions waiter wt waits for: the
-// current holders of the lock (minus itself, for upgraders) plus every
-// waiter queued ahead of it (FIFO fairness makes those dependencies real).
-func (d *detector) depsOf(wt *waiter) uint64 {
-	deps := wordHolders(atomic.LoadUint64(wt.q.addr)) &^ wt.tx.mask
-	for _, p := range wt.q.waiters {
-		if p == wt {
-			break
+		d.rt.stats.Deadlocks.Add(1)
+		if victim == wt {
+			q := wt.q
+			q.mu.Lock()
+			if wt.aborted {
+				// A duel resolved against us concurrently; the aborter
+				// already removed us.
+				q.mu.Unlock()
+				d.cycleMu.Unlock()
+				tx.profAt(site).deadlocks++
+				tx.selfAbort("deadlock victim")
+			}
+			if wt.granted {
+				q.mu.Unlock()
+				continue // granted since the snapshot; re-confirm
+			}
+			d.event(Event{Kind: EvAbortWaiter, TxID: tx.id, Addr: q.addr})
+			d.removeWaiterLocked(q, wt)
+			q.mu.Unlock()
+			d.cycleMu.Unlock()
+			tx.profAt(site).deadlocks++
+			tx.selfAbort("deadlock victim")
 		}
-		deps |= p.tx.mask
+		// The victim may have been granted, aborted, or even reused for a
+		// new block since the snapshot; the epoch check makes the abort
+		// land only on the incarnation the cycle was confirmed against.
+		vq.mu.Lock()
+		if victim.epoch.Load() == epoch && !victim.granted && !victim.aborted {
+			d.abortWaiterLocked(vq, victim)
+		}
+		vq.mu.Unlock()
 	}
-	return deps
 }
 
-// findDeadlockVictim runs the dreadlocks check (paper §4.2: a blocking
-// variant of the dreadlocks algorithm modified for read/write locks)
-// after wt blocked. Digests are bit sets over transaction IDs: the digest
-// of a blocked transaction is its own bit plus the union of the digests
-// of everything it waits for. A cycle exists iff the digest of one of
-// wt's dependencies already contains wt's bit. The victim is the youngest
-// transaction on the cycle (largest start ticket), so the oldest always
-// makes progress. Caller holds d.mu.
-func (d *detector) findDeadlockVictim(wt *waiter) *waiter {
-	// Fixpoint digest propagation over at most MaxTxns blocked
-	// transactions.
-	var digests [MaxTxns]uint64
+// exactVictim takes an exact snapshot of the waits-for graph and returns
+// the youngest non-inevitable member of a cycle through wt, with the
+// queue and epoch the confirmation observed it under; or nil if no cycle
+// through wt exists. Caller holds cycleMu. Internally it locks the
+// queues of all blocked waiters (one lock level below cycleMu; safe
+// because all other code paths hold at most one q.mu and never block
+// under it). Waiters that blocked after the queue set was collected are
+// ignored: their own pre-check and confirmation run after ours.
+func (d *detector) exactVictim(wt *waiter) (victim *waiter, vq *lockQueue, epoch uint64) {
+	var snap [MaxTxns]*waiter
+	var qs []*lockQueue
+	for id := 0; id < MaxTxns; id++ {
+		bw := d.blocked[id].Load()
+		if bw == nil {
+			continue
+		}
+		q := bw.q
+		dup := false
+		for _, have := range qs {
+			if have == q {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			qs = append(qs, q)
+		}
+	}
+	for _, q := range qs {
+		q.mu.Lock()
+	}
+	defer func() {
+		for _, q := range qs {
+			q.mu.Unlock()
+		}
+	}()
+
+	locked := func(q *lockQueue) bool {
+		for _, have := range qs {
+			if have == q {
+				return true
+			}
+		}
+		return false
+	}
+	// Re-read the blocked table under the locks: entries on locked queues
+	// are now stable; anything that moved meanwhile is skipped.
 	var deps [MaxTxns]uint64
 	for id := 0; id < MaxTxns; id++ {
-		if b := d.blocked[id]; b != nil {
-			digests[id] = b.tx.mask
-			deps[id] = d.depsOf(b)
+		bw := d.blocked[id].Load()
+		if bw == nil || bw.granted || bw.aborted || !locked(bw.q) {
+			continue
+		}
+		snap[id] = bw
+		deps[id] = bw.q.depsOfLocked(bw)
+	}
+	if snap[wt.tx.id] != wt {
+		return nil, nil, 0 // granted or aborted since the pre-check
+	}
+
+	// Fixpoint digest propagation over the snapshot (paper §4.2: a
+	// blocking variant of the dreadlocks algorithm modified for
+	// read/write locks). Digests are bit sets over transaction IDs: the
+	// digest of a blocked transaction is its own bit plus the union of
+	// the digests of everything it waits for. A cycle exists iff the
+	// digest of one of wt's dependencies already contains wt's bit.
+	var digests [MaxTxns]uint64
+	for id := 0; id < MaxTxns; id++ {
+		if snap[id] != nil {
+			digests[id] = snap[id].tx.mask
 		}
 	}
 	for changed := true; changed; {
 		changed = false
 		for id := 0; id < MaxTxns; id++ {
-			if d.blocked[id] == nil {
+			if snap[id] == nil {
 				continue
 			}
 			nd := digests[id]
@@ -451,7 +745,7 @@ func (d *detector) findDeadlockVictim(wt *waiter) *waiter {
 				dep := rest & (-rest)
 				rest &^= dep
 				depID := bitIndex(dep)
-				if d.blocked[depID] != nil {
+				if snap[depID] != nil {
 					nd |= digests[depID]
 				} else {
 					nd |= dep
@@ -463,27 +757,24 @@ func (d *detector) findDeadlockVictim(wt *waiter) *waiter {
 			}
 		}
 	}
-	// Cycle through wt?
 	cycle := false
-	rest := deps[wt.tx.id]
-	for r := rest; r != 0; {
-		dep := r & (-r)
-		r &^= dep
+	for rest := deps[wt.tx.id]; rest != 0; {
+		dep := rest & (-rest)
+		rest &^= dep
 		depID := bitIndex(dep)
-		if d.blocked[depID] != nil && digests[depID]&wt.tx.mask != 0 {
+		if snap[depID] != nil && digests[depID]&wt.tx.mask != 0 {
 			cycle = true
 			break
 		}
 	}
 	if !cycle {
-		return nil
+		return nil, nil, 0
 	}
 	// Enumerate the cycle members with a DFS over blocked waits-for edges
-	// and pick the youngest. Inevitable transactions (§3.4) must never
-	// abort; at most one exists, so a non-inevitable member is always
-	// available.
-	members := d.cycleMembers(wt, deps)
-	var victim *waiter
+	// and pick the youngest (largest start ticket), so the oldest always
+	// makes progress. Inevitable transactions (§3.4) must never abort; at
+	// most one exists, so a non-inevitable member is always available.
+	members := cycleMembers(wt, &snap, &deps)
 	for _, m := range members {
 		if m.tx.inevitable {
 			continue
@@ -492,24 +783,25 @@ func (d *detector) findDeadlockVictim(wt *waiter) *waiter {
 			victim = m
 		}
 	}
-	if victim != nil {
-		d.debug.deadlock(members, victim)
-		if d.rt != nil && d.rt.wantsEvent(EvDeadlock) {
-			ev := Event{Kind: EvDeadlock, VictimID: victim.tx.id, TxID: wt.tx.id}
-			for _, m := range members {
-				ev.CycleIDs = append(ev.CycleIDs, m.tx.id)
-				ev.CycleTickets = append(ev.CycleTickets, m.tx.ticket)
-				ev.CycleInev = append(ev.CycleInev, m.tx.inevitable)
-			}
-			d.event(ev)
-		}
+	if victim == nil {
+		return nil, nil, 0
 	}
-	return victim
+	d.debug.deadlock(members, victim)
+	if d.rt != nil && d.rt.wantsEvent(EvDeadlock) {
+		ev := Event{Kind: EvDeadlock, VictimID: victim.tx.id, TxID: wt.tx.id}
+		for _, m := range members {
+			ev.CycleIDs = append(ev.CycleIDs, m.tx.id)
+			ev.CycleTickets = append(ev.CycleTickets, m.tx.ticket)
+			ev.CycleInev = append(ev.CycleInev, m.tx.inevitable)
+		}
+		d.event(ev)
+	}
+	return victim, victim.q, victim.epoch.Load()
 }
 
 // cycleMembers returns the blocked transactions on a waits-for cycle
-// through wt. Caller holds d.mu.
-func (d *detector) cycleMembers(wt *waiter, deps [MaxTxns]uint64) []*waiter {
+// through wt, over the exact snapshot taken by exactVictim.
+func cycleMembers(wt *waiter, snap *[MaxTxns]*waiter, deps *[MaxTxns]uint64) []*waiter {
 	var path []*waiter
 	var onPath [MaxTxns]bool
 	var visited [MaxTxns]bool
@@ -525,7 +817,7 @@ func (d *detector) cycleMembers(wt *waiter, deps [MaxTxns]uint64) []*waiter {
 			dep := rest & (-rest)
 			rest &^= dep
 			depID := bitIndex(dep)
-			next := d.blocked[depID]
+			next := snap[depID]
 			if next == nil {
 				continue
 			}

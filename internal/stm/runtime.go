@@ -30,6 +30,16 @@ type Runtime struct {
 	// goroutine holding the ID, and keeping the buffers here lets their
 	// capacity survive ID reuse without growing the Tx struct.
 	profBufs [MaxTxns][]siteDelta
+	// waiterSlots holds the reusable per-transaction-ID waiter objects
+	// (see Tx.slowAcquire): the slot is exclusively owned by the
+	// goroutine holding the ID, so a slow-path block allocates nothing
+	// in steady state.
+	waiterSlots [MaxTxns]*waiter
+	// txSlots holds the reusable per-transaction-ID Tx objects: Begin
+	// re-issues the slot's Tx, whose log capacities survive across
+	// transactions. Exclusively owned by the goroutine holding the ID
+	// (the pool's handoff provides the happens-before edge).
+	txSlots [MaxTxns]*Tx
 	// rec is the protocol-event flight recorder; nil when disabled via
 	// Options.RecorderSize < 0.
 	rec *FlightRecorder
@@ -71,12 +81,13 @@ type Options struct {
 	// leading up to the deadlock, captured at the moment it happened.
 	DeadlockDump io.Writer
 	// ProfileSampleRate is the sampling period of the per-site acquire
-	// counter: one in every ProfileSampleRate lock acquires is charged to
-	// its site (scaled back up at flush, so the reported totals stay
-	// unbiased estimates). 0 means DefaultProfileSampleRate; 1 counts
-	// every acquire exactly; other values are rounded up to a power of
-	// two. Contention counters (contended, CAS failures, upgrades,
-	// deadlocks, block time) are slow-path-only and always exact.
+	// counter and of per-site block time: one in every ProfileSampleRate
+	// lock acquires (and parked blocks) is charged to its site, scaled
+	// back up at flush, so the reported totals stay unbiased estimates.
+	// 0 means DefaultProfileSampleRate; 1 counts every acquire and block
+	// exactly; other values are rounded up to a power of two. The other
+	// contention counters (contended, CAS failures, upgrades, deadlocks)
+	// are slow-path-only and always exact.
 	ProfileSampleRate int
 }
 
@@ -136,18 +147,23 @@ func (rt *Runtime) Recorder() *FlightRecorder { return rt.rec }
 // available. The number of available IDs limits the achievable actual
 // parallelism (paper §3.3); waiting here is safe because no nesting is
 // possible and any transaction that waits for a condition first ends its
-// current transaction, freeing its ID.
+// current transaction, freeing its ID. The returned Tx is reused across
+// transactions of the same ID, so a handle must not be touched after
+// Commit or AbandonAfterReset returned it to the pool.
 func (rt *Runtime) Begin() *Tx {
 	id, waited := rt.ids.acquire()
 	if waited {
 		rt.stats.IDWaits.Add(1)
 	}
-	tx := &Tx{
-		rt:     rt,
-		id:     id,
-		mask:   txMask(id),
-		ticket: rt.ticket.Add(1),
+	tx := rt.txSlots[id]
+	if tx == nil {
+		tx = &Tx{rt: rt, id: id, mask: txMask(id)}
+		rt.txSlots[id] = tx
 	}
+	tx.ticket = rt.ticket.Add(1)
+	tx.ended = false
+	tx.inevitable = false
+	tx.victim.Store(false)
 	rt.txByID[id].Store(tx)
 	// Guard the Event construction, not just its delivery: with the
 	// default recorder mask, lifecycle events are unwanted and the guard

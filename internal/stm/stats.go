@@ -23,6 +23,7 @@ type Stats struct {
 	Contended atomic.Uint64 // acquisitions that had to enqueue
 	CASFail   atomic.Uint64 // failed lock-word CAS attempts
 	IDWaits   atomic.Uint64 // Begin calls that had to wait for a free transaction ID
+	IDWaitNs  atomic.Uint64 // total nanoseconds Begin spent waiting for a free ID
 	Deadlocks atomic.Uint64 // deadlock cycles resolved
 	InevWaits atomic.Uint64 // BecomeInevitable calls that had to wait for the token
 	// SpuriousWakes counts injected spurious wake-ups consumed by parked
@@ -42,12 +43,12 @@ type Stats struct {
 
 // StatsSnapshot is an immutable copy of Stats for reporting.
 type StatsSnapshot struct {
-	Init, CheckNew, CheckOwned, Acquire    uint64
-	Commits, Aborts, Contended, CASFail    uint64
-	IDWaits, Deadlocks, InevWaits          uint64
-	SpuriousWakes                          uint64
-	LockBytes, RWSetBytes, UndoEntries     uint64
-	BufferBytes, InitEntries, TxnsMeasured uint64
+	Init, CheckNew, CheckOwned, Acquire     uint64
+	Commits, Aborts, Contended, CASFail     uint64
+	IDWaits, IDWaitNs, Deadlocks, InevWaits uint64
+	SpuriousWakes                           uint64
+	LockBytes, RWSetBytes, UndoEntries      uint64
+	BufferBytes, InitEntries, TxnsMeasured  uint64
 }
 
 // Snapshot copies the current counter values.
@@ -62,6 +63,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Contended:     s.Contended.Load(),
 		CASFail:       s.CASFail.Load(),
 		IDWaits:       s.IDWaits.Load(),
+		IDWaitNs:      s.IDWaitNs.Load(),
 		Deadlocks:     s.Deadlocks.Load(),
 		InevWaits:     s.InevWaits.Load(),
 		SpuriousWakes: s.SpuriousWakes.Load(),
@@ -85,6 +87,7 @@ func (s *Stats) Reset() {
 	s.Contended.Store(0)
 	s.CASFail.Store(0)
 	s.IDWaits.Store(0)
+	s.IDWaitNs.Store(0)
 	s.Deadlocks.Store(0)
 	s.InevWaits.Store(0)
 	s.SpuriousWakes.Store(0)
@@ -109,6 +112,7 @@ func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
 		Contended:     s.Contended - prev.Contended,
 		CASFail:       s.CASFail - prev.CASFail,
 		IDWaits:       s.IDWaits - prev.IDWaits,
+		IDWaitNs:      s.IDWaitNs - prev.IDWaitNs,
 		Deadlocks:     s.Deadlocks - prev.Deadlocks,
 		InevWaits:     s.InevWaits - prev.InevWaits,
 		SpuriousWakes: s.SpuriousWakes - prev.SpuriousWakes,

@@ -67,15 +67,26 @@ type Tx struct {
 	initLog   []*Object
 	resources []Resource
 	onCommit  []func()
+	// wakeScratch is the reusable phase-two buffer of releaseLocks: the
+	// queues observed while clearing lock words, woken after every word
+	// is clear.
+	wakeScratch []queueWake
 
 	victim     atomic.Bool
 	ended      bool
 	inevitable bool
 
 	// Per-transaction counters, flushed to Runtime.Stats at end to keep
-	// the access fast path free of shared atomics.
+	// the access fast path free of shared atomics. They accumulate across
+	// Reset and flush only at Commit/AbandonAfterReset: a transaction that
+	// retries under contention would otherwise pay the full set of shared
+	// atomic adds once per attempt.
 	nInit, nCheckNew, nCheckOwned, nAcq uint64
 	nContended, nCASFail                uint64
+	// Table 8 memory accounting, accumulated per attempt (accountMemory)
+	// and flushed with the counters.
+	accRWSetBytes, accUndoEntries, accInitEntries uint64
+	accBufferBytes, accAttempts                   uint64
 }
 
 // ID returns the transaction's ID (0..MaxTxns-1).
@@ -452,9 +463,23 @@ func (tx *Tx) OnCommit(f func()) {
 	tx.onCommit = append(tx.onCommit, f)
 }
 
+// queueWake identifies one queue the release path must wake: the queue
+// ID observed in a lock word as the releasing bit was cleared, plus the
+// word itself (to detect ID recycling between the clear and the wake).
+type queueWake struct {
+	qid  int
+	addr *uint64
+}
+
 // releaseLocks clears the transaction's bit (and W flag) from every lock
-// in the lock log and wakes queues that were waiting on them.
+// in the lock log and wakes queues that were waiting on them. The
+// release is two-phase: phase one CAS-clears every held word, phase two
+// wakes the affected queues — deduplicated, one wake per queue — so a
+// waiter is never woken into a lock the releasing transaction still
+// holds (it would just fail its grant and re-park, a wasted wake and, on
+// multi-lock conflicts, a source of grant/release churn).
 func (tx *Tx) releaseLocks() {
+	wakes := tx.wakeScratch[:0]
 	for i := range tx.lockLog {
 		e := &tx.lockLog[i]
 		addr := &e.slab.words[e.lockID]
@@ -470,29 +495,41 @@ func (tx *Tx) releaseLocks() {
 			}
 			if tx.rt.casWord(addr, w, nw, PointReleaseCAS) {
 				if qid := wordQueueID(nw); qid != 0 {
-					tx.rt.wakeQueue(qid, addr)
+					dup := false
+					for _, wk := range wakes {
+						if wk.qid == qid && wk.addr == addr {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						wakes = append(wakes, queueWake{qid: qid, addr: addr})
+					}
 				}
 				break
 			}
 		}
 	}
+	for _, wk := range wakes {
+		tx.rt.wakeQueue(wk.qid, wk.addr)
+	}
+	tx.wakeScratch = wakes[:0]
 	tx.lockLog = tx.lockLog[:0]
 }
 
-// accountMemory records the Table 8 components of this transaction.
+// accountMemory accumulates the Table 8 components of this attempt into
+// the transaction-local accumulators (each attempt — commit or reset —
+// counts as one measured transaction).
 func (tx *Tx) accountMemory() {
-	st := &tx.rt.stats
-	st.RWSetBytes.Add(uint64(len(tx.lockLog))*16 + uint64(len(tx.undo))*40)
-	st.UndoEntries.Add(uint64(len(tx.undo)))
-	st.InitEntries.Add(uint64(len(tx.initLog)))
-	var buf uint64
+	tx.accRWSetBytes += uint64(len(tx.lockLog))*16 + uint64(len(tx.undo))*40
+	tx.accUndoEntries += uint64(len(tx.undo))
+	tx.accInitEntries += uint64(len(tx.initLog))
 	for _, r := range tx.resources {
 		if bs, ok := r.(BufferSizer); ok {
-			buf += uint64(bs.BufferedBytes())
+			tx.accBufferBytes += uint64(bs.BufferedBytes())
 		}
 	}
-	st.BufferBytes.Add(buf)
-	st.TxnsMeasured.Add(1)
+	tx.accAttempts++
 }
 
 // flushCounters moves the per-transaction counters into the runtime
@@ -507,6 +544,15 @@ func (tx *Tx) flushCounters() {
 	st.CASFail.Add(tx.nCASFail)
 	tx.nInit, tx.nCheckNew, tx.nCheckOwned, tx.nAcq = 0, 0, 0, 0
 	tx.nContended, tx.nCASFail = 0, 0
+	if tx.accAttempts != 0 {
+		st.RWSetBytes.Add(tx.accRWSetBytes)
+		st.UndoEntries.Add(tx.accUndoEntries)
+		st.InitEntries.Add(tx.accInitEntries)
+		st.BufferBytes.Add(tx.accBufferBytes)
+		st.TxnsMeasured.Add(tx.accAttempts)
+		tx.accRWSetBytes, tx.accUndoEntries, tx.accInitEntries = 0, 0, 0
+		tx.accBufferBytes, tx.accAttempts = 0, 0
+	}
 }
 
 // Commit ends the transaction successfully: resources commit (flushing
@@ -527,7 +573,11 @@ func (tx *Tx) Commit() {
 	}
 	tx.releaseLocks()
 	tx.releaseInevitable()
+	// Take ownership of the deferred callbacks before clearLogs zeroes
+	// the backing array (Commit is terminal, so losing the capacity here
+	// is free; the [:0] reuse in clearLogs benefits the Reset path).
 	deferred := tx.onCommit
+	tx.onCommit = nil
 	tx.clearLogs()
 	tx.rt.stats.Commits.Add(1)
 	if tx.rt.wantsEvent(EvCommit) {
@@ -578,8 +628,10 @@ func (tx *Tx) Reset() {
 	if tx.rt.wantsEvent(EvReset) {
 		tx.rt.event(Event{Kind: EvReset, TxID: tx.id, Ticket: tx.ticket})
 	}
-	tx.flushCounters()
-	tx.flushProfile()
+	// Counters, memory accounting, and the profile deltas stay buffered in
+	// the transaction across the retry; Commit (or AbandonAfterReset)
+	// flushes them once, keeping the contended retry loop free of shared
+	// atomic adds.
 }
 
 // AbandonAfterReset releases the transaction ID of a reset transaction
@@ -589,6 +641,8 @@ func (tx *Tx) AbandonAfterReset() {
 		return
 	}
 	tx.ended = true
+	tx.flushCounters()
+	tx.flushProfile()
 	tx.rt.releaseID(tx)
 }
 
@@ -596,5 +650,11 @@ func (tx *Tx) clearLogs() {
 	tx.undo = tx.undo[:0]
 	tx.initLog = tx.initLog[:0]
 	tx.resources = tx.resources[:0]
-	tx.onCommit = nil
+	// Reuse the onCommit backing array like the other logs, but zero the
+	// entries first: dropped callbacks must not be retained past the
+	// transaction (they may close over large state).
+	for i := range tx.onCommit {
+		tx.onCommit[i] = nil
+	}
+	tx.onCommit = tx.onCommit[:0]
 }
