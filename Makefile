@@ -42,12 +42,17 @@ bench:
 # contention columns. BENCH_3.json: the multi-thread scalability suite
 # (contended counter, read-mostly, write-heavy, upgrade duel at 1/2/4/8
 # threads) compared against the committed pre-sharding global-mutex
-# baseline. CI runs this non-gating and uploads both files.
+# baseline. BENCH_4.json: the same suite (now including rmw-hotset)
+# against the committed BENCH_3 "after" numbers, isolating the effect
+# of write-intent promotion and abort backoff. CI runs this non-gating
+# and uploads all three files.
 bench-snapshot:
 	$(GO) run ./cmd/sbd-bench -scale=1 -threads=1,2,4 \
 		-bench=sunflow,tomcat -json=BENCH_2.json
 	$(GO) run ./cmd/sbd-bench -scalability -ops=20000 \
 		-baseline=bench/scalability-global-mutex.json -json=BENCH_3.json
+	$(GO) run ./cmd/sbd-bench -scalability -ops=20000 \
+		-baseline=BENCH_3.json -json=BENCH_4.json
 
 # Compare head benchmarks against a base git ref (default main),
 # benchstat-style via the stdlib-only cmd/sbd-benchcmp. Informational

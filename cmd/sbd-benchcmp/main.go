@@ -2,7 +2,8 @@
 // benchstat does, with no dependency outside the stdlib (this module
 // vendors nothing). Each benchmark's ns/op is averaged across its
 // -count repetitions in each file and the relative delta is printed,
-// old to new.
+// old to new, followed by a geometric-mean summary row over the
+// benchmarks present in both files.
 //
 // The comparison is informational by default: shared CI runners are too
 // noisy to gate a merge on throughput numbers. The one exception is the
@@ -12,13 +13,17 @@
 //
 // Usage:
 //
-//	sbd-benchcmp [-gate regexp] [-threshold pct] old.txt new.txt
+//	sbd-benchcmp [-gate regexp] [-threshold pct] [-markdown] old.txt new.txt
+//
+// -markdown renders the comparison as a GitHub-flavored table, suitable
+// for appending to a CI step summary.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -71,12 +76,22 @@ func parseFile(path string) (map[string]sample, error) {
 	return out, sc.Err()
 }
 
+// row is one rendered comparison line.
+type row struct {
+	name  string
+	oldNs string
+	newNs string
+	delta string
+	mark  string
+}
+
 func main() {
 	gate := flag.String("gate", "Table6AcqRls", "regexp of benchmark names whose regression fails the run")
 	threshold := flag.Float64("threshold", 5, "gated regression threshold in percent")
+	markdown := flag.Bool("markdown", false, "render as a GitHub-flavored markdown table")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: sbd-benchcmp [-gate regexp] [-threshold pct] old.txt new.txt")
+		fmt.Fprintln(os.Stderr, "usage: sbd-benchcmp [-gate regexp] [-threshold pct] [-markdown] old.txt new.txt")
 		os.Exit(2)
 	}
 	gateRe, err := regexp.Compile(*gate)
@@ -101,37 +116,77 @@ func main() {
 	}
 	sort.Strings(names)
 
-	w := len("name")
-	for _, name := range names {
-		if len(name) > w {
-			w = len(name)
-		}
-	}
-	fmt.Printf("%-*s  %12s  %12s  %8s\n", w, "name", "old ns/op", "new ns/op", "delta")
+	var rows []row
 	var failures []string
+	// Geomean over ln(new/old) of benchmarks present in both files:
+	// the standard summary for ratio-of-means comparisons (benchstat's
+	// "geomean" row). Negative is faster.
+	var logSum float64
+	var logN int
 	for _, name := range names {
 		ns := cur[name]
 		os_, ok := old[name]
 		if !ok {
-			fmt.Printf("%-*s  %12s  %12.1f  %8s\n", w, name, "-", ns.mean(), "new")
+			rows = append(rows, row{name: name, oldNs: "-", newNs: fmt.Sprintf("%.1f", ns.mean()), delta: "new"})
 			continue
 		}
 		delta := (ns.mean() - os_.mean()) / os_.mean() * 100
+		logSum += math.Log(ns.mean() / os_.mean())
+		logN++
 		mark := ""
 		if gateRe.MatchString(name) {
-			mark = "  [gated]"
+			mark = "[gated]"
 			if delta > *threshold {
-				mark = "  [FAIL]"
+				mark = "[FAIL]"
 				failures = append(failures, fmt.Sprintf("%s: %.1f%% > %.1f%%", name, delta, *threshold))
 			}
 		}
-		fmt.Printf("%-*s  %12.1f  %12.1f  %+7.1f%%%s\n", w, name, os_.mean(), ns.mean(), delta, mark)
+		rows = append(rows, row{
+			name:  name,
+			oldNs: fmt.Sprintf("%.1f", os_.mean()),
+			newNs: fmt.Sprintf("%.1f", ns.mean()),
+			delta: fmt.Sprintf("%+.1f%%", delta),
+			mark:  mark,
+		})
 	}
+	var gone []string
 	for name := range old {
 		if _, ok := cur[name]; !ok {
-			fmt.Printf("%-*s  %12.1f  %12s  %8s\n", w, name, old[name].mean(), "-", "gone")
+			gone = append(gone, name)
 		}
 	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		rows = append(rows, row{name: name, oldNs: fmt.Sprintf("%.1f", old[name].mean()), newNs: "-", delta: "gone"})
+	}
+	if logN > 0 {
+		gm := (math.Exp(logSum/float64(logN)) - 1) * 100
+		rows = append(rows, row{name: "geomean", oldNs: "", newNs: "", delta: fmt.Sprintf("%+.1f%%", gm)})
+	}
+
+	if *markdown {
+		fmt.Println("| name | old ns/op | new ns/op | delta | |")
+		fmt.Println("|---|---:|---:|---:|---|")
+		for _, r := range rows {
+			fmt.Printf("| %s | %s | %s | %s | %s |\n", r.name, r.oldNs, r.newNs, r.delta, r.mark)
+		}
+	} else {
+		w := len("name")
+		for _, r := range rows {
+			if len(r.name) > w {
+				w = len(r.name)
+			}
+		}
+		fmt.Printf("%-*s  %12s  %12s  %8s\n", w, "name", "old ns/op", "new ns/op", "delta")
+		for _, r := range rows {
+			mark := r.mark
+			if mark != "" {
+				mark = "  " + mark
+			}
+			fmt.Printf("%-*s  %12s  %12s  %8s%s\n", w, r.name, r.oldNs, r.newNs, r.delta, mark)
+		}
+	}
+
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "\nsbd-benchcmp: fast-path regression over %.1f%%:\n", *threshold)
 		for _, f := range failures {

@@ -60,4 +60,16 @@
 //     Wait registers the waiter, then splits, then blocks.
 //   - Thread-local memory (stm.Tx.NewLocal) skips locking but keeps an
 //     undo log.
+//
+// # Contention management
+//
+// When a section aborts, the runtime replays it after a bounded
+// randomized backoff (stm.Tx.RetryBackoff) instead of immediately: the
+// youngest loser of an upgrade duel would otherwise retry straight into
+// the conflict it just lost. Read-modify-write closures can additionally
+// declare write intent up front with the stm.Tx ReadForWrite accessor
+// variants (ReadIntForWrite, ReadWordForWrite, ...), which take the
+// write lock on the first read and make the upgrade — and the duel —
+// impossible; sites that are not annotated are promoted adaptively by
+// the STM once their reads are observed to upgrade and duel.
 package core

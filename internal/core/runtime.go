@@ -154,6 +154,11 @@ func (th *Thread) replayFrom(start int) {
 			return
 		}
 		th.tx.Reset()
+		// Randomized exponential backoff before the replay: without it the
+		// youngest loser of an upgrade duel retries straight into the same
+		// conflict it just lost (and loses again — it is still the
+		// youngest).
+		th.tx.RetryBackoff()
 		start = 0
 	}
 }

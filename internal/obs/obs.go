@@ -36,10 +36,11 @@ func ProfileTable(rows []stm.SiteProfile) string {
 	if len(rows) == 0 {
 		return "no lock-site activity recorded\n"
 	}
-	tbl := harness.NewTable("Site", "Acq", "Cont", "CASFail", "Upgr", "Dead", "Block")
+	tbl := harness.NewTable("Site", "Acq", "Cont", "CASFail", "Upgr", "Promo", "DuelLoss", "Dead", "Block")
 	for _, r := range rows {
 		tbl.Row(r.Site.String(), r.Acquires, r.Contended, r.CASFails,
-			r.Upgrades, r.Deadlocks, r.BlockTime.Round(time.Microsecond).String())
+			r.Upgrades, r.Promotions, r.DuelLosses, r.Deadlocks,
+			r.BlockTime.Round(time.Microsecond).String())
 	}
 	return tbl.String()
 }
@@ -97,6 +98,12 @@ func Metrics(snap stm.StatsSnapshot, sites []stm.SiteProfile, rec *stm.FlightRec
 	fmt.Fprintf(&b, "sbd_id_wait_seconds_total %s\n", promFloat(float64(snap.IDWaitNs)/1e9))
 	counter("sbd_deadlocks_total", "Deadlock cycles resolved.", snap.Deadlocks)
 	counter("sbd_inev_waits_total", "BecomeInevitable calls that waited for the token.", snap.InevWaits)
+	counter("sbd_promotions_total", "Reads adaptively promoted to write acquisitions.", snap.Promotions)
+	counter("sbd_promotions_wasted_total", "Promotions committed without a write (hint decay).", snap.PromoWasted)
+	counter("sbd_duel_losses_total", "Upgrade aborts that boosted a promotion hint.", snap.DuelLosses)
+	counter("sbd_backoffs_total", "Backed-off transaction retries.", snap.Backoffs)
+	counter("sbd_backoff_spins_total", "Reschedules spent in retry backoff.", snap.BackoffSpins)
+	counter("sbd_spin_acquires_total", "Slow-path acquisitions resolved by bounded spinning.", snap.SpinAcquires)
 
 	fmt.Fprintf(&b, "# HELP sbd_abort_rate Aborts per commit; +Inf when aborting without commits.\n")
 	fmt.Fprintf(&b, "# TYPE sbd_abort_rate gauge\n")
@@ -123,6 +130,10 @@ func Metrics(snap stm.StatsSnapshot, sites []stm.SiteProfile, rec *stm.FlightRec
 			func(r stm.SiteProfile) string { return fmt.Sprint(r.CASFails) })
 		series("sbd_site_upgrades_total", "Enqueued read-to-write upgrades per site.",
 			func(r stm.SiteProfile) string { return fmt.Sprint(r.Upgrades) })
+		series("sbd_site_promotions_total", "Adaptive write-intent promotions per site.",
+			func(r stm.SiteProfile) string { return fmt.Sprint(r.Promotions) })
+		series("sbd_site_duel_losses_total", "Hint-boosting upgrade aborts per site.",
+			func(r stm.SiteProfile) string { return fmt.Sprint(r.DuelLosses) })
 		series("sbd_site_deadlocks_total", "Acquire-path abort involvements per site.",
 			func(r stm.SiteProfile) string { return fmt.Sprint(r.Deadlocks) })
 		series("sbd_site_block_seconds_total", "Cumulative time blocked per site.",

@@ -65,9 +65,12 @@ func (l List) Set(tx *stm.Tx, i int, v *stm.Object) {
 	tx.WriteElemRef(tx.ReadRef(l.o, listData), i, v)
 }
 
-// Append adds v at the end, growing the backing array if needed.
+// Append adds v at the end, growing the backing array if needed. The
+// size read declares write intent: every Append writes size back, and
+// taking the write lock up front keeps concurrent appenders from the
+// read-upgrade duel that would otherwise abort one of them.
 func (l List) Append(tx *stm.Tx, v *stm.Object) {
-	n := int(tx.ReadInt(l.o, listSize))
+	n := int(tx.ReadIntForWrite(l.o, listSize))
 	data := tx.ReadRef(l.o, listData)
 	if n == data.Len() {
 		bigger := tx.NewArray(stm.KindRef, 2*data.Len())
@@ -156,9 +159,11 @@ func (l WordList) Contains(tx *stm.Tx, v uint64) bool {
 	return false
 }
 
-// Append adds v at the end, growing the backing array if needed.
+// Append adds v at the end, growing the backing array if needed. As
+// with List.Append, the size read declares write intent to avoid the
+// read-upgrade duel between concurrent appenders.
 func (l WordList) Append(tx *stm.Tx, v uint64) {
-	n := int(tx.ReadInt(l.o, wordListSize))
+	n := int(tx.ReadIntForWrite(l.o, wordListSize))
 	data := tx.ReadRef(l.o, wordListData)
 	if n == data.Len() {
 		bigger := tx.NewArray(stm.KindWord, 2*data.Len())

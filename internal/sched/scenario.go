@@ -63,8 +63,9 @@ func RunScenario(sc Scenario, pol Policy, cfg Config) Result {
 }
 
 // Retry runs body as a transaction, resetting and retrying on abort the
-// way the SBD layer does, with a scheduler step between attempts so the
-// policy can interleave the retry.
+// way the SBD layer does. RetryBackoff between attempts yields exactly
+// once at PointBackoff under the harness, so the policy can interleave
+// the retry and replayed schedules stay deterministic.
 func Retry(s *Scheduler, rt *stm.Runtime, body func(tx *stm.Tx)) {
 	tx := rt.Begin()
 	for {
@@ -86,7 +87,7 @@ func Retry(s *Scheduler, rt *stm.Runtime, body func(tx *stm.Tx)) {
 			return
 		}
 		tx.Reset()
-		s.Step()
+		tx.RetryBackoff()
 	}
 }
 
@@ -414,6 +415,54 @@ func ScenarioTransfer(seed uint64) Scenario {
 	}
 }
 
+// ScenarioUpgradeStorm forces the RMW pathology the adaptive promoter
+// exists for: three workers read-modify-write the same word for several
+// rounds, the first attempts synchronized so all three hold the read
+// lock before any upgrade. The first round duels (the checker asserts
+// youngest-victim on every EvDuel it observes), the duel losses boost
+// the site's promotion hint, and later rounds acquire in write mode up
+// front; every abort replays through RetryBackoff's PointBackoff yield,
+// so the whole storm — duels, promotions, backoffs — replays
+// deterministically from a decision trace.
+func ScenarioUpgradeStorm() Scenario {
+	return Scenario{
+		Name: "upgrade-storm",
+		Build: func(rt *stm.Runtime, s *Scheduler) ([]Worker, func() error) {
+			o := stm.NewCommitted(cellClass)
+			s.Watch(o)
+			const workers, rounds = 3, 3
+			mk := func(i int) Worker {
+				return Worker{Name: fmt.Sprintf("storm-%d", i), Body: func() {
+					arm := true
+					for r := 0; r < rounds; r++ {
+						Retry(s, rt, func(tx *stm.Tx) {
+							v := tx.ReadWord(o, cellV)
+							if arm {
+								// Only the very first attempt synchronizes:
+								// a retry or a later round barriering here
+								// would deadlock against a worker parked on
+								// the lock this transaction holds.
+								arm = false
+								s.Barrier("storm", workers)
+							}
+							tx.WriteWord(o, cellV, v+1)
+						})
+						s.Step()
+					}
+				}}
+			}
+			post := func() error {
+				if v := stm.CommittedWord(o, cellV); v != workers*rounds {
+					return fmt.Errorf("upgrade-storm scenario: counter = %d, want %d (lost update)",
+						v, workers*rounds)
+				}
+				return nil
+			}
+			return []Worker{mk(0), mk(1), mk(2)}, post
+		},
+	}
+}
+
 // ScenarioCoreAtomic drives the SBD layer (core.Thread sections) rather
 // than raw transactions: three SBD threads increment two shared cells
 // in conflicting orders inside th.Atomic sections, so aborts unwind
@@ -467,6 +516,9 @@ func RoundScenarios(seed uint64) []Scenario {
 		ScenarioIDPool(),
 		ScenarioCoreAtomic(),
 		ScenarioTransfer(seed),
+		// Appended last so the per-index policy seeds of the scenarios
+		// above stay what they were before the storm existed.
+		ScenarioUpgradeStorm(),
 	}
 }
 

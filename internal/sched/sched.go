@@ -121,13 +121,15 @@ type Coverage struct {
 	DelayedGrants int // suppressed grant scans
 	Redeliveries  int // redelivered grant scans
 	SpuriousWakes int // consumed spurious wake-ups
+	Promotions    int // adaptive write-intent promotions (EvPromoted)
+	Backoffs      int // backed-off retries (EvBackoff)
 	Commits       int
 	Aborts        int
 }
 
 func (c Coverage) String() string {
-	return fmt.Sprintf("deadlocks=%d duels=%d grants=%d blocked=%d casfail=%d delayed=%d redeliver=%d spurious=%d commits=%d aborts=%d",
-		c.Deadlocks, c.Duels, c.Grants, c.Blocked, c.CASFails, c.DelayedGrants, c.Redeliveries, c.SpuriousWakes, c.Commits, c.Aborts)
+	return fmt.Sprintf("deadlocks=%d duels=%d grants=%d blocked=%d casfail=%d delayed=%d redeliver=%d spurious=%d promoted=%d backoffs=%d commits=%d aborts=%d",
+		c.Deadlocks, c.Duels, c.Grants, c.Blocked, c.CASFails, c.DelayedGrants, c.Redeliveries, c.SpuriousWakes, c.Promotions, c.Backoffs, c.Commits, c.Aborts)
 }
 
 // Add accumulates c2 into c.
@@ -140,6 +142,8 @@ func (c *Coverage) Add(c2 Coverage) {
 	c.DelayedGrants += c2.DelayedGrants
 	c.Redeliveries += c2.Redeliveries
 	c.SpuriousWakes += c2.SpuriousWakes
+	c.Promotions += c2.Promotions
+	c.Backoffs += c2.Backoffs
 	c.Commits += c2.Commits
 	c.Aborts += c2.Aborts
 }
@@ -720,6 +724,10 @@ func (s *Scheduler) Event(ev stm.Event) {
 		s.cov.DelayedGrants++
 	case stm.EvSpuriousWake:
 		s.cov.SpuriousWakes++
+	case stm.EvPromoted:
+		s.cov.Promotions++
+	case stm.EvBackoff:
+		s.cov.Backoffs++
 	}
 	if err := s.check.observe(ev); err != nil {
 		s.failLocked(fmt.Errorf("checker: %w", err))

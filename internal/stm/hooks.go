@@ -50,6 +50,11 @@ const (
 	// PointInevWait marks BecomeInevitable parking on (Block) or
 	// resuming from (Unblock) the inevitability token.
 	PointInevWait
+	// PointBackoff is the dedicated yield point of Tx.RetryBackoff,
+	// between a Reset and the replay of the atomic section. Under a
+	// harness the randomized spin wait is replaced by exactly one yield
+	// here, so backed-off retries replay deterministically.
+	PointBackoff
 )
 
 var pointNames = [...]string{
@@ -66,6 +71,7 @@ var pointNames = [...]string{
 	PointIDWait:       "id-wait",
 	PointIDPoolCAS:    "idpool-cas",
 	PointInevWait:     "inev-wait",
+	PointBackoff:      "backoff",
 }
 
 func (p YieldPoint) String() string {
@@ -111,6 +117,12 @@ const (
 	EvIDRelease
 	// EvInevRelease: the inevitability token was returned (TxID).
 	EvInevRelease
+	// EvPromoted: a read acquisition was adaptively promoted to a write
+	// acquisition by the per-site write-intent hint table (TxID, Addr).
+	EvPromoted
+	// EvBackoff: a reset transaction entered randomized backoff before
+	// replaying (TxID, Ticket).
+	EvBackoff
 )
 
 var eventNames = [...]string{
@@ -126,6 +138,8 @@ var eventNames = [...]string{
 	EvDelayedGrant: "delayed-grant",
 	EvIDRelease:    "id-release",
 	EvInevRelease:  "inev-release",
+	EvPromoted:     "promoted",
+	EvBackoff:      "backoff",
 }
 
 func (k EventKind) String() string {

@@ -78,23 +78,27 @@ func siteInfo(id int32) SiteInfo {
 // siteCounters is the per-site aggregate of one runtime. All fields are
 // only written by flushProfile (atomic adds) and read by Snapshot.
 type siteCounters struct {
-	acquires  atomic.Uint64
-	contended atomic.Uint64
-	casFails  atomic.Uint64
-	upgrades  atomic.Uint64
-	deadlocks atomic.Uint64
-	blockNs   atomic.Uint64
+	acquires   atomic.Uint64
+	contended  atomic.Uint64
+	casFails   atomic.Uint64
+	upgrades   atomic.Uint64
+	promotions atomic.Uint64
+	duelLosses atomic.Uint64
+	deadlocks  atomic.Uint64
+	blockNs    atomic.Uint64
 }
 
 // siteDelta is the per-transaction buffered contribution to one site.
 type siteDelta struct {
-	site      int32
-	acquires  uint32
-	contended uint32
-	casFails  uint32
-	upgrades  uint32
-	deadlocks uint32
-	blockNs   uint64
+	site       int32
+	acquires   uint32
+	contended  uint32
+	casFails   uint32
+	upgrades   uint32
+	promotions uint32
+	duelLosses uint32
+	deadlocks  uint32
+	blockNs    uint64
 }
 
 // profAt returns the transaction's delta buffer entry for a site,
@@ -162,6 +166,12 @@ func (tx *Tx) flushProfile() {
 		if d.upgrades != 0 {
 			c.upgrades.Add(uint64(d.upgrades))
 		}
+		if d.promotions != 0 {
+			c.promotions.Add(uint64(d.promotions))
+		}
+		if d.duelLosses != 0 {
+			c.duelLosses.Add(uint64(d.duelLosses))
+		}
 		if d.deadlocks != 0 {
 			c.deadlocks.Add(uint64(d.deadlocks))
 		}
@@ -212,13 +222,15 @@ func (p *Profile) counters(site int32) *siteCounters {
 
 // SiteProfile is one row of a profile snapshot.
 type SiteProfile struct {
-	Site      SiteInfo
-	Acquires  uint64        // lock acquire+release pairs (sampled estimate; see ProfileSampleRate)
-	Contended uint64        // acquires that had to enqueue
-	CASFails  uint64        // failed lock-word CAS attempts
-	Upgrades  uint64        // read-to-write upgrades that enqueued
-	Deadlocks uint64        // abort involvements while acquiring (deadlock victim, duel loss)
-	BlockTime time.Duration // time spent parked (sampled estimate; see ProfileSampleRate)
+	Site       SiteInfo
+	Acquires   uint64        // lock acquire+release pairs (sampled estimate; see ProfileSampleRate)
+	Contended  uint64        // acquires that had to enqueue
+	CASFails   uint64        // failed lock-word CAS attempts
+	Upgrades   uint64        // read-to-write upgrades that enqueued
+	Promotions uint64        // reads adaptively promoted to write acquisitions
+	DuelLosses uint64        // upgrade aborts feeding the promotion hint (exact)
+	Deadlocks  uint64        // abort involvements while acquiring (deadlock victim, duel loss)
+	BlockTime  time.Duration // time spent parked (sampled estimate; see ProfileSampleRate)
 }
 
 // Snapshot returns every site with at least one recorded event, hottest
@@ -232,15 +244,17 @@ func (p *Profile) Snapshot() []SiteProfile {
 			continue
 		}
 		row := SiteProfile{
-			Site:      siteInfo(int32(id)),
-			Acquires:  c.acquires.Load(),
-			Contended: c.contended.Load(),
-			CASFails:  c.casFails.Load(),
-			Upgrades:  c.upgrades.Load(),
-			Deadlocks: c.deadlocks.Load(),
-			BlockTime: time.Duration(c.blockNs.Load()),
+			Site:       siteInfo(int32(id)),
+			Acquires:   c.acquires.Load(),
+			Contended:  c.contended.Load(),
+			CASFails:   c.casFails.Load(),
+			Upgrades:   c.upgrades.Load(),
+			Promotions: c.promotions.Load(),
+			DuelLosses: c.duelLosses.Load(),
+			Deadlocks:  c.deadlocks.Load(),
+			BlockTime:  time.Duration(c.blockNs.Load()),
 		}
-		if row.Acquires|row.Contended|row.CASFails|row.Upgrades|row.Deadlocks == 0 && row.BlockTime == 0 {
+		if row.Acquires|row.Contended|row.CASFails|row.Upgrades|row.Promotions|row.DuelLosses|row.Deadlocks == 0 && row.BlockTime == 0 {
 			continue
 		}
 		out = append(out, row)
@@ -268,6 +282,8 @@ func (p *Profile) Reset() {
 		c.contended.Store(0)
 		c.casFails.Store(0)
 		c.upgrades.Store(0)
+		c.promotions.Store(0)
+		c.duelLosses.Store(0)
 		c.deadlocks.Store(0)
 		c.blockNs.Store(0)
 	}

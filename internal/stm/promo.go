@@ -1,0 +1,344 @@
+package stm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Adaptive contention management. The paper's protocol is reactive: a
+// read-modify-write transaction read-locks first, upgrades on the write,
+// and — when another reader upgraded concurrently — loses the dueling
+// write-upgrade (§3.3) and replays immediately into the same duel. On a
+// hot RMW site this turns added threads into lost throughput. Three
+// cooperating mechanisms (none of which appear in the paper; see
+// DESIGN.md "Divergences") turn the curve around:
+//
+//  1. Write-intent promotion: every duel loss boosts a per-site hint
+//     score; while a site's score is positive, lockFor acquires reads
+//     there in WRITE mode up front. The promoted lock is strictly
+//     stronger, so the change is always safe — it can cost read sharing,
+//     never correctness — and commits that promoted without writing decay
+//     the score, so read-mostly phases regain read sharing.
+//  2. Abort backoff: instead of replaying an aborted section immediately,
+//     Tx.RetryBackoff waits a bounded randomized exponentially-growing
+//     number of reschedules, seeded per (ID, ticket) — no global PRNG,
+//     and fully deterministic under a schedule harness, where the spin is
+//     replaced by a single PointBackoff yield.
+//  3. Bounded spin-before-enqueue: a transaction whose fast-path CAS
+//     failed first spins briefly (reschedules, then short sleeps) for
+//     the lock before paying for the queue protocol. Outside promoted
+//     sites the spin only ever bypasses when NO queue is installed —
+//     exactly the fairness rule of the existing slow-path re-check —
+//     and it is bounded, so a waiter always becomes visible to the
+//     deadlock detector eventually.
+//  4. Bounded overtaking: while a site's promotion hint is active,
+//     acquirers may CAS past an installed queue and the release path
+//     defers grants to parked plain waiters, keeping a monopoly
+//     episode in CAS handoff instead of a park/wake pair per
+//     transaction. Deferral is bounded by grantSkipMax releases plus a
+//     parkRegrant self-service timer per parked waiter, and never
+//     touches upgraders, inevitable transactions, or harness runs (see
+//     deferGrantLocked in queue.go).
+
+// Promotion-hint scoring. A duel loss is strong evidence the site is an
+// RMW hot spot (+promoBoost); a committed transaction that wrote through
+// a promoted lock confirms the hint (+promoReward); one that promoted
+// but never wrote paid read-sharing for nothing (−promoPenalty, heavier
+// than the reward so a read-mostly phase drains the score in a couple of
+// commits). The score saturates at promoCap and floors at zero; a site
+// promotes while its score is positive.
+const (
+	promoCap     = 128
+	promoBoost   = 8
+	promoReward  = 1
+	promoPenalty = -4
+)
+
+// promoCell is the hint score of one lock site.
+type promoCell struct{ score atomic.Int32 }
+
+// add moves the score by d, clamped to [0, promoCap]. Saturated cells
+// return without a store, so a stably-hot site costs no write sharing.
+func (c *promoCell) add(d int32) {
+	for {
+		v := c.score.Load()
+		nv := v + d
+		if nv > promoCap {
+			nv = promoCap
+		}
+		if nv < 0 {
+			nv = 0
+		}
+		if nv == v || c.score.CompareAndSwap(v, nv) {
+			return
+		}
+	}
+}
+
+// promoTable is the per-runtime hint table, indexed by global site ID.
+// Storage mirrors Profile: a copy-on-write slice grown under a mutex the
+// first time a site is scored, so the read path (shouldPromote, on every
+// non-owned read acquisition) is one atomic pointer load, one bounds
+// check, and one atomic score load — and a runtime that never lost a
+// duel keeps the pointer nil and pays only the load.
+type promoTable struct {
+	mu    sync.Mutex
+	cells atomic.Pointer[[]*promoCell]
+}
+
+// shouldPromote reports whether reads of the site should be acquired in
+// write mode.
+func (t *promoTable) shouldPromote(site int32) bool {
+	p := t.cells.Load()
+	if p == nil {
+		return false
+	}
+	s := *p
+	return int(site) < len(s) && s[site].score.Load() > 0
+}
+
+// at returns the score cell of a site, growing the table when needed.
+func (t *promoTable) at(site int32) *promoCell {
+	if p := t.cells.Load(); p != nil && int(site) < len(*p) {
+		return (*p)[site]
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var cur []*promoCell
+	if p := t.cells.Load(); p != nil {
+		cur = *p
+		if int(site) < len(cur) {
+			return cur[site]
+		}
+	}
+	grown := make([]*promoCell, siteCount())
+	copy(grown, cur)
+	for i := len(cur); i < len(grown); i++ {
+		grown[i] = new(promoCell)
+	}
+	t.cells.Store(&grown)
+	return grown[site]
+}
+
+func (t *promoTable) boost(site int32)    { t.at(site).add(promoBoost) }
+func (t *promoTable) reward(site int32)   { t.at(site).add(promoReward) }
+func (t *promoTable) penalize(site int32) { t.at(site).add(promoPenalty) }
+
+// promoRec records one adaptive promotion of the current attempt: which
+// lock word was promoted, its site, and whether a write has justified
+// the promotion since.
+type promoRec struct {
+	addr  *uint64
+	site  int32
+	wrote bool
+}
+
+// notePromoted records an adaptive promotion. Out of line: the lockFor
+// fast path only pays the shouldPromote load.
+//
+//go:noinline
+func (tx *Tx) notePromoted(addr *uint64, site int32) {
+	tx.promoLog = append(tx.promoLog, promoRec{addr: addr, site: site})
+	tx.nPromoted++
+	tx.profAt(site).promotions++
+	if tx.rt.wantsEvent(EvPromoted) {
+		tx.rt.event(Event{Kind: EvPromoted, TxID: tx.id, Ticket: tx.ticket, Addr: addr, Write: true})
+	}
+}
+
+// promoWritten marks the promotion of addr as justified by an actual
+// write. Called from the check-owned path of lockFor, guarded by
+// len(promoLog) != 0, so transactions that never promoted skip it.
+//
+//go:noinline
+func (tx *Tx) promoWritten(addr *uint64) {
+	for i := len(tx.promoLog) - 1; i >= 0; i-- {
+		if tx.promoLog[i].addr == addr {
+			tx.promoLog[i].wrote = true
+			return
+		}
+	}
+}
+
+// noteDuelLoss charges an upgrade-duel (or enqueued-upgrader) abort to
+// the site and boosts its promotion hint: the transaction is about to
+// replay, and with the hint set its retry acquires the lock in write
+// mode up front, ending the duel cycle.
+//
+//go:noinline
+func (tx *Tx) noteDuelLoss(site int32) {
+	tx.nDuelLosses++
+	tx.profAt(site).duelLosses++
+	tx.rt.promo.boost(site)
+}
+
+// flushPromo scores this transaction's promotions at commit: written
+// promotions reward the site hint, unwritten ones decay it. Reset drops
+// the attempt's records unscored — an aborted attempt proves nothing
+// about whether the promotion would have been written. The empty check
+// inlines into Commit; the scoring loop stays out of line.
+func (tx *Tx) flushPromo() {
+	if len(tx.promoLog) != 0 {
+		tx.flushPromoSlow()
+	}
+}
+
+//go:noinline
+func (tx *Tx) flushPromoSlow() {
+	for i := range tx.promoLog {
+		r := &tx.promoLog[i]
+		if r.wrote {
+			tx.rt.promo.reward(r.site)
+		} else {
+			tx.rt.promo.penalize(r.site)
+			tx.nPromoWasted++
+		}
+	}
+	tx.promoLog = tx.promoLog[:0]
+}
+
+// Abort backoff. The spin count doubles per consecutive retry of the
+// same transaction up to 1<<backoffMaxShift reschedules, randomized so
+// symmetric rivals desynchronize.
+const backoffMaxShift = 6
+
+// RetryBackoff waits out a bounded randomized exponential backoff after
+// a Reset, before the caller replays the atomic section. Retry loops
+// (internal/core replay, internal/scalebench, the sched harness's Retry)
+// call it instead of replaying immediately: the youngest loser of a duel
+// otherwise charges straight back into the conflict it just lost.
+//
+// The PRNG is a per-transaction xorshift64 seeded from (ID, ticket) —
+// deterministic given the transaction's identity, no shared state. Under
+// a schedule harness the spin is replaced by a single PointBackoff
+// yield, so schedules stay replayable decision-for-decision.
+func (tx *Tx) RetryBackoff() {
+	tx.retries++
+	tx.nBackoffs++
+	rt := tx.rt
+	if rt.wantsEvent(EvBackoff) {
+		rt.event(Event{Kind: EvBackoff, TxID: tx.id, Ticket: tx.ticket})
+	}
+	if rt.hooks != nil {
+		rt.yield(PointBackoff)
+		return
+	}
+	x := tx.nextRand()
+	shift := tx.retries - 1
+	if shift > backoffMaxShift {
+		shift = backoffMaxShift
+	}
+	spins := 1 + int(x%(uint64(1)<<shift))
+	tx.nBackoffSpins += uint64(spins)
+	for i := 0; i < spins; i++ {
+		runtime.Gosched()
+	}
+}
+
+// nextRand advances the per-transaction xorshift64 PRNG, lazily seeded
+// from (ID, ticket): deterministic given the transaction's identity, no
+// shared state.
+func (tx *Tx) nextRand() uint64 {
+	if tx.rng == 0 {
+		tx.rng = uint64(tx.id+1)<<32 ^ (tx.ticket | 1)
+	}
+	x := tx.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	tx.rng = x
+	return x
+}
+
+// Spin-before-enqueue bounds. The whole budget is ~2ms: a couple of
+// plain reschedules (on a loaded single core one reschedule usually
+// spans a rival's whole critical section), then sleeps doubling from
+// 128µs — on a virtualized single core every timer wake-up costs the
+// progressing rival tens of microseconds, so a waiter that could not
+// win within the reschedule rounds must wake rarely — with the last
+// sleep jittered so symmetric spinners desynchronize. A spinner that
+// exhausts the budget enqueues, so eventual queue entry — and with it
+// deadlock-detector visibility — is unconditional and fast (~2ms). A
+// transaction whose previous contended acquisition already went
+// through the queue skips the sleep rounds entirely and re-enqueues
+// after the reschedules: parked waiting is silent, while sleep-polling
+// a monopolized lock charges the lock holder a timer interrupt per
+// wake.
+//
+// Bounded overtaking: on a promoted hot-RMW site (shouldPromote) the
+// no-queue fairness rule is relaxed — acquirers may CAS past an
+// installed queue, and the release path defers grants to the parked
+// waiters behind it (deferGrantLocked, queue.go). This keeps a
+// monopoly episode in cheap CAS handoff instead of one park/wake pair
+// per transaction. Starvation stays bounded on three independent
+// fences: a deferred queue is granted normally after at most
+// grantSkipMax releases; every parked waiter self-runs the grant scan
+// after parkRegrant of silence (so a site whose traffic stops cannot
+// strand its queue); and upgraders, inevitable transactions, and
+// harness runs never participate on either side.
+const (
+	spinGoschedRounds = 2
+	spinSleepRounds   = 4
+	spinSleepMinUs    = 128
+	spinSleepCapUs    = 512
+
+	grantSkipMax = 2048
+	parkRegrant  = 4 * time.Millisecond
+)
+
+// overtakeOK reports whether tx may CAS a lock word past an installed
+// queue at this site: production mode only, and only while the site's
+// promotion hint is active — exactly the episodes where strict FIFO
+// entry costs a park/wake handoff per transaction. Everywhere else the
+// paper's rule stands: an installed queue forces the slow path.
+func (tx *Tx) overtakeOK(site int32) bool {
+	return tx.rt.hooks == nil && tx.rt.promo.shouldPromote(site)
+}
+
+// spinAcquire tries to take the lock by bounded spinning before
+// slowAcquire pays for the queue protocol. It preserves the slow path's
+// fairness rule — no acquisition while a queue is installed — except on
+// promoted sites under bounded overtaking (overtakeOK), and gives up
+// immediately for upgrades (an upgrader must enqueue so the structural
+// duel detection and the U flag see it). Returns true if the lock was
+// acquired. Only called in production (rt.hooks == nil): under a
+// harness the queue machinery is exactly what runs should explore, and
+// timed sleeps have no deterministic meaning.
+func (tx *Tx) spinAcquire(addr *uint64, site int32, write bool) bool {
+	if atomic.LoadUint64(addr)&tx.mask != 0 {
+		return false // upgrade: the duel machinery needs the queue
+	}
+	overtake := tx.overtakeOK(site)
+	rounds := spinGoschedRounds + spinSleepRounds
+	if tx.requeued {
+		rounds = spinGoschedRounds // recent queue-goer: park again quickly
+	}
+	sleep := spinSleepMinUs * time.Microsecond
+	for total := 0; total < rounds; total++ {
+		w := atomic.LoadUint64(addr)
+		if wordQueueID(w) == 0 || overtake {
+			if nw, ok := grantWord(w, tx, write); ok {
+				if casw(addr, w, nw) {
+					tx.nSpinAcquires++
+					tx.requeued = false
+					return true
+				}
+				tx.chargeCASFail(site)
+			}
+		}
+		if total < spinGoschedRounds {
+			runtime.Gosched()
+		} else if sleep < spinSleepCapUs*time.Microsecond {
+			time.Sleep(sleep)
+			sleep *= 2
+		} else {
+			// The last, longest sleep is jittered ±50% so symmetric
+			// spinners do not wake in convoy against the lock holder.
+			const cap = spinSleepCapUs * time.Microsecond
+			time.Sleep(cap/2 + time.Duration(tx.nextRand()%uint64(cap)))
+		}
+	}
+	return false
+}

@@ -83,6 +83,12 @@ type lockQueue struct {
 	// delayed marks a queue whose grant scan was suppressed by fault
 	// injection; Runtime.RedeliverDelayedGrants re-runs it.
 	delayed bool
+	// site is the contention-profile site of the lock the queue guards
+	// (written under mu by the last enqueuer); it gates bounded
+	// overtaking (deferGrantLocked). skips counts consecutive
+	// release-path grant scans deferred by overtaking.
+	site  int32
+	skips uint32
 }
 
 type detector struct {
@@ -236,21 +242,32 @@ func (tx *Tx) slowAcquire(addr *uint64, site int32, write bool) {
 	d := rt.det
 	rt.yield(PointSlowEnter)
 
+	// Bounded spin before the queue protocol (promo.go): on a loaded
+	// machine the holder usually releases within a reschedule or two, and
+	// spinning through that window is far cheaper than a park/wake
+	// handoff. Returning here does not count as contended — the Contended
+	// counter keeps meaning "had to enqueue". Skipped under a harness,
+	// which explores the queue machinery itself.
+	if rt.hooks == nil && tx.spinAcquire(addr, site, write) {
+		return
+	}
+
 	var q *lockQueue
 	var upgrader bool
 	for {
 		// Re-check: the lock may have been released between the failed fast
 		// path and here. Bypassing the queue is only fair if no one is
-		// waiting.
+		// waiting — or if the site is under bounded overtaking (promo.go),
+		// which trades strict FIFO entry for CAS handoff within the
+		// release path's grantSkipMax bound.
 		w := atomic.LoadUint64(addr)
-		if wordQueueID(w) == 0 {
+		if wordQueueID(w) == 0 || tx.overtakeOK(site) {
 			nw, ok := grantWord(w, tx, write)
 			if ok {
 				if d.cas(addr, w, nw, PointRecheckCAS) {
 					return
 				}
-				tx.nCASFail++
-				tx.profAt(site).casFails++
+				tx.chargeCASFail(site)
 				continue
 			}
 		}
@@ -265,8 +282,7 @@ func (tx *Tx) slowAcquire(addr *uint64, site int32, write bool) {
 					q.mu.Unlock()
 					return
 				}
-				tx.nCASFail++
-				tx.profAt(site).casFails++
+				tx.chargeCASFail(site)
 				q.mu.Unlock()
 				continue
 			}
@@ -310,9 +326,15 @@ func (tx *Tx) slowAcquire(addr *uint64, site int32, write bool) {
 		}
 		q.mu.Unlock()
 		tx.profAt(site).deadlocks++
+		tx.noteDuelLoss(site)
 		tx.selfAbort("dueling write-upgrade")
 	}
 	// q.mu is held from here through the enqueue.
+	q.site = site
+	// Remember that this transaction's contended acquisition went through
+	// the queue: its next spinAcquire parks again quickly instead of
+	// sleep-polling a monopolized lock (promo.go).
+	tx.requeued = true
 
 	wt := rt.waiterFor(tx)
 	wt.write, wt.upgrader, wt.q = write, upgrader, q
@@ -367,9 +389,38 @@ func (tx *Tx) slowAcquire(addr *uint64, site int32, write bool) {
 	if blockSampled {
 		parkStart = time.Now()
 	}
+	// Self-service timer against stranding (production only): bounded
+	// overtaking defers release-path grants, so if the site's traffic
+	// stops mid-deferral no future release will run the scan that grants
+	// us. A parked waiter therefore re-runs the grant scan itself every
+	// parkRegrant; under steady traffic the forced grant after
+	// grantSkipMax releases arrives first and the timer never fires.
+	var regrant *time.Timer
+	if rt.hooks == nil {
+		regrant = time.NewTimer(parkRegrant)
+		defer regrant.Stop()
+	}
 	for {
 		rt.block(PointParked)
-		<-wt.ch
+		timerWake := false
+		if regrant != nil {
+			select {
+			case <-wt.ch:
+				if !regrant.Stop() {
+					<-regrant.C
+				}
+			case <-regrant.C:
+				timerWake = true
+				q.mu.Lock()
+				if !q.dead && !wt.granted && !wt.aborted {
+					d.grantScanLocked(q)
+				}
+				q.mu.Unlock()
+			}
+			regrant.Reset(parkRegrant)
+		} else {
+			<-wt.ch
+		}
 		rt.unblock(PointParked)
 		q.mu.Lock()
 		granted, aborted := wt.granted, wt.aborted
@@ -386,7 +437,16 @@ func (tx *Tx) slowAcquire(addr *uint64, site int32, write bool) {
 				pd.blockNs += uint64(time.Since(parkStart)) * (rt.profMask + 1)
 			}
 			pd.deadlocks++
+			if wt.upgrader {
+				// Aborted while enqueued as an upgrader: a duel resolved
+				// against us, or a deadlock through the upgrade edge —
+				// either way, evidence the site wants write-mode reads.
+				tx.noteDuelLoss(site)
+			}
 			tx.selfAbort("aborted while enqueued")
+		}
+		if timerWake {
+			continue // self-service scan did not grant us; re-park
 		}
 		// Injected spurious wake-up (Runtime.InjectSpuriousWake): no
 		// state changed; re-check and re-park.
@@ -539,10 +599,62 @@ func (rt *Runtime) wakeQueue(qid int, addr *uint64) {
 		return // queue drained (or qid recycled) since the release CAS
 	}
 	q.mu.Lock()
-	if !q.dead {
+	if !q.dead && !d.deferGrantLocked(q) {
 		d.grantScanLocked(q)
 	}
 	q.mu.Unlock()
+}
+
+// deferGrantLocked implements the release half of bounded overtaking
+// (promo.go): on a promoted hot-RMW site, the release path may leave
+// plain parked waiters parked and let active transactions keep
+// overtaking the queue — a monopoly episode then costs one cheap CAS
+// handoff per transaction instead of a park/wake pair. The deferral is
+// strictly bounded: after grantSkipMax consecutive deferred scans the
+// next release grants normally (so a parked waiter waits at most
+// grantSkipMax releases under traffic), each parked waiter self-services
+// via its parkRegrant timer (so stopped traffic cannot strand a queue),
+// and deferral never applies under a harness, to an empty queue, to an
+// enqueued upgrader (duel resolution must see it progress), or to an
+// inevitable transaction. Caller holds q.mu.
+func (d *detector) deferGrantLocked(q *lockQueue) bool {
+	rt := d.rt
+	if rt == nil || rt.hooks != nil || len(q.waiters) == 0 ||
+		!rt.promo.shouldPromote(q.site) {
+		return false
+	}
+	if q.skips >= grantSkipMax {
+		q.skips = 0
+		return false
+	}
+	for _, wt := range q.waiters {
+		if wt.upgrader || wt.tx.inevitable {
+			return false
+		}
+	}
+	q.skips++
+	return true
+}
+
+// DrainQueues force-runs a grant scan on every installed queue,
+// bypassing bounded overtaking. Call it at quiesce points — a worker
+// pool draining, a benchmark run completing its op budget — where no
+// further release traffic will arrive to trigger grants deferred by
+// overtaking; without it, parked waiters on a quiesced promoted site
+// are rescued only by their parkRegrant timers.
+func (rt *Runtime) DrainQueues() {
+	d := rt.det
+	for qid := 1; qid <= MaxTxns; qid++ {
+		q := d.queues[qid].Load()
+		if q == nil {
+			continue
+		}
+		q.mu.Lock()
+		if !q.dead {
+			d.grantScanLocked(q)
+		}
+		q.mu.Unlock()
+	}
 }
 
 // removeWaiterLocked removes wt from q (e.g. because its transaction
@@ -637,6 +749,9 @@ func (d *detector) resolveDeadlocks(wt *waiter, site int32) {
 				q.mu.Unlock()
 				d.cycleMu.Unlock()
 				tx.profAt(site).deadlocks++
+				if wt.upgrader {
+					tx.noteDuelLoss(site)
+				}
 				tx.selfAbort("deadlock victim")
 			}
 			if wt.granted {
@@ -648,6 +763,9 @@ func (d *detector) resolveDeadlocks(wt *waiter, site int32) {
 			q.mu.Unlock()
 			d.cycleMu.Unlock()
 			tx.profAt(site).deadlocks++
+			if wt.upgrader {
+				tx.noteDuelLoss(site)
+			}
 			tx.selfAbort("deadlock victim")
 		}
 		// The victim may have been granted, aborted, or even reused for a

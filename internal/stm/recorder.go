@@ -31,7 +31,7 @@ const DefaultRecorderSize = 1024
 // in production.
 var defaultRecorderKinds = []EventKind{
 	EvBlocked, EvGranted, EvAbortWaiter, EvDeadlock, EvDuel,
-	EvSpuriousWake, EvDelayedGrant, EvInevRelease,
+	EvSpuriousWake, EvDelayedGrant, EvInevRelease, EvPromoted, EvBackoff,
 }
 
 // recSlot is one ring slot: a sequence word plus the packed payload.

@@ -22,6 +22,10 @@ type Runtime struct {
 	// profile aggregates per-lock-site contention counters, fed by
 	// per-transaction delta buffers at Commit/Reset (profile.go).
 	profile Profile
+	// promo is the per-site write-intent promotion hint table (promo.go):
+	// duel losses boost a site's score, and while it is positive lockFor
+	// acquires reads there in write mode up front.
+	promo promoTable
 	// profMask gates the sampled per-site acquire counter: a lock acquire
 	// is charged to its site when (nAcq+ticket)&profMask == 0.
 	profMask uint64
@@ -164,6 +168,9 @@ func (rt *Runtime) Begin() *Tx {
 	tx.ended = false
 	tx.inevitable = false
 	tx.victim.Store(false)
+	// Backoff state is per-transaction: a fresh transaction starts with a
+	// zero retry streak and reseeds its PRNG lazily from the new ticket.
+	tx.retries, tx.rng = 0, 0
 	rt.txByID[id].Store(tx)
 	// Guard the Event construction, not just its delivery: with the
 	// default recorder mask, lifecycle events are unwanted and the guard

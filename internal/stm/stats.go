@@ -30,6 +30,14 @@ type Stats struct {
 	// waiters (schedule-exploration fault injection; 0 in production).
 	SpuriousWakes atomic.Uint64
 
+	// Contention management (promo.go).
+	Promotions   atomic.Uint64 // reads adaptively promoted to write acquisitions
+	PromoWasted  atomic.Uint64 // promotions that committed without a write (decayed the hint)
+	DuelLosses   atomic.Uint64 // upgrade aborts that boosted a promotion hint
+	Backoffs     atomic.Uint64 // RetryBackoff invocations (= backed-off retries)
+	BackoffSpins atomic.Uint64 // total reschedules spent in backoff
+	SpinAcquires atomic.Uint64 // slow-path acquisitions resolved by spinning, no enqueue
+
 	// Memory accounting (Table 8). Byte figures are estimates derived
 	// from entry counts, mirroring the paper's "largest contributors"
 	// reporting.
@@ -47,6 +55,8 @@ type StatsSnapshot struct {
 	Commits, Aborts, Contended, CASFail     uint64
 	IDWaits, IDWaitNs, Deadlocks, InevWaits uint64
 	SpuriousWakes                           uint64
+	Promotions, PromoWasted, DuelLosses     uint64
+	Backoffs, BackoffSpins, SpinAcquires    uint64
 	LockBytes, RWSetBytes, UndoEntries      uint64
 	BufferBytes, InitEntries, TxnsMeasured  uint64
 }
@@ -67,6 +77,12 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Deadlocks:     s.Deadlocks.Load(),
 		InevWaits:     s.InevWaits.Load(),
 		SpuriousWakes: s.SpuriousWakes.Load(),
+		Promotions:    s.Promotions.Load(),
+		PromoWasted:   s.PromoWasted.Load(),
+		DuelLosses:    s.DuelLosses.Load(),
+		Backoffs:      s.Backoffs.Load(),
+		BackoffSpins:  s.BackoffSpins.Load(),
+		SpinAcquires:  s.SpinAcquires.Load(),
 		LockBytes:     s.LockBytes.Load(),
 		RWSetBytes:    s.RWSetBytes.Load(),
 		UndoEntries:   s.UndoEntries.Load(),
@@ -91,6 +107,12 @@ func (s *Stats) Reset() {
 	s.Deadlocks.Store(0)
 	s.InevWaits.Store(0)
 	s.SpuriousWakes.Store(0)
+	s.Promotions.Store(0)
+	s.PromoWasted.Store(0)
+	s.DuelLosses.Store(0)
+	s.Backoffs.Store(0)
+	s.BackoffSpins.Store(0)
+	s.SpinAcquires.Store(0)
 	s.LockBytes.Store(0)
 	s.RWSetBytes.Store(0)
 	s.UndoEntries.Store(0)
@@ -116,6 +138,12 @@ func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
 		Deadlocks:     s.Deadlocks - prev.Deadlocks,
 		InevWaits:     s.InevWaits - prev.InevWaits,
 		SpuriousWakes: s.SpuriousWakes - prev.SpuriousWakes,
+		Promotions:    s.Promotions - prev.Promotions,
+		PromoWasted:   s.PromoWasted - prev.PromoWasted,
+		DuelLosses:    s.DuelLosses - prev.DuelLosses,
+		Backoffs:      s.Backoffs - prev.Backoffs,
+		BackoffSpins:  s.BackoffSpins - prev.BackoffSpins,
+		SpinAcquires:  s.SpinAcquires - prev.SpinAcquires,
 		LockBytes:     s.LockBytes - prev.LockBytes,
 		RWSetBytes:    s.RWSetBytes - prev.RWSetBytes,
 		UndoEntries:   s.UndoEntries - prev.UndoEntries,

@@ -76,6 +76,21 @@ type Tx struct {
 	ended      bool
 	inevitable bool
 
+	// promoLog records the adaptive write-intent promotions of the current
+	// attempt (promo.go); flushPromo scores them at commit, Reset drops
+	// them. retries counts consecutive Resets of this transaction and
+	// drives the RetryBackoff window; rng is the per-transaction xorshift64
+	// state, lazily seeded from (id, ticket).
+	promoLog []promoRec
+	retries  uint32
+	rng      uint64
+	// requeued remembers that this transaction's last contended
+	// acquisition went through the wait queue; its next spinAcquire then
+	// re-enqueues after the reschedule rounds instead of sleep-polling
+	// (promo.go). Deliberately not reset across Begin: the signal is
+	// about the worker's recent history, which transaction reuse tracks.
+	requeued bool
+
 	// Per-transaction counters, flushed to Runtime.Stats at end to keep
 	// the access fast path free of shared atomics. They accumulate across
 	// Reset and flush only at Commit/AbandonAfterReset: a transaction that
@@ -83,6 +98,9 @@ type Tx struct {
 	// atomic adds once per attempt.
 	nInit, nCheckNew, nCheckOwned, nAcq uint64
 	nContended, nCASFail                uint64
+	nPromoted, nPromoWasted             uint64
+	nDuelLosses, nBackoffs              uint64
+	nBackoffSpins, nSpinAcquires        uint64
 	// Table 8 memory accounting, accumulated per attempt (accountMemory)
 	// and flushed with the counters.
 	accRWSetBytes, accUndoEntries, accInitEntries uint64
@@ -215,18 +233,33 @@ func (tx *Tx) lockFor(o *Object, slot int32, kind slotKind, lockID, site int32, 
 	addr := &slab.words[lockID]
 
 	w := atomic.LoadUint64(addr)
-	if w&tx.mask != 0 {
+	owned := w&tx.mask != 0
+	if owned {
 		// Step (3): already in our read or write set.
 		if !write || wordIsWrite(w) {
 			tx.nCheckOwned++
+			if write && len(tx.promoLog) != 0 {
+				// A write landing on an already-write-held word may be the
+				// write an adaptive promotion predicted; credit it.
+				tx.promoWritten(addr)
+			}
 			return
 		}
 		// Read held, write needed: upgrade.
+	} else if !write && tx.rt.promo.shouldPromote(site) {
+		// Adaptive write-intent promotion: this site's reads keep
+		// upgrading and losing duels, so acquire in write mode up front.
+		// Strictly stronger than the requested read lock — always safe.
+		write = true
+		tx.notePromoted(addr, site)
 	}
-	// Step (4): try to lock, else enqueue.
+	// Step (4): try to lock, else enqueue. An installed queue normally
+	// forces the slow path, but a promoted site under bounded overtaking
+	// (promo.go) may CAS past it; the short-circuit keeps the overtake
+	// check (an atomic load) off the word's uncontended path.
 	tx.rt.yield(PointFastCAS)
 	acquired := false
-	if wordQueueID(w) == 0 {
+	if wordQueueID(w) == 0 || tx.overtakeOK(site) {
 		if nw, ok := grantWord(w, tx, write); ok {
 			if tx.rt.casWord(addr, w, nw, PointFastCAS) {
 				acquired = true
@@ -246,7 +279,12 @@ func (tx *Tx) lockFor(o *Object, slot int32, kind slotKind, lockID, site int32, 
 	if (tx.nAcq+tx.ticket)&tx.rt.profMask == 0 {
 		tx.chargeAcquire(site)
 	}
-	tx.lockLog = append(tx.lockLog, lockLogEntry{slab: slab, lockID: lockID})
+	if !owned {
+		// An upgrade keeps its original log entry: the word was already
+		// logged when the read lock was taken, and release clears the W
+		// flag together with the holder bit.
+		tx.lockLog = append(tx.lockLog, lockLogEntry{slab: slab, lockID: lockID})
+	}
 	if write {
 		tx.captureUndo(o, slot, kind)
 	}
@@ -380,8 +418,35 @@ func (tx *Tx) WriteStr(o *Object, f FieldID, v string) {
 	o.strs[idx] = v
 }
 
+// ReadWordForWrite reads a word field while declaring write intent: the
+// lock is acquired in write mode up front, so a later write to the same
+// field upgrades for free and can never lose a dueling write-upgrade.
+// Use it for the read half of a read-modify-write; the declared intent
+// skips the adaptive promoter's learning phase entirely.
+func (tx *Tx) ReadWordForWrite(o *Object, f FieldID) uint64 {
+	idx := tx.fieldAccess(o, f, slotWord, true)
+	return o.words[idx]
+}
+
+// ReadRefForWrite reads a reference field with declared write intent.
+func (tx *Tx) ReadRefForWrite(o *Object, f FieldID) *Object {
+	idx := tx.fieldAccess(o, f, slotRef, true)
+	return o.refs[idx]
+}
+
+// ReadStrForWrite reads a string field with declared write intent.
+func (tx *Tx) ReadStrForWrite(o *Object, f FieldID) string {
+	idx := tx.fieldAccess(o, f, slotStr, true)
+	return o.strs[idx]
+}
+
 // ReadInt reads a word field as int64.
 func (tx *Tx) ReadInt(o *Object, f FieldID) int64 { return int64(tx.ReadWord(o, f)) }
+
+// ReadIntForWrite reads a word field as int64 with declared write intent.
+func (tx *Tx) ReadIntForWrite(o *Object, f FieldID) int64 {
+	return int64(tx.ReadWordForWrite(o, f))
+}
 
 // WriteInt writes an int64 to a word field.
 func (tx *Tx) WriteInt(o *Object, f FieldID, v int64) { tx.WriteWord(o, f, uint64(v)) }
@@ -411,6 +476,13 @@ func (tx *Tx) WriteBool(o *Object, f FieldID, v bool) {
 // ReadElem reads word element i of an array.
 func (tx *Tx) ReadElem(o *Object, i int) uint64 {
 	tx.elemAccess(o, i, slotWord, false)
+	return o.words[i]
+}
+
+// ReadElemForWrite reads word element i of an array with declared write
+// intent (see ReadWordForWrite).
+func (tx *Tx) ReadElemForWrite(o *Object, i int) uint64 {
+	tx.elemAccess(o, i, slotWord, true)
 	return o.words[i]
 }
 
@@ -487,7 +559,7 @@ func (tx *Tx) releaseLocks() {
 		for {
 			w := atomic.LoadUint64(addr)
 			if w&tx.mask == 0 {
-				break // released already (read entry followed by upgrade entry)
+				break // defensive: upgrades no longer duplicate log entries
 			}
 			nw := w &^ tx.mask
 			if wordIsWrite(w) {
@@ -542,6 +614,20 @@ func (tx *Tx) flushCounters() {
 	st.Acquire.Add(tx.nAcq)
 	st.Contended.Add(tx.nContended)
 	st.CASFail.Add(tx.nCASFail)
+	// The adaptation counters are all zero on the uncontended path; one
+	// branch keeps their six shared atomic adds off the fast-path commit
+	// (they cost as much as the acquire itself on Table6AcqRls).
+	if tx.nPromoted|tx.nPromoWasted|tx.nDuelLosses|
+		tx.nBackoffs|tx.nBackoffSpins|tx.nSpinAcquires != 0 {
+		st.Promotions.Add(tx.nPromoted)
+		st.PromoWasted.Add(tx.nPromoWasted)
+		st.DuelLosses.Add(tx.nDuelLosses)
+		st.Backoffs.Add(tx.nBackoffs)
+		st.BackoffSpins.Add(tx.nBackoffSpins)
+		st.SpinAcquires.Add(tx.nSpinAcquires)
+		tx.nPromoted, tx.nPromoWasted, tx.nDuelLosses = 0, 0, 0
+		tx.nBackoffs, tx.nBackoffSpins, tx.nSpinAcquires = 0, 0, 0
+	}
 	tx.nInit, tx.nCheckNew, tx.nCheckOwned, tx.nAcq = 0, 0, 0, 0
 	tx.nContended, tx.nCASFail = 0, 0
 	if tx.accAttempts != 0 {
@@ -583,6 +669,7 @@ func (tx *Tx) Commit() {
 	if tx.rt.wantsEvent(EvCommit) {
 		tx.rt.event(Event{Kind: EvCommit, TxID: tx.id, Ticket: tx.ticket})
 	}
+	tx.flushPromo() // before flushCounters: scoring bumps nPromoWasted
 	tx.flushCounters()
 	tx.flushProfile()
 	tx.rt.releaseID(tx)
@@ -623,6 +710,10 @@ func (tx *Tx) Reset() {
 	}
 	tx.releaseLocks()
 	tx.clearLogs()
+	// Promotions of the aborted attempt are dropped unscored: the attempt
+	// never reached commit, so whether the promotion would have been
+	// written is unknown.
+	tx.promoLog = tx.promoLog[:0]
 	tx.victim.Store(false)
 	tx.rt.stats.Aborts.Add(1)
 	if tx.rt.wantsEvent(EvReset) {
@@ -641,6 +732,7 @@ func (tx *Tx) AbandonAfterReset() {
 		return
 	}
 	tx.ended = true
+	tx.flushPromo()
 	tx.flushCounters()
 	tx.flushProfile()
 	tx.rt.releaseID(tx)
