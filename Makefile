@@ -44,8 +44,10 @@ bench:
 # threads) compared against the committed pre-sharding global-mutex
 # baseline. BENCH_4.json: the same suite (now including rmw-hotset)
 # against the committed BENCH_3 "after" numbers, isolating the effect
-# of write-intent promotion and abort backoff. CI runs this non-gating
-# and uploads all three files.
+# of write-intent promotion and abort backoff. BENCH_5.json: the suite
+# (now including the pure-reader read-fan mix) against the committed
+# BENCH_4 "after" numbers, isolating the effect of the adaptive
+# read-bias layer. CI runs this non-gating and uploads all four files.
 bench-snapshot:
 	$(GO) run ./cmd/sbd-bench -scale=1 -threads=1,2,4 \
 		-bench=sunflow,tomcat -json=BENCH_2.json
@@ -53,6 +55,8 @@ bench-snapshot:
 		-baseline=bench/scalability-global-mutex.json -json=BENCH_3.json
 	$(GO) run ./cmd/sbd-bench -scalability -ops=20000 \
 		-baseline=BENCH_3.json -json=BENCH_4.json
+	$(GO) run ./cmd/sbd-bench -scalability -ops=20000 \
+		-baseline=BENCH_4.json -json=BENCH_5.json
 
 # Compare head benchmarks against a base git ref (default main),
 # benchstat-style via the stdlib-only cmd/sbd-benchcmp. Informational

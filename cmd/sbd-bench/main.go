@@ -138,6 +138,11 @@ type scalCell struct {
 	CASFails   uint64  `json:"cas_fails"`
 	Deadlocks  uint64  `json:"deadlocks"`
 	IDWaits    uint64  `json:"id_waits"`
+	// Read-bias counters; omitted from snapshots taken before the bias
+	// layer existed, so older baselines decode with zeros.
+	BiasGrants     uint64 `json:"bias_grants,omitempty"`
+	BiasRevokes    uint64 `json:"bias_revokes,omitempty"`
+	BiasWriteThrus uint64 `json:"bias_write_thrus,omitempty"`
 }
 
 type scalSnapshot struct {
@@ -197,7 +202,7 @@ func runScalability() {
 	after := scalSnapshot{Tool: "sbd-bench", Mode: "scalability", OpsPerCell: *scalOps}
 	for _, m := range scalebench.Mixes() {
 		fmt.Printf("Scalability — %s (%s)\n", m.Name, m.Desc)
-		hdr := []string{"Thr", "Txns/s", "Abr", "Con", "Fail", "Dlk"}
+		hdr := []string{"Thr", "Txns/s", "Abr", "Con", "Fail", "Dlk", "Bias", "Rvk", "WThr"}
 		if before != nil {
 			hdr = append(hdr, "vs-base")
 		}
@@ -205,19 +210,23 @@ func runScalability() {
 		for _, tc := range scalebench.ThreadCounts {
 			res := scalebench.Run(m, tc, *scalOps)
 			after.Cells = append(after.Cells, scalCell{
-				Mix:        res.Mix,
-				Threads:    res.Threads,
-				Ops:        res.Ops,
-				ElapsedNs:  res.Elapsed.Nanoseconds(),
-				TxnsPerSec: res.TxnsPerSec,
-				Aborts:     res.Aborts,
-				Contended:  res.Contended,
-				CASFails:   res.CASFails,
-				Deadlocks:  res.Deadlocks,
-				IDWaits:    res.IDWaits,
+				Mix:            res.Mix,
+				Threads:        res.Threads,
+				Ops:            res.Ops,
+				ElapsedNs:      res.Elapsed.Nanoseconds(),
+				TxnsPerSec:     res.TxnsPerSec,
+				Aborts:         res.Aborts,
+				Contended:      res.Contended,
+				CASFails:       res.CASFails,
+				Deadlocks:      res.Deadlocks,
+				IDWaits:        res.IDWaits,
+				BiasGrants:     res.BiasGrants,
+				BiasRevokes:    res.BiasRevokes,
+				BiasWriteThrus: res.BiasWriteThrus,
 			})
 			row := []any{tc, fmt.Sprintf("%.0f", res.TxnsPerSec),
-				res.Aborts, res.Contended, res.CASFails, res.Deadlocks}
+				res.Aborts, res.Contended, res.CASFails, res.Deadlocks,
+				res.BiasGrants, res.BiasRevokes, res.BiasWriteThrus}
 			if b := baseOf(res.Mix, tc); b != nil && b.TxnsPerSec > 0 {
 				row = append(row, fmt.Sprintf("%.2fx", res.TxnsPerSec/b.TxnsPerSec))
 			} else if before != nil {

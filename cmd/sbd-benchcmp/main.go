@@ -85,6 +85,85 @@ type row struct {
 	mark  string
 }
 
+// threadsRe matches one cell of a thread-scaling benchmark family:
+// "<family>/threads=<N>" plus the -GOMAXPROCS suffix go test appends.
+var threadsRe = regexp.MustCompile(`^(.+)/threads=(\d+)(-\d+)?$`)
+
+// scalingRows derives a per-family scaling ratio — throughput at the
+// highest thread count over throughput at the lowest (ns/op is inverse
+// throughput, so the ratio is ns/op@min ÷ ns/op@max) — for every
+// benchmark family with cells at two or more thread counts. A mix whose
+// absolute numbers move with runner noise tends to keep its shape, so a
+// drop here is a scaling regression even when every delta column is
+// green; the rows are informational and never gated.
+func scalingRows(old, cur map[string]sample) []row {
+	type cells struct{ minT, maxT int }
+	fams := map[string]*cells{}
+	at := func(m map[string]sample, fam string, t int) (float64, bool) {
+		for name, s := range m {
+			if sub := threadsRe.FindStringSubmatch(name); sub != nil && sub[1] == fam {
+				if n, _ := strconv.Atoi(sub[2]); n == t {
+					return s.mean(), true
+				}
+			}
+		}
+		return 0, false
+	}
+	for name := range cur {
+		sub := threadsRe.FindStringSubmatch(name)
+		if sub == nil {
+			continue
+		}
+		t, _ := strconv.Atoi(sub[2])
+		c := fams[sub[1]]
+		if c == nil {
+			c = &cells{minT: t, maxT: t}
+			fams[sub[1]] = c
+		}
+		if t < c.minT {
+			c.minT = t
+		}
+		if t > c.maxT {
+			c.maxT = t
+		}
+	}
+	names := make([]string, 0, len(fams))
+	for fam := range fams {
+		names = append(names, fam)
+	}
+	sort.Strings(names)
+	var rows []row
+	for _, fam := range names {
+		c := fams[fam]
+		if c.minT == c.maxT {
+			continue
+		}
+		ratio := func(m map[string]sample) (float64, bool) {
+			lo, okLo := at(m, fam, c.minT)
+			hi, okHi := at(m, fam, c.maxT)
+			if !okLo || !okHi || hi == 0 {
+				return 0, false
+			}
+			return lo / hi, true
+		}
+		label := fmt.Sprintf("%s scaling @%d/@%d", fam, c.maxT, c.minT)
+		oldR, okOld := ratio(old)
+		newR, okNew := ratio(cur)
+		r := row{name: label, oldNs: "-", newNs: "-", delta: "-"}
+		if okOld {
+			r.oldNs = fmt.Sprintf("%.2fx", oldR)
+		}
+		if okNew {
+			r.newNs = fmt.Sprintf("%.2fx", newR)
+		}
+		if okOld && okNew && oldR > 0 {
+			r.delta = fmt.Sprintf("%+.1f%%", (newR-oldR)/oldR*100)
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
 func main() {
 	gate := flag.String("gate", "Table6AcqRls", "regexp of benchmark names whose regression fails the run")
 	threshold := flag.Float64("threshold", 5, "gated regression threshold in percent")
@@ -163,6 +242,7 @@ func main() {
 		gm := (math.Exp(logSum/float64(logN)) - 1) * 100
 		rows = append(rows, row{name: "geomean", oldNs: "", newNs: "", delta: fmt.Sprintf("%+.1f%%", gm)})
 	}
+	rows = append(rows, scalingRows(old, cur)...)
 
 	if *markdown {
 		fmt.Println("| name | old ns/op | new ns/op | delta | |")

@@ -36,10 +36,11 @@ func ProfileTable(rows []stm.SiteProfile) string {
 	if len(rows) == 0 {
 		return "no lock-site activity recorded\n"
 	}
-	tbl := harness.NewTable("Site", "Acq", "Cont", "CASFail", "Upgr", "Promo", "DuelLoss", "Dead", "Block")
+	tbl := harness.NewTable("Site", "Acq", "Cont", "CASFail", "Upgr", "Promo", "DuelLoss", "Dead", "Bias", "Revoke", "Block")
 	for _, r := range rows {
 		tbl.Row(r.Site.String(), r.Acquires, r.Contended, r.CASFails,
 			r.Upgrades, r.Promotions, r.DuelLosses, r.Deadlocks,
+			r.BiasGrants, r.BiasRevokes,
 			r.BlockTime.Round(time.Microsecond).String())
 	}
 	return tbl.String()
@@ -104,6 +105,12 @@ func Metrics(snap stm.StatsSnapshot, sites []stm.SiteProfile, rec *stm.FlightRec
 	counter("sbd_backoffs_total", "Backed-off transaction retries.", snap.Backoffs)
 	counter("sbd_backoff_spins_total", "Reschedules spent in retry backoff.", snap.BackoffSpins)
 	counter("sbd_spin_acquires_total", "Slow-path acquisitions resolved by bounded spinning.", snap.SpinAcquires)
+	counter("sbd_bias_grants_total", "Reads served by the biased reader-slot path.", snap.BiasGrants)
+	counter("sbd_bias_revokes_total", "Writer revocations of read-biased lock words.", snap.BiasRevokes)
+	counter("sbd_bias_write_throughs_total", "Writes that went through a bias marker without revoking it.", snap.BiasWriteThrus)
+	fmt.Fprintf(&b, "# HELP sbd_bias_revoke_wait_seconds_total Time writers spent draining biased readers.\n")
+	fmt.Fprintf(&b, "# TYPE sbd_bias_revoke_wait_seconds_total counter\n")
+	fmt.Fprintf(&b, "sbd_bias_revoke_wait_seconds_total %s\n", promFloat(float64(snap.BiasRevokeWaitNs)/1e9))
 
 	fmt.Fprintf(&b, "# HELP sbd_abort_rate Aborts per commit; +Inf when aborting without commits.\n")
 	fmt.Fprintf(&b, "# TYPE sbd_abort_rate gauge\n")
@@ -136,6 +143,10 @@ func Metrics(snap stm.StatsSnapshot, sites []stm.SiteProfile, rec *stm.FlightRec
 			func(r stm.SiteProfile) string { return fmt.Sprint(r.DuelLosses) })
 		series("sbd_site_deadlocks_total", "Acquire-path abort involvements per site.",
 			func(r stm.SiteProfile) string { return fmt.Sprint(r.Deadlocks) })
+		series("sbd_site_bias_grants_total", "Biased reader-slot grants per site.",
+			func(r stm.SiteProfile) string { return fmt.Sprint(r.BiasGrants) })
+		series("sbd_site_bias_revokes_total", "Read-bias revocations per site.",
+			func(r stm.SiteProfile) string { return fmt.Sprint(r.BiasRevokes) })
 		series("sbd_site_block_seconds_total", "Cumulative time blocked per site.",
 			func(r stm.SiteProfile) string { return promFloat(r.BlockTime.Seconds()) })
 	}

@@ -80,6 +80,32 @@ func Mixes() []Mix {
 			},
 		},
 		{
+			Name:  "read-fan",
+			Desc:  "100% read-only transactions fanning over a 4-cell shared hot set (read-bias target)",
+			cells: 4,
+			body: func(tx *stm.Tx, cells []*stm.Object, w, i int) {
+				// Pure reader fan-out: every worker reads the whole hot set
+				// every transaction, holding its read visibility (reader
+				// slots once the bias engages) across a reschedule. With
+				// visible readers on the shared word this serializes on the
+				// lock-word cache line; with read bias engaged the only
+				// shared-word traffic left is the per-transaction commit.
+				_ = tx.ReadWord(cells[i%len(cells)], cellV)
+				runtime.Gosched() // hold read visibility across a reschedule
+				for c := 0; c < len(cells); c++ {
+					_ = tx.ReadWord(cells[c], cellV)
+				}
+			},
+			verify: func(cells []*stm.Object, ops uint64) error {
+				for i, c := range cells {
+					if got := stm.CommittedWord(c, cellV); got != 0 {
+						return fmt.Errorf("cell %d = %d after a read-only run", i, got)
+					}
+				}
+				return nil
+			},
+		},
+		{
 			Name:  "write-heavy",
 			Desc:  "every transaction write-locks two cells in global order (distinct queues, two-phase release)",
 			cells: 4,
@@ -167,6 +193,11 @@ type Result struct {
 	CASFails  uint64
 	Deadlocks uint64
 	IDWaits   uint64
+	// Read-bias counters (bias.go): grants are reads served by the
+	// reader-slot path, revokes are writers tearing the bias down.
+	BiasGrants     uint64
+	BiasRevokes    uint64
+	BiasWriteThrus uint64
 }
 
 // Run executes totalOps transactions of the mix spread over the given
@@ -213,16 +244,19 @@ func Run(m Mix, threads, totalOps int) Result {
 		}
 	}
 	return Result{
-		Mix:        m.Name,
-		Threads:    threads,
-		Ops:        ops,
-		Elapsed:    elapsed,
-		TxnsPerSec: float64(ops) / elapsed.Seconds(),
-		Aborts:     snap.Aborts,
-		Contended:  snap.Contended,
-		CASFails:   snap.CASFail,
-		Deadlocks:  snap.Deadlocks,
-		IDWaits:    snap.IDWaits,
+		Mix:            m.Name,
+		Threads:        threads,
+		Ops:            ops,
+		Elapsed:        elapsed,
+		TxnsPerSec:     float64(ops) / elapsed.Seconds(),
+		Aborts:         snap.Aborts,
+		Contended:      snap.Contended,
+		CASFails:       snap.CASFail,
+		Deadlocks:      snap.Deadlocks,
+		IDWaits:        snap.IDWaits,
+		BiasGrants:     snap.BiasGrants,
+		BiasRevokes:    snap.BiasRevokes,
+		BiasWriteThrus: snap.BiasWriteThrus,
 	}
 }
 

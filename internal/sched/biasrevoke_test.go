@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Bias revocation must be deterministic end to end: the same seed
+// produces the identical decision trace and coverage even though the
+// run includes biased reader-slot publishes, a revoking upgrade, and
+// the publish/verify race at PointBiasPublish, and a recorded trace
+// replays decision-for-decision. The structural sweep validates the
+// slot/queue-field invariant at every checkpoint along the way.
+func TestBiasRevokeDeterministic(t *testing.T) {
+	for _, seed := range []uint64{5, 77, 31337} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			run := func() Result {
+				res := RunScenario(ScenarioBiasRevoke(), NewRandomPolicy(seed), testConfig())
+				if res.Err != nil {
+					t.Fatalf("run failed: %v\nevents:\n%v", res.Err, res.Events)
+				}
+				return res
+			}
+			r1, r2 := run(), run()
+			if r1.Coverage != r2.Coverage {
+				t.Fatalf("coverage diverged:\n  run1: %s\n  run2: %s", r1.Coverage, r2.Coverage)
+			}
+			if len(r1.Decisions) != len(r2.Decisions) {
+				t.Fatalf("%d vs %d decisions", len(r1.Decisions), len(r2.Decisions))
+			}
+			for i := range r1.Decisions {
+				if r1.Decisions[i] != r2.Decisions[i] {
+					t.Fatalf("decision %d diverged: %v vs %v", i, r1.Decisions[i], r2.Decisions[i])
+				}
+			}
+
+			replay := RunScenario(ScenarioBiasRevoke(), NewReplayPolicy(r1.Decisions), testConfig())
+			if replay.Err != nil {
+				t.Fatalf("replay failed: %v", replay.Err)
+			}
+			if replay.Coverage != r1.Coverage {
+				t.Fatalf("replay coverage diverged:\n  orig:   %s\n  replay: %s",
+					r1.Coverage, replay.Coverage)
+			}
+		})
+	}
+}
+
+// Across a small seed sweep the scenario must actually exercise the
+// bias machinery it was built for: biased reader-slot grants and
+// writer revocations — under schedules that park readers between slot
+// publish and marker verify, covering both orderings of the
+// publish/revoke race.
+func TestBiasRevokeCoverage(t *testing.T) {
+	var total Coverage
+	for seed := uint64(0); seed < 6; seed++ {
+		res := RunScenario(ScenarioBiasRevoke(), NewRandomPolicy(seed), testConfig())
+		if res.Err != nil {
+			t.Fatalf("seed %d: %v", seed, res.Err)
+		}
+		total.Add(res.Coverage)
+	}
+	if total.BiasGrants == 0 {
+		t.Fatalf("no biased reader-slot grant observed: %s", total)
+	}
+	if total.BiasRevokes == 0 {
+		t.Fatalf("no bias revocation observed: %s", total)
+	}
+	if total.Grants == 0 {
+		t.Fatalf("no queue handoff observed (revoking writer never parked behind readers): %s", total)
+	}
+	if total.Commits == 0 {
+		t.Fatalf("scenario ran without commits: %s", total)
+	}
+}

@@ -504,6 +504,80 @@ func ScenarioCoreAtomic() Scenario {
 	}
 }
 
+// ScenarioBiasRevoke forces the read-bias revocation protocol (bias.go):
+// the shared cell's site is seeded read-biased, two readers publish
+// reader slots and hold them across a barrier, and a writer — whose own
+// read also lands in a slot — upgrades, revoking the bias and draining
+// the readers. The policy's interleaving at PointBiasPublish covers
+// both orderings of the publish/revoke race: a reader parked between
+// its slot store and its marker verify either survives (the revoker
+// waits for it) or retracts and falls back to the shared-CAS path,
+// enqueuing FIFO behind the writer. Readers assert snapshot consistency
+// within a transaction and monotonicity across rounds — a biased read
+// that a revoking writer failed to wait for would break both.
+func ScenarioBiasRevoke() Scenario {
+	return Scenario{
+		Name: "bias-revoke",
+		Build: func(rt *stm.Runtime, s *Scheduler) ([]Worker, func() error) {
+			o := stm.NewCommitted(cellClass)
+			s.Watch(o)
+			rt.SeedReadBias(cellClass, cellV)
+			const readers, rounds = 2, 2
+			var consistency error
+			last := make([]uint64, readers)
+			mkReader := func(i int) Worker {
+				return Worker{Name: fmt.Sprintf("br-r%d", i), Body: func() {
+					arm := true
+					for r := 0; r < rounds; r++ {
+						Retry(s, rt, func(tx *stm.Tx) {
+							v := tx.ReadWord(o, cellV)
+							if arm {
+								arm = false
+								s.Barrier("bias", readers+1)
+							}
+							if v2 := tx.ReadWord(o, cellV); v2 != v && consistency == nil {
+								consistency = fmt.Errorf("bias-revoke: reader %d saw %d then %d in one transaction", i, v, v2)
+							}
+							if v < last[i] && consistency == nil {
+								consistency = fmt.Errorf("bias-revoke: reader %d saw %d after %d (stale biased read)", i, v, last[i])
+							}
+							last[i] = v
+						})
+						s.Step()
+					}
+				}}
+			}
+			writer := Worker{Name: "br-w", Body: func() {
+				arm := true
+				for r := 0; r < rounds; r++ {
+					Retry(s, rt, func(tx *stm.Tx) {
+						// The read publishes a reader slot of its own (the
+						// site is biased), so the write below exercises the
+						// upgrade-from-bias path before it can revoke.
+						v := tx.ReadWord(o, cellV)
+						if arm {
+							arm = false
+							s.Barrier("bias", readers+1)
+						}
+						tx.WriteWord(o, cellV, v+1)
+					})
+					s.Step()
+				}
+			}}
+			post := func() error {
+				if consistency != nil {
+					return consistency
+				}
+				if v := stm.CommittedWord(o, cellV); v != rounds {
+					return fmt.Errorf("bias-revoke: counter = %d, want %d (lost update across revocation)", v, rounds)
+				}
+				return nil
+			}
+			return []Worker{mkReader(0), mkReader(1), writer}, post
+		},
+	}
+}
+
 // RoundScenarios returns the scenario list of one stress round.
 func RoundScenarios(seed uint64) []Scenario {
 	return []Scenario{
@@ -519,6 +593,7 @@ func RoundScenarios(seed uint64) []Scenario {
 		// Appended last so the per-index policy seeds of the scenarios
 		// above stay what they were before the storm existed.
 		ScenarioUpgradeStorm(),
+		ScenarioBiasRevoke(),
 	}
 }
 

@@ -123,13 +123,15 @@ type Coverage struct {
 	SpuriousWakes int // consumed spurious wake-ups
 	Promotions    int // adaptive write-intent promotions (EvPromoted)
 	Backoffs      int // backed-off retries (EvBackoff)
+	BiasGrants    int // biased reader-slot grants (EvBiased)
+	BiasRevokes   int // read-bias revocations by writers (EvBiasRevoke)
 	Commits       int
 	Aborts        int
 }
 
 func (c Coverage) String() string {
-	return fmt.Sprintf("deadlocks=%d duels=%d grants=%d blocked=%d casfail=%d delayed=%d redeliver=%d spurious=%d promoted=%d backoffs=%d commits=%d aborts=%d",
-		c.Deadlocks, c.Duels, c.Grants, c.Blocked, c.CASFails, c.DelayedGrants, c.Redeliveries, c.SpuriousWakes, c.Promotions, c.Backoffs, c.Commits, c.Aborts)
+	return fmt.Sprintf("deadlocks=%d duels=%d grants=%d blocked=%d casfail=%d delayed=%d redeliver=%d spurious=%d promoted=%d backoffs=%d biased=%d revoked=%d commits=%d aborts=%d",
+		c.Deadlocks, c.Duels, c.Grants, c.Blocked, c.CASFails, c.DelayedGrants, c.Redeliveries, c.SpuriousWakes, c.Promotions, c.Backoffs, c.BiasGrants, c.BiasRevokes, c.Commits, c.Aborts)
 }
 
 // Add accumulates c2 into c.
@@ -144,6 +146,8 @@ func (c *Coverage) Add(c2 Coverage) {
 	c.SpuriousWakes += c2.SpuriousWakes
 	c.Promotions += c2.Promotions
 	c.Backoffs += c2.Backoffs
+	c.BiasGrants += c2.BiasGrants
+	c.BiasRevokes += c2.BiasRevokes
 	c.Commits += c2.Commits
 	c.Aborts += c2.Aborts
 }
@@ -728,6 +732,10 @@ func (s *Scheduler) Event(ev stm.Event) {
 		s.cov.Promotions++
 	case stm.EvBackoff:
 		s.cov.Backoffs++
+	case stm.EvBiased:
+		s.cov.BiasGrants++
+	case stm.EvBiasRevoke:
+		s.cov.BiasRevokes++
 	}
 	if err := s.check.observe(ev); err != nil {
 		s.failLocked(fmt.Errorf("checker: %w", err))

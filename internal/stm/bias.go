@@ -1,0 +1,486 @@
+package stm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Adaptive read-bias: BRAVO-style distributed reader indication on top
+// of the 64-bit lock word. Visible readers (paper §3.2) make every read
+// CAS the shared per-field word, so readers of read-hot data serialize
+// on the cache line even with zero logical conflicts. The bias layer
+// removes that cost where it matters and nowhere else:
+//
+//   - A copy-on-write per-site score table (mirroring promoTable)
+//     classifies sites as read-hot: sampled read acquisitions boost the
+//     score, sampled write acquisitions and empty revocations decay it,
+//     and a duel loss crushes it (bias and write-promotion are mutually
+//     exclusive — a site is either read-hot or RMW-hot, never both).
+//   - While a site's score is at or above biasOn, a reader CASes the
+//     bias marker (biasQID, lockword.go) into the word once, and from
+//     then on readers skip the shared CAS entirely: visibility is a
+//     plain store of the word's address into a cache-line-padded
+//     per-transaction-ID reader slot, released in bulk at commit.
+//   - A production writer normally WRITES THROUGH the bias: one CAS
+//     sets the W flag alongside the marker (grantWord preserves the
+//     queue-ID field), which blocks new slot publishes — a reader
+//     verifies marker-and-no-W after publishing — and the writer then
+//     waits out the already-published cohort with bounded reschedules
+//     (biasWriteDrain). The marker survives the write, so a read-mostly
+//     site pays no bias teardown/rebuild per write and readers park
+//     exactly never in the common case.
+//   - The queue protocol is the fallback, not the common case: a writer
+//     whose drain budget runs out (a slot holder is itself blocked — a
+//     potential deadlock the detector must see), a dueling upgrader, or
+//     any writer under a schedule harness REVOKES the bias instead,
+//     replacing the marker with a real installed queue in one CAS
+//     (detector.lockedQueue), scanning the 56 reader lines for live
+//     slots, and folding them into its dependency digest — so
+//     dreadlocks detection and the youngest-victim rule stay exact
+//     across biased readers — before parking until the slots drain.
+//     While the queue is installed no new reader can publish (publish
+//     requires the marker) or bypass it, so the wait is bounded by the
+//     current reader cohort and FIFO fairness resumes: re-bias needs
+//     the queue gone, which needs the writer served (the bound
+//     symmetric to grantSkipMax for overtaking).
+//
+// Publish/write race: a reader publishes its slot with a plain store
+// and then VERIFIES that the marker is still in the word with no W
+// flag; a writer first CASes the word (write-through sets W, a revoker
+// replaces the marker) and then scans the slots. Both run under Go's
+// sequentially-consistent atomics, so in the total order either the
+// reader's verify-load precedes the writer's CAS — and then the
+// writer's later scan sees the already-published slot — or the verify
+// sees W (or the marker gone) and the reader retracts before reading.
+// A verified reader is therefore never missed.
+//
+// Mutual-exclusion invariant: a live reader slot for a word implies the
+// word's queue field is non-zero (marker or real queue). Publishing
+// requires the marker; the marker is only ever replaced by an installed
+// queue; and a queue over a formerly-biased word is not uninstalled
+// until its slots have drained (maybeUninstallLocked). Every write
+// acquisition path demands either queue field == 0 (hence no live
+// slots), an explicit drain check under the queue mutex, or — for a
+// write-through, which holds W while slots may still be live — a drain
+// wait before lockFor returns the word to the mutator (biasWriteDrain).
+
+const (
+	// biasStripes is the number of reader slots per transaction line.
+	// Each biased word maps to one stripe by address hash; a transaction
+	// holding biased reads on two words of the same stripe falls back to
+	// the shared-CAS path for the second (reader holder bits coexist
+	// with the marker, so the fallback is always available).
+	biasStripes = 8
+
+	biasCap = 128 // score saturation
+	biasOn  = 32  // readers use the bias path while score >= biasOn
+	// biasShield: at or above this score, duel losses decay the bias
+	// score instead of crushing it and boosting write-promotion. A
+	// strongly read-biased site sees occasional writer-vs-writer duels
+	// even when reads dominate; without the shield one such duel would
+	// flip the site to write-promotion and serialize all its readers.
+	biasShield = 96
+
+	biasReadBoost      = 8  // sampled read acquisition or biased grant
+	biasWritePen       = 32 // sampled write acquisition
+	biasDuelPen        = 8  // duel loss at a shielded site
+	biasEmptyRevokePen = 16 // revocation that found no live reader slots
+
+	// biasDrainSpinMax bounds how many reschedules a writer spends
+	// waiting for the reader slots to drain — after a write-through
+	// (biasWriteDrain) or while holding an installed empty queue
+	// (slowAcquire) — before it falls back to the queue protocol. W (or
+	// the installed queue) already blocks new publishes, so the cohort
+	// only shrinks; the fallback is reserved for the rare case where a
+	// slot holder is itself blocked and the writer needs
+	// deadlock-detector visibility.
+	biasDrainSpinMax = 32
+
+	// biasSpinRounds replaces the spin-before-enqueue budget at a biased
+	// word that could not be entered right away (spinAcquire): such a
+	// word is mid write-through or mid-revocation, windows one critical
+	// section long, so the spinner stays on plain reschedules — timed
+	// sleeps oversleep the window a hundredfold — and spins patiently,
+	// because enqueueing installs a real queue and tears the bias down
+	// for every reader behind it.
+	biasSpinRounds = 16
+)
+
+// biasCell is the read-bias score of one lock site.
+type biasCell struct {
+	score atomic.Int32
+	// ever latches once the site has ever had the marker installed. It
+	// gates bounded overtaking permanently: overtaking CASes past the
+	// queue field, which is only sound when that field can never hold
+	// the bias marker or a drain-pinned queue.
+	ever atomic.Bool
+}
+
+// add moves the score by d, clamped to [0, biasCap]; saturated cells
+// return without a store.
+func (c *biasCell) add(d int32) {
+	for {
+		v := c.score.Load()
+		nv := v + d
+		if nv > biasCap {
+			nv = biasCap
+		}
+		if nv < 0 {
+			nv = 0
+		}
+		if nv == v || c.score.CompareAndSwap(v, nv) {
+			return
+		}
+	}
+}
+
+// biasLine holds one transaction ID's reader slots, padded so two
+// transactions' publishes never share a cache line — the whole point is
+// that a biased read writes only memory private to its transaction ID.
+type biasLine struct {
+	slots [biasStripes]atomic.Pointer[uint64]
+	_     [64]byte
+}
+
+// biasTable is the per-runtime read-bias state: the score table (same
+// copy-on-write shape as promoTable, so shouldBias on the read path is
+// one pointer load, one bounds check, one score load) and the
+// distributed reader-slot lines.
+type biasTable struct {
+	mu    sync.Mutex
+	cells atomic.Pointer[[]*biasCell]
+	// everAny latches once any site has ever been biased; it gates the
+	// 56-line slot scans on paths shared with never-biased workloads.
+	everAny atomic.Bool
+	lines   [MaxTxns]biasLine
+}
+
+// biasStripe maps a lock-word address to its reader-slot stripe.
+func biasStripe(addr *uint64) int {
+	p := uintptr(unsafe.Pointer(addr))
+	p ^= p >> 9
+	return int((p >> 3) & (biasStripes - 1))
+}
+
+// shouldBias reports whether readers of the site should publish through
+// the reader slots instead of the shared word CAS.
+func (t *biasTable) shouldBias(site int32) bool {
+	p := t.cells.Load()
+	if p == nil {
+		return false
+	}
+	s := *p
+	return int(site) < len(s) && s[site].score.Load() >= biasOn
+}
+
+// shielded reports whether the site is strongly read-biased, so duel
+// losses there should not flip it to write-promotion.
+func (t *biasTable) shielded(site int32) bool {
+	p := t.cells.Load()
+	if p == nil {
+		return false
+	}
+	s := *p
+	return int(site) < len(s) && s[site].score.Load() >= biasShield
+}
+
+// everSite reports whether the site has ever had the bias marker
+// installed (see biasCell.ever).
+func (t *biasTable) everSite(site int32) bool {
+	p := t.cells.Load()
+	if p == nil {
+		return false
+	}
+	s := *p
+	return int(site) < len(s) && s[site].ever.Load()
+}
+
+// at returns the score cell of a site, growing the table when needed.
+func (t *biasTable) at(site int32) *biasCell {
+	if p := t.cells.Load(); p != nil && int(site) < len(*p) {
+		return (*p)[site]
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var cur []*biasCell
+	if p := t.cells.Load(); p != nil {
+		cur = *p
+		if int(site) < len(cur) {
+			return cur[site]
+		}
+	}
+	grown := make([]*biasCell, siteCount())
+	copy(grown, cur)
+	for i := len(cur); i < len(grown); i++ {
+		grown[i] = new(biasCell)
+	}
+	t.cells.Store(&grown)
+	return grown[site]
+}
+
+// crush zeroes the score: the site just lost a duel (RMW-hot evidence),
+// and bias and write-promotion must never be active together.
+func (t *biasTable) crush(site int32) {
+	if p := t.cells.Load(); p != nil && int(site) < len(*p) {
+		(*p)[site].score.Store(0)
+	}
+}
+
+// penalizeWrite decays the score on a sampled write acquisition. Cells
+// are never created here: a site no reader ever boosted has nothing to
+// decay, and the write fast path should not grow tables.
+func (t *biasTable) penalizeWrite(site int32) {
+	if p := t.cells.Load(); p != nil && int(site) < len(*p) {
+		c := (*p)[site]
+		if c.score.Load() != 0 {
+			c.add(-biasWritePen)
+		}
+	}
+}
+
+// slot returns the reader slot of (transaction ID, word address).
+func (t *biasTable) slot(id int, addr *uint64) *atomic.Pointer[uint64] {
+	return &t.lines[id].slots[biasStripe(addr)]
+}
+
+// holders returns the TID bit set of transactions with a live reader
+// slot published for addr. Callers fold it into write waiters'
+// dependency digests; a slot mid-publish that will retract is a phantom
+// edge, which the digest contract allows (supersets are fine, misses
+// are not).
+func (t *biasTable) holders(addr *uint64) uint64 {
+	if !t.everAny.Load() {
+		return 0
+	}
+	s := biasStripe(addr)
+	var m uint64
+	for id := 0; id < MaxTxns; id++ {
+		if t.lines[id].slots[s].Load() == addr {
+			m |= txMask(id)
+		}
+	}
+	return m
+}
+
+// drainedExcept reports whether no transaction other than exceptID has
+// a live reader slot for addr. exceptID < 0 excludes nobody. Write
+// grants (and queue uninstalls) require this; unverified in-flight
+// slots count as live, which is conservative.
+func (t *biasTable) drainedExcept(addr *uint64, exceptID int) bool {
+	if !t.everAny.Load() {
+		return true
+	}
+	s := biasStripe(addr)
+	for id := 0; id < MaxTxns; id++ {
+		if id == exceptID {
+			continue
+		}
+		if t.lines[id].slots[s].Load() == addr {
+			return false
+		}
+	}
+	return true
+}
+
+// biasRead is one biased read of the current transaction attempt.
+type biasRead struct {
+	slot *atomic.Pointer[uint64]
+	addr *uint64
+	site int32
+}
+
+// hasBiasedRead reports whether tx holds a biased read of addr. Callers
+// guard with len(tx.biasLog) != 0 so unbiased transactions pay one
+// predictable branch.
+//
+//go:noinline
+func (tx *Tx) hasBiasedRead(addr *uint64) bool {
+	for i := range tx.biasLog {
+		if tx.biasLog[i].addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// tryBiasRead attempts a biased read acquisition of addr: install the
+// marker if absent, publish the reader slot, verify the marker
+// survived. Returns false — with no state left behind — when the caller
+// must fall back to the shared-CAS path (marker revoked or
+// uninstallable, slot stripe already in use, CAS failure).
+//
+//go:noinline
+func (tx *Tx) tryBiasRead(addr *uint64, site int32) bool {
+	rt := tx.rt
+	w := atomic.LoadUint64(addr)
+	if wordIsWrite(w) {
+		return false // write in place (possibly writing through the marker)
+	}
+	if !wordIsBiased(w) {
+		// Install the marker. Only over an empty queue field and no
+		// write lock; plain reader holder bits may remain — they coexist
+		// with the marker.
+		if wordQueueID(w) != 0 {
+			return false
+		}
+		if !rt.casWord(addr, w, wordWithQueue(w, biasQID), PointBiasPublish) {
+			return false
+		}
+		rt.bias.at(site).ever.Store(true)
+		rt.bias.everAny.Store(true)
+	}
+	slot := rt.bias.slot(tx.id, addr)
+	if slot.Load() != nil {
+		return false // stripe collision within this transaction
+	}
+	slot.Store(addr)
+	rt.yield(PointBiasPublish)
+	if w := atomic.LoadUint64(addr); !wordIsBiased(w) || wordIsWrite(w) {
+		// Revoked — or write-through W arrived — between publish and
+		// verify: retract before reading. The writer's scan may have
+		// counted this slot, so nudge any queue it installed — otherwise
+		// its drain check could wait for a reader that was never really
+		// there. (A write-through writer installs no queue; it rescans
+		// the slots itself.)
+		slot.Store(nil)
+		if qid := wordRealQueue(atomic.LoadUint64(addr)); qid != 0 {
+			rt.wakeQueue(qid, addr)
+		}
+		return false
+	}
+	tx.biasLog = append(tx.biasLog, biasRead{slot: slot, addr: addr, site: site})
+	tx.nBiasGrants++
+	if (tx.nBiasGrants+tx.ticket)&rt.profMask == 0 {
+		// Sampled: keep the score saturated while the bias is earning
+		// its keep, and charge the site profile.
+		rt.bias.at(site).add(biasReadBoost)
+		tx.profAt(site).biasGrants += uint32(rt.profMask + 1)
+	}
+	if rt.wantsEvent(EvBiased) {
+		rt.event(Event{Kind: EvBiased, TxID: tx.id, Ticket: tx.ticket, Addr: addr})
+	}
+	return true
+}
+
+// releaseBias releases every biased read of the attempt: clear the slot
+// with a plain store, then wake any queue a revoker installed over the
+// word (the revoker published its queue before scanning the slots, so
+// this load cannot miss a waiting revoker). Runs at Commit and Reset,
+// guarded by len(tx.biasLog) != 0.
+//
+//go:noinline
+func (tx *Tx) releaseBias() {
+	for i := range tx.biasLog {
+		r := &tx.biasLog[i]
+		r.slot.Store(nil)
+		if qid := wordRealQueue(atomic.LoadUint64(r.addr)); qid != 0 {
+			tx.rt.wakeQueue(qid, r.addr)
+		}
+	}
+	tx.biasLog = tx.biasLog[:0]
+}
+
+// biasWriteDrain waits out the published reader slots after a
+// write-through acquisition: the word holds the bias marker AND the
+// writer's W flag, so no new slot can verify (tryBiasRead checks W) and
+// the cohort only shrinks. The slots belong to readers that are past
+// their reads and just need processor time to commit, so bounded
+// reschedules beat a park/wake handoff — and there is no queue to park
+// on anyway. Returns false when the budget runs out without a drain: a
+// slot holder is itself blocked, and the writer must retract and go
+// through the queue protocol to become visible to the deadlock
+// detector. Production only (the write-through CAS is gated on
+// rt.hooks == nil; a harness explores the revocation path instead).
+//
+//go:noinline
+func (tx *Tx) biasWriteDrain(addr *uint64) bool {
+	rt := tx.rt
+	for i := 0; i < biasDrainSpinMax; i++ {
+		if rt.bias.drainedExcept(addr, tx.id) {
+			tx.nBiasWriteThrus++
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
+}
+
+// biasWriteRetract undoes a write-through acquisition whose drain wait
+// timed out: clear the W flag (and the holder bit, unless the
+// transaction held a plain read lock before the upgrade) so the blocked
+// slot holders can make progress while the writer takes the queue
+// path. If a real queue was installed over the word in the meantime (a
+// spinner gave up and enqueued), wake it — the retract may have made
+// its head grantable.
+//
+//go:noinline
+func (tx *Tx) biasWriteRetract(addr *uint64, keepBit bool) {
+	clear := wFlag
+	if !keepBit {
+		clear |= tx.mask
+	}
+	for {
+		w := atomic.LoadUint64(addr)
+		nw := w &^ clear
+		if casw(addr, w, nw) {
+			if qid := wordRealQueue(nw); qid != 0 {
+				tx.rt.wakeQueue(qid, addr)
+			}
+			return
+		}
+	}
+}
+
+// noteBiasRevoke charges a bias revocation — the install CAS of
+// slowAcquire replaced the marker with queue qid — to the transaction
+// and the site. An empty revocation (no live foreign reader slots at
+// revoke time) means the bias had no beneficiaries when a writer
+// arrived; it decays the score fast so a write phase stops paying
+// revocations within a few writes. A revocation that found live
+// readers carries no penalty of its own: the sampled write-acquisition
+// decay already prices steady writer traffic.
+//
+//go:noinline
+func (tx *Tx) noteBiasRevoke(addr *uint64, site int32, qid int) {
+	tx.nBiasRevokes++
+	tx.profAt(site).biasRevokes++
+	if tx.rt.bias.drainedExcept(addr, tx.id) {
+		tx.rt.bias.at(site).add(-biasEmptyRevokePen)
+	}
+	if tx.rt.wantsEvent(EvBiasRevoke) {
+		tx.rt.event(Event{Kind: EvBiasRevoke, TxID: tx.id, Ticket: tx.ticket, Addr: addr, QID: qid})
+	}
+}
+
+// noteBiasSample scores a sampled non-biased lock acquisition: reads
+// are read-hot evidence, writes decay the hint. Out of line — the
+// lockFor fast path pays only the sampling branch it already had.
+//
+//go:noinline
+func (tx *Tx) noteBiasSample(site int32, write bool) {
+	if write {
+		tx.rt.bias.penalizeWrite(site)
+	} else {
+		tx.rt.bias.at(site).add(biasReadBoost)
+	}
+}
+
+// SeedReadBias pre-loads the read-bias score of the lock site behind
+// (class, field) to saturation, as if readers had trained it. Tests and
+// schedule-exploration scenarios use it to reach the biased state
+// deterministically instead of replaying the sampled learning phase.
+func (rt *Runtime) SeedReadBias(c *Class, f FieldID) {
+	site := c.fields[f].siteID
+	if c.isArray {
+		site = c.siteID
+	}
+	if site < 0 {
+		panic("stm: SeedReadBias on a final field")
+	}
+	cell := rt.bias.at(site)
+	cell.score.Store(biasCap)
+	cell.ever.Store(true)
+	rt.bias.everAny.Store(true)
+}

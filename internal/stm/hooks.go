@@ -55,6 +55,11 @@ const (
 	// harness the randomized spin wait is replaced by exactly one yield
 	// here, so backed-off retries replay deterministically.
 	PointBackoff
+	// PointBiasPublish covers the read-bias path (bias.go): the CAS
+	// installing the bias marker, and the yield between a reader's slot
+	// publish and its marker verify — the window a revoking writer
+	// races against.
+	PointBiasPublish
 )
 
 var pointNames = [...]string{
@@ -72,6 +77,7 @@ var pointNames = [...]string{
 	PointIDPoolCAS:    "idpool-cas",
 	PointInevWait:     "inev-wait",
 	PointBackoff:      "backoff",
+	PointBiasPublish:  "bias-publish",
 }
 
 func (p YieldPoint) String() string {
@@ -123,6 +129,12 @@ const (
 	// EvBackoff: a reset transaction entered randomized backoff before
 	// replaying (TxID, Ticket).
 	EvBackoff
+	// EvBiased: a read acquisition published through the distributed
+	// reader slots instead of the shared lock-word CAS (TxID, Addr).
+	EvBiased
+	// EvBiasRevoke: a writer replaced the bias marker of a lock word
+	// with an installed wait queue (TxID, Addr, QID).
+	EvBiasRevoke
 )
 
 var eventNames = [...]string{
@@ -140,6 +152,8 @@ var eventNames = [...]string{
 	EvInevRelease:  "inev-release",
 	EvPromoted:     "promoted",
 	EvBackoff:      "backoff",
+	EvBiased:       "biased",
+	EvBiasRevoke:   "bias-revoke",
 }
 
 func (k EventKind) String() string {

@@ -123,6 +123,27 @@ func (rt *Runtime) CheckInvariants() error {
 			return err
 		}
 	}
+	// Read-bias slot invariant: a live reader slot implies a live owner
+	// transaction and a non-zero queue field (bias marker or installed
+	// queue) in the word it names — the drain-pinning rule every write
+	// acquisition path relies on (see bias.go).
+	if rt.bias.everAny.Load() {
+		for id := 0; id < MaxTxns; id++ {
+			for s := 0; s < biasStripes; s++ {
+				addr := rt.bias.lines[id].slots[s].Load()
+				if addr == nil {
+					continue
+				}
+				if rt.txByID[id].Load() == nil {
+					return fmt.Errorf("bias slot (txn %d, stripe %d): live slot owned by dead txn", id, s)
+				}
+				if w := atomic.LoadUint64(addr); wordQueueID(w) == 0 {
+					return fmt.Errorf("bias slot (txn %d, stripe %d): live slot but word has empty queue field (%s)",
+						id, s, formatWord(w))
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -150,6 +171,11 @@ func (rt *Runtime) CheckObjectLocks(o *Object) error {
 				return fmt.Errorf("%s lock %d: holder bit for dead txn %d (%s)",
 					o.class.name, i, id, formatWord(w))
 			}
+		}
+		if wordIsBiased(w) {
+			// Bias marker, not a queue ID: nothing to resolve in the queue
+			// table (wellformed already rejected W/U alongside the marker).
+			continue
 		}
 		if qid := wordQueueID(w); qid != 0 {
 			q := d.queues[qid].Load()

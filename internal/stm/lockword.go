@@ -27,6 +27,19 @@ const (
 	uFlag      uint64 = 1 << 57
 	queueShift        = 58
 	queueBits  uint64 = 63 << queueShift
+
+	// biasQID is a sentinel value of the queue-ID field marking a
+	// read-biased word (bias.go). Valid queue IDs are 1..MaxTxns = 56, so
+	// the values 57..63 of the 6-bit field are free; using the top one as
+	// a marker keeps the full 56-transaction concurrency (the alternative
+	// encoding, a reserved TID bit, would cap MaxTxns at 55). A biased
+	// word may carry reader holder bits (readers that fell back to the
+	// shared CAS) and even the W flag: a production writer may write
+	// through the bias — CAS W in alongside the marker, wait out the
+	// already-published reader slots, and leave the marker standing
+	// (bias.go). U never coexists with the marker: enqueueing an upgrader
+	// requires a real installed queue, which replaces the marker.
+	biasQID = 63
 )
 
 // txMask returns the bit-set mask for transaction ID id.
@@ -38,6 +51,20 @@ func wordQueueID(w uint64) int { return int(w >> queueShift) }
 // wordWithQueue returns w with its queue ID replaced by qid.
 func wordWithQueue(w uint64, qid int) uint64 {
 	return (w &^ queueBits) | uint64(qid)<<queueShift
+}
+
+// wordIsBiased reports whether the queue-ID field holds the read-bias
+// marker rather than a real queue (or none).
+func wordIsBiased(w uint64) bool { return wordQueueID(w) == biasQID }
+
+// wordRealQueue returns the installed queue ID of a lock word, treating
+// both "no queue" and the bias marker as 0. Use this wherever the queue
+// ID indexes the detector's queue table.
+func wordRealQueue(w uint64) int {
+	if qid := wordQueueID(w); qid != biasQID {
+		return qid
+	}
+	return 0
 }
 
 // wordHolders returns the transaction bit set of a lock word.
@@ -68,8 +95,11 @@ func wellformed(w uint64) error {
 			return fmt.Errorf("stm: W flag with holders=%014x (want exactly one)", holders)
 		}
 	}
-	if wordHasUpgrader(w) && wordQueueID(w) == 0 {
+	if wordHasUpgrader(w) && wordRealQueue(w) == 0 {
 		return fmt.Errorf("stm: U flag without a wait queue (%s)", formatWord(w))
+	}
+	if wordIsBiased(w) && wordHasUpgrader(w) {
+		return fmt.Errorf("stm: bias marker with U set (%s)", formatWord(w))
 	}
 	return nil
 }

@@ -78,27 +78,31 @@ func siteInfo(id int32) SiteInfo {
 // siteCounters is the per-site aggregate of one runtime. All fields are
 // only written by flushProfile (atomic adds) and read by Snapshot.
 type siteCounters struct {
-	acquires   atomic.Uint64
-	contended  atomic.Uint64
-	casFails   atomic.Uint64
-	upgrades   atomic.Uint64
-	promotions atomic.Uint64
-	duelLosses atomic.Uint64
-	deadlocks  atomic.Uint64
-	blockNs    atomic.Uint64
+	acquires    atomic.Uint64
+	contended   atomic.Uint64
+	casFails    atomic.Uint64
+	upgrades    atomic.Uint64
+	promotions  atomic.Uint64
+	duelLosses  atomic.Uint64
+	deadlocks   atomic.Uint64
+	biasGrants  atomic.Uint64
+	biasRevokes atomic.Uint64
+	blockNs     atomic.Uint64
 }
 
 // siteDelta is the per-transaction buffered contribution to one site.
 type siteDelta struct {
-	site       int32
-	acquires   uint32
-	contended  uint32
-	casFails   uint32
-	upgrades   uint32
-	promotions uint32
-	duelLosses uint32
-	deadlocks  uint32
-	blockNs    uint64
+	site        int32
+	acquires    uint32
+	contended   uint32
+	casFails    uint32
+	upgrades    uint32
+	promotions  uint32
+	duelLosses  uint32
+	deadlocks   uint32
+	biasGrants  uint32
+	biasRevokes uint32
+	blockNs     uint64
 }
 
 // profAt returns the transaction's delta buffer entry for a site,
@@ -175,6 +179,12 @@ func (tx *Tx) flushProfile() {
 		if d.deadlocks != 0 {
 			c.deadlocks.Add(uint64(d.deadlocks))
 		}
+		if d.biasGrants != 0 {
+			c.biasGrants.Add(uint64(d.biasGrants))
+		}
+		if d.biasRevokes != 0 {
+			c.biasRevokes.Add(uint64(d.biasRevokes))
+		}
 		if d.blockNs != 0 {
 			c.blockNs.Add(d.blockNs)
 		}
@@ -222,15 +232,17 @@ func (p *Profile) counters(site int32) *siteCounters {
 
 // SiteProfile is one row of a profile snapshot.
 type SiteProfile struct {
-	Site       SiteInfo
-	Acquires   uint64        // lock acquire+release pairs (sampled estimate; see ProfileSampleRate)
-	Contended  uint64        // acquires that had to enqueue
-	CASFails   uint64        // failed lock-word CAS attempts
-	Upgrades   uint64        // read-to-write upgrades that enqueued
-	Promotions uint64        // reads adaptively promoted to write acquisitions
-	DuelLosses uint64        // upgrade aborts feeding the promotion hint (exact)
-	Deadlocks  uint64        // abort involvements while acquiring (deadlock victim, duel loss)
-	BlockTime  time.Duration // time spent parked (sampled estimate; see ProfileSampleRate)
+	Site        SiteInfo
+	Acquires    uint64        // lock acquire+release pairs (sampled estimate; see ProfileSampleRate)
+	Contended   uint64        // acquires that had to enqueue
+	CASFails    uint64        // failed lock-word CAS attempts
+	Upgrades    uint64        // read-to-write upgrades that enqueued
+	Promotions  uint64        // reads adaptively promoted to write acquisitions
+	DuelLosses  uint64        // upgrade aborts feeding the promotion hint (exact)
+	Deadlocks   uint64        // abort involvements while acquiring (deadlock victim, duel loss)
+	BiasGrants  uint64        // reads served by the biased reader-slot path (sampled estimate)
+	BiasRevokes uint64        // writer revocations of this site's read bias (exact)
+	BlockTime   time.Duration // time spent parked (sampled estimate; see ProfileSampleRate)
 }
 
 // Snapshot returns every site with at least one recorded event, hottest
@@ -244,17 +256,19 @@ func (p *Profile) Snapshot() []SiteProfile {
 			continue
 		}
 		row := SiteProfile{
-			Site:       siteInfo(int32(id)),
-			Acquires:   c.acquires.Load(),
-			Contended:  c.contended.Load(),
-			CASFails:   c.casFails.Load(),
-			Upgrades:   c.upgrades.Load(),
-			Promotions: c.promotions.Load(),
-			DuelLosses: c.duelLosses.Load(),
-			Deadlocks:  c.deadlocks.Load(),
-			BlockTime:  time.Duration(c.blockNs.Load()),
+			Site:        siteInfo(int32(id)),
+			Acquires:    c.acquires.Load(),
+			Contended:   c.contended.Load(),
+			CASFails:    c.casFails.Load(),
+			Upgrades:    c.upgrades.Load(),
+			Promotions:  c.promotions.Load(),
+			DuelLosses:  c.duelLosses.Load(),
+			Deadlocks:   c.deadlocks.Load(),
+			BiasGrants:  c.biasGrants.Load(),
+			BiasRevokes: c.biasRevokes.Load(),
+			BlockTime:   time.Duration(c.blockNs.Load()),
 		}
-		if row.Acquires|row.Contended|row.CASFails|row.Upgrades|row.Promotions|row.DuelLosses|row.Deadlocks == 0 && row.BlockTime == 0 {
+		if row.Acquires|row.Contended|row.CASFails|row.Upgrades|row.Promotions|row.DuelLosses|row.Deadlocks|row.BiasGrants|row.BiasRevokes == 0 && row.BlockTime == 0 {
 			continue
 		}
 		out = append(out, row)
@@ -285,6 +299,8 @@ func (p *Profile) Reset() {
 		c.promotions.Store(0)
 		c.duelLosses.Store(0)
 		c.deadlocks.Store(0)
+		c.biasGrants.Store(0)
+		c.biasRevokes.Store(0)
 		c.blockNs.Store(0)
 	}
 }

@@ -171,6 +171,18 @@ func (tx *Tx) promoWritten(addr *uint64) {
 func (tx *Tx) noteDuelLoss(site int32) {
 	tx.nDuelLosses++
 	tx.profAt(site).duelLosses++
+	if tx.rt.bias.shielded(site) {
+		// Strongly read-biased site (bias.go): the occasional
+		// writer-vs-writer duel is expected noise there, and flipping the
+		// site to write-promotion would serialize all its readers. Decay
+		// the bias instead; sustained duels still wear it down past the
+		// shield, after which promotion takes over as usual.
+		tx.rt.bias.at(site).add(-biasDuelPen)
+		return
+	}
+	// Bias and write-promotion are mutually exclusive: promoting a site
+	// crushes any residual read-bias score.
+	tx.rt.bias.crush(site)
 	tx.rt.promo.boost(site)
 }
 
@@ -292,9 +304,14 @@ const (
 // queue at this site: production mode only, and only while the site's
 // promotion hint is active — exactly the episodes where strict FIFO
 // entry costs a park/wake handoff per transaction. Everywhere else the
-// paper's rule stands: an installed queue forces the slow path.
+// paper's rule stands: an installed queue forces the slow path. A site
+// that has ever been read-biased is permanently excluded: overtaking
+// CASes past the word's queue field, which at such a site may hold the
+// bias marker or a queue pinned by draining reader slots — states a
+// write must never CAS through (bias.go).
 func (tx *Tx) overtakeOK(site int32) bool {
-	return tx.rt.hooks == nil && tx.rt.promo.shouldPromote(site)
+	return tx.rt.hooks == nil && tx.rt.promo.shouldPromote(site) &&
+		!tx.rt.bias.everSite(site)
 }
 
 // spinAcquire tries to take the lock by bounded spinning before
@@ -307,18 +324,56 @@ func (tx *Tx) overtakeOK(site int32) bool {
 // harness the queue machinery is exactly what runs should explore, and
 // timed sleeps have no deterministic meaning.
 func (tx *Tx) spinAcquire(addr *uint64, site int32, write bool) bool {
-	if atomic.LoadUint64(addr)&tx.mask != 0 {
+	w0 := atomic.LoadUint64(addr)
+	if w0&tx.mask != 0 {
 		return false // upgrade: the duel machinery needs the queue
+	}
+	if write && len(tx.biasLog) != 0 && tx.hasBiasedRead(addr) {
+		// Upgrade from a biased read whose fast-path write-through lost
+		// the word: spinning would stretch the window in which a rival
+		// write-through stalls on this transaction's own published slot
+		// (and then burns its whole drain budget before the duel is even
+		// detected). Go straight to the queue so the structural duel
+		// detection resolves the standoff immediately.
+		return false
+	}
+	if write && tx.biasDrainFailed && wordIsBiased(w0) {
+		// This write already wrote through the marker once and timed out
+		// draining the reader slots; it must reach the queue — and the
+		// deadlock detector — not write through again (lockFor).
+		return false
 	}
 	overtake := tx.overtakeOK(site)
 	rounds := spinGoschedRounds + spinSleepRounds
+	gosched := spinGoschedRounds
 	if tx.requeued {
 		rounds = spinGoschedRounds // recent queue-goer: park again quickly
+	}
+	if wordIsBiased(w0) {
+		// A biased word that could not be entered right away is mid
+		// write-through (W beside the marker) or about to drain — windows
+		// one critical section long. Spin on plain reschedules only, and
+		// patiently: enqueueing would replace the marker with a real
+		// queue and tear the bias down for every reader behind it.
+		rounds, gosched = biasSpinRounds, biasSpinRounds
 	}
 	sleep := spinSleepMinUs * time.Microsecond
 	for total := 0; total < rounds; total++ {
 		w := atomic.LoadUint64(addr)
-		if wordQueueID(w) == 0 || overtake {
+		if !write && wordIsBiased(w) && !wordIsWrite(w) && tx.tryBiasRead(addr, site) {
+			// A read spinning at a biased word (it got here because a
+			// write-through W was in place, or a publish raced) re-enters
+			// through the reader slots the moment the W window closes.
+			// Taking a plain holder bit here instead would block the next
+			// writer's single-shot write-through CAS and force a full
+			// revocation — holder bits must not accumulate on a marker
+			// word while the bias is meant to stay up.
+			tx.spinBiased = true
+			tx.nSpinAcquires++
+			tx.requeued = false
+			return true
+		}
+		if wordQueueID(w) == 0 || wordIsBiased(w) || overtake {
 			if nw, ok := grantWord(w, tx, write); ok {
 				if casw(addr, w, nw) {
 					tx.nSpinAcquires++
@@ -328,7 +383,7 @@ func (tx *Tx) spinAcquire(addr *uint64, site int32, write bool) bool {
 				tx.chargeCASFail(site)
 			}
 		}
-		if total < spinGoschedRounds {
+		if total < gosched {
 			runtime.Gosched()
 		} else if sleep < spinSleepCapUs*time.Microsecond {
 			time.Sleep(sleep)

@@ -2,6 +2,7 @@ package stm
 
 import (
 	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -171,11 +172,15 @@ func (d *detector) freeQIDCount() int {
 // lockedQueue resolves the queue installed over addr and returns it with
 // its mutex held, installing a fresh queue first if the word names none.
 // The caller must unlock (and must re-resolve rather than reuse the
-// pointer after unlocking, since the queue may be uninstalled).
-func (d *detector) lockedQueue(addr *uint64) *lockQueue {
+// pointer after unlocking, since the queue may be uninstalled). The
+// second result reports that the install CAS replaced the read-bias
+// marker — the revocation step of bias.go: from that CAS on, no new
+// reader can publish through the slots (publishing requires the
+// marker), so the live-reader cohort a write must wait out is fixed.
+func (d *detector) lockedQueue(addr *uint64) (*lockQueue, bool) {
 	for {
 		w := atomic.LoadUint64(addr)
-		if qid := wordQueueID(w); qid != 0 {
+		if qid := wordRealQueue(w); qid != 0 {
 			q := d.queues[qid].Load()
 			if q == nil || q.addr != addr {
 				continue // qid mid-uninstall or recycled; re-read the word
@@ -185,18 +190,21 @@ func (d *detector) lockedQueue(addr *uint64) *lockQueue {
 				q.mu.Unlock()
 				continue
 			}
-			return q
+			return q, false
 		}
-		// No queue installed: claim an ID, publish the queue, then CAS the
-		// ID into the word. Publishing before the CAS means any thread that
-		// reads the qid from the word finds the queue in the table.
+		// No real queue installed (the word may carry the bias marker):
+		// claim an ID, publish the queue, then CAS the ID into the word.
+		// Publishing before the CAS means any thread that reads the qid
+		// from the word finds the queue in the table — and a biased
+		// reader whose verify load sees the marker gone finds the queue
+		// to wake when it retracts.
 		qid := d.allocQID()
 		q := &lockQueue{qid: qid, addr: addr}
 		q.waiters = q.waitersBuf[:0]
 		q.mu.Lock()
 		d.queues[qid].Store(q)
 		if d.cas(addr, w, wordWithQueue(w, qid), PointInstallCAS) {
-			return q
+			return q, wordIsBiased(w)
 		}
 		// Lost the install race; roll back and retry from the fresh word.
 		q.dead = true
@@ -228,6 +236,20 @@ func (d *detector) uninstallLocked(q *lockQueue) {
 	d.freeQID(q.qid)
 }
 
+// maybeUninstallLocked uninstalls an empty queue unless live biased
+// reader slots still pin the word. The mutual-exclusion invariant of
+// bias.go demands that a word with live reader slots keeps a non-zero
+// queue field — re-bias (and with it fresh slot publishes) is only
+// possible once the field returns to zero, which must mean the cohort
+// drained. A pinned queue is nudged by every reader's slot release
+// (releaseBias), and the last one lets it uninstall. Caller holds q.mu.
+func (d *detector) maybeUninstallLocked(q *lockQueue) {
+	if d.rt != nil && !d.rt.bias.drainedExcept(q.addr, -1) {
+		return
+	}
+	d.uninstallLocked(q)
+}
+
 // slowAcquire is entered after the fast path failed. It re-checks the
 // lock under the queue mutex, enqueues the transaction if the lock is
 // still unavailable (at the front for upgrading readers, paper §3.2), runs
@@ -253,15 +275,19 @@ func (tx *Tx) slowAcquire(addr *uint64, site int32, write bool) {
 	}
 
 	var q *lockQueue
-	var upgrader bool
+	var upgrader, revoked bool
+	var revokeStart time.Time
+	var drainSpins int
 	for {
 		// Re-check: the lock may have been released between the failed fast
 		// path and here. Bypassing the queue is only fair if no one is
 		// waiting — or if the site is under bounded overtaking (promo.go),
 		// which trades strict FIFO entry for CAS handoff within the
-		// release path's grantSkipMax bound.
+		// release path's grantSkipMax bound. Reads may additionally join a
+		// read-biased word through the shared CAS (the marker coexists
+		// with reader holder bits; see bias.go).
 		w := atomic.LoadUint64(addr)
-		if wordQueueID(w) == 0 || tx.overtakeOK(site) {
+		if wordQueueID(w) == 0 || (!write && wordIsBiased(w)) || tx.overtakeOK(site) {
 			nw, ok := grantWord(w, tx, write)
 			if ok {
 				if d.cas(addr, w, nw, PointRecheckCAS) {
@@ -271,14 +297,40 @@ func (tx *Tx) slowAcquire(addr *uint64, site int32, write bool) {
 				continue
 			}
 		}
-		q = d.lockedQueue(addr)
+		var rv bool
+		q, rv = d.lockedQueue(addr)
+		if rv && !revoked {
+			revoked = true
+			revokeStart = time.Now()
+			tx.noteBiasRevoke(addr, site, q.qid)
+		}
 		if len(q.waiters) == 0 {
-			// Queue installed but empty: the bypass is still fair.
+			// Queue installed but empty: the bypass is still fair. A write
+			// additionally needs the biased reader slots drained — live
+			// visible readers exclude a writer exactly like holder bits.
 			w = atomic.LoadUint64(addr)
 			nw, ok := grantWord(w, tx, write)
+			if ok && write && !d.rt.bias.drainedExcept(addr, tx.id) {
+				if rt.hooks == nil && drainSpins < biasDrainSpinMax {
+					// Drain-spin: the slots belong to readers that are past
+					// their reads and only need processor time to commit and
+					// release — the installed queue already blocks new
+					// publishes, so the cohort can only shrink. A few
+					// reschedules are far cheaper than a park/wake pair plus
+					// a regrant timer per revocation. Bounded: a slot holder
+					// that is itself blocked (a cycle through the biased
+					// read) drains nothing, and the writer must reach the
+					// queue — and the deadlock detector — regardless.
+					drainSpins++
+					q.mu.Unlock()
+					runtime.Gosched()
+					continue
+				}
+				ok = false
+			}
 			if ok {
 				if d.cas(addr, w, nw, PointRecheckCAS) {
-					d.uninstallLocked(q)
+					d.maybeUninstallLocked(q)
 					q.mu.Unlock()
 					return
 				}
@@ -290,7 +342,8 @@ func (tx *Tx) slowAcquire(addr *uint64, site int32, write bool) {
 
 		tx.nContended++
 		tx.profAt(site).contended++
-		upgrader = write && atomic.LoadUint64(addr)&tx.mask != 0
+		upgrader = write && (atomic.LoadUint64(addr)&tx.mask != 0 ||
+			(len(tx.biasLog) != 0 && tx.hasBiasedRead(addr)))
 		if !upgrader {
 			break
 		}
@@ -429,6 +482,12 @@ func (tx *Tx) slowAcquire(addr *uint64, site int32, write bool) {
 			if blockSampled {
 				tx.profAt(site).blockNs += uint64(time.Since(parkStart)) * (rt.profMask + 1)
 			}
+			if revoked {
+				// Revocations are rare and always contended; their wait is
+				// measured exactly (no sampling) so the bias layer's cost
+				// to writers is directly observable.
+				tx.nBiasRevokeWaitNs += uint64(time.Since(revokeStart))
+			}
 			return
 		}
 		if aborted {
@@ -524,6 +583,16 @@ func (q *lockQueue) findUpgrader() *waiter {
 // dependencies real). Caller holds q.mu.
 func (q *lockQueue) depsOfLocked(wt *waiter) uint64 {
 	deps := wordHolders(atomic.LoadUint64(q.addr)) &^ wt.tx.mask
+	if wt.write {
+		// A write waiter also waits out the transactions with live biased
+		// reader slots for the word (bias.go): folding them into the
+		// digest keeps deadlock detection and the youngest-victim rule
+		// exact across biased readers. A slot that retracts after the
+		// scan leaves a phantom edge, which the digest contract allows
+		// (supersets are fine, misses are not) — and the retracting
+		// reader wakes the queue, so the phantom cannot strand anyone.
+		deps |= wt.tx.rt.bias.holders(q.addr) &^ wt.tx.mask
+	}
 	for _, p := range q.waiters {
 		if p == wt {
 			break
@@ -556,6 +625,14 @@ func (d *detector) grantScanLocked(q *lockQueue) {
 		if head.write && wordHolders(w) != 0 && wordHolders(w) != head.tx.mask {
 			return
 		}
+		if head.write && d.rt != nil && !d.rt.bias.drainedExcept(q.addr, head.tx.id) {
+			// Live biased reader slots (other than the head's own, kept
+			// across an upgrade-from-bias) exclude a writer exactly like
+			// holder bits; each slot release re-runs this scan. No new
+			// slot can be published while the queue is installed, so the
+			// wait is bounded by the current cohort.
+			return
+		}
 		if !d.cas(q.addr, w, nw, PointGrantCAS) {
 			continue // racing release; recompute
 		}
@@ -572,7 +649,7 @@ func (d *detector) grantScanLocked(q *lockQueue) {
 		}
 	}
 	if len(q.waiters) == 0 {
-		d.uninstallLocked(q)
+		d.maybeUninstallLocked(q)
 		return
 	}
 	// Republish exact digests for the waiters that stay. Published digests
@@ -582,9 +659,19 @@ func (d *detector) grantScanLocked(q *lockQueue) {
 	// pre-check report a phantom cycle and pay for an exact confirmation.
 	// Every release that changes a contended word funnels through a grant
 	// scan, so tightening here keeps the digests near-exact for free.
+	// Write waiters keep their biased-reader edges (see depsOfLocked) —
+	// dropping them here would break the superset property.
 	ahead := wordHolders(atomic.LoadUint64(q.addr))
+	var biasHolders uint64
+	if d.rt != nil {
+		biasHolders = d.rt.bias.holders(q.addr)
+	}
 	for _, p := range q.waiters {
-		p.deps.Store(ahead &^ p.tx.mask)
+		base := ahead
+		if p.write {
+			base |= biasHolders
+		}
+		p.deps.Store(base &^ p.tx.mask)
 		ahead |= p.tx.mask
 	}
 }
@@ -672,7 +759,7 @@ func (d *detector) removeWaiterLocked(q *lockQueue, wt *waiter) {
 		clearWordFlag(d, q.addr, uFlag)
 	}
 	if len(q.waiters) == 0 {
-		d.uninstallLocked(q)
+		d.maybeUninstallLocked(q)
 	} else {
 		d.grantScanLocked(q)
 	}

@@ -32,6 +32,7 @@ const DefaultRecorderSize = 1024
 var defaultRecorderKinds = []EventKind{
 	EvBlocked, EvGranted, EvAbortWaiter, EvDeadlock, EvDuel,
 	EvSpuriousWake, EvDelayedGrant, EvInevRelease, EvPromoted, EvBackoff,
+	EvBiasRevoke,
 }
 
 // recSlot is one ring slot: a sequence word plus the packed payload.

@@ -26,6 +26,10 @@ type Runtime struct {
 	// duel losses boost a site's score, and while it is positive lockFor
 	// acquires reads there in write mode up front.
 	promo promoTable
+	// bias is the per-site read-bias state (bias.go): the score table
+	// classifying read-hot sites and the distributed reader-slot lines
+	// biased readers publish visibility through.
+	bias biasTable
 	// profMask gates the sampled per-site acquire counter: a lock acquire
 	// is charged to its site when (nAcq+ticket)&profMask == 0.
 	profMask uint64

@@ -38,6 +38,12 @@ type Stats struct {
 	BackoffSpins atomic.Uint64 // total reschedules spent in backoff
 	SpinAcquires atomic.Uint64 // slow-path acquisitions resolved by spinning, no enqueue
 
+	// Read-bias (bias.go).
+	BiasGrants       atomic.Uint64 // reads served by the biased reader-slot path (no shared CAS)
+	BiasRevokes      atomic.Uint64 // writer revocations of a read-biased lock word
+	BiasWriteThrus   atomic.Uint64 // writes that went through the bias (W beside the marker, no revocation)
+	BiasRevokeWaitNs atomic.Uint64 // total nanoseconds writers spent draining biased readers (exact)
+
 	// Memory accounting (Table 8). Byte figures are estimates derived
 	// from entry counts, mirroring the paper's "largest contributors"
 	// reporting.
@@ -57,6 +63,8 @@ type StatsSnapshot struct {
 	SpuriousWakes                           uint64
 	Promotions, PromoWasted, DuelLosses     uint64
 	Backoffs, BackoffSpins, SpinAcquires    uint64
+	BiasGrants, BiasRevokes, BiasWriteThrus uint64
+	BiasRevokeWaitNs                        uint64
 	LockBytes, RWSetBytes, UndoEntries      uint64
 	BufferBytes, InitEntries, TxnsMeasured  uint64
 }
@@ -64,31 +72,35 @@ type StatsSnapshot struct {
 // Snapshot copies the current counter values.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Init:          s.Init.Load(),
-		CheckNew:      s.CheckNew.Load(),
-		CheckOwned:    s.CheckOwned.Load(),
-		Acquire:       s.Acquire.Load(),
-		Commits:       s.Commits.Load(),
-		Aborts:        s.Aborts.Load(),
-		Contended:     s.Contended.Load(),
-		CASFail:       s.CASFail.Load(),
-		IDWaits:       s.IDWaits.Load(),
-		IDWaitNs:      s.IDWaitNs.Load(),
-		Deadlocks:     s.Deadlocks.Load(),
-		InevWaits:     s.InevWaits.Load(),
-		SpuriousWakes: s.SpuriousWakes.Load(),
-		Promotions:    s.Promotions.Load(),
-		PromoWasted:   s.PromoWasted.Load(),
-		DuelLosses:    s.DuelLosses.Load(),
-		Backoffs:      s.Backoffs.Load(),
-		BackoffSpins:  s.BackoffSpins.Load(),
-		SpinAcquires:  s.SpinAcquires.Load(),
-		LockBytes:     s.LockBytes.Load(),
-		RWSetBytes:    s.RWSetBytes.Load(),
-		UndoEntries:   s.UndoEntries.Load(),
-		BufferBytes:   s.BufferBytes.Load(),
-		InitEntries:   s.InitEntries.Load(),
-		TxnsMeasured:  s.TxnsMeasured.Load(),
+		Init:             s.Init.Load(),
+		CheckNew:         s.CheckNew.Load(),
+		CheckOwned:       s.CheckOwned.Load(),
+		Acquire:          s.Acquire.Load(),
+		Commits:          s.Commits.Load(),
+		Aborts:           s.Aborts.Load(),
+		Contended:        s.Contended.Load(),
+		CASFail:          s.CASFail.Load(),
+		IDWaits:          s.IDWaits.Load(),
+		IDWaitNs:         s.IDWaitNs.Load(),
+		Deadlocks:        s.Deadlocks.Load(),
+		InevWaits:        s.InevWaits.Load(),
+		SpuriousWakes:    s.SpuriousWakes.Load(),
+		Promotions:       s.Promotions.Load(),
+		PromoWasted:      s.PromoWasted.Load(),
+		DuelLosses:       s.DuelLosses.Load(),
+		Backoffs:         s.Backoffs.Load(),
+		BackoffSpins:     s.BackoffSpins.Load(),
+		SpinAcquires:     s.SpinAcquires.Load(),
+		BiasGrants:       s.BiasGrants.Load(),
+		BiasRevokes:      s.BiasRevokes.Load(),
+		BiasWriteThrus:   s.BiasWriteThrus.Load(),
+		BiasRevokeWaitNs: s.BiasRevokeWaitNs.Load(),
+		LockBytes:        s.LockBytes.Load(),
+		RWSetBytes:       s.RWSetBytes.Load(),
+		UndoEntries:      s.UndoEntries.Load(),
+		BufferBytes:      s.BufferBytes.Load(),
+		InitEntries:      s.InitEntries.Load(),
+		TxnsMeasured:     s.TxnsMeasured.Load(),
 	}
 }
 
@@ -113,6 +125,10 @@ func (s *Stats) Reset() {
 	s.Backoffs.Store(0)
 	s.BackoffSpins.Store(0)
 	s.SpinAcquires.Store(0)
+	s.BiasGrants.Store(0)
+	s.BiasRevokes.Store(0)
+	s.BiasWriteThrus.Store(0)
+	s.BiasRevokeWaitNs.Store(0)
 	s.LockBytes.Store(0)
 	s.RWSetBytes.Store(0)
 	s.UndoEntries.Store(0)
@@ -125,31 +141,35 @@ func (s *Stats) Reset() {
 // measured region the way the paper samples per-iteration counters.
 func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{
-		Init:          s.Init - prev.Init,
-		CheckNew:      s.CheckNew - prev.CheckNew,
-		CheckOwned:    s.CheckOwned - prev.CheckOwned,
-		Acquire:       s.Acquire - prev.Acquire,
-		Commits:       s.Commits - prev.Commits,
-		Aborts:        s.Aborts - prev.Aborts,
-		Contended:     s.Contended - prev.Contended,
-		CASFail:       s.CASFail - prev.CASFail,
-		IDWaits:       s.IDWaits - prev.IDWaits,
-		IDWaitNs:      s.IDWaitNs - prev.IDWaitNs,
-		Deadlocks:     s.Deadlocks - prev.Deadlocks,
-		InevWaits:     s.InevWaits - prev.InevWaits,
-		SpuriousWakes: s.SpuriousWakes - prev.SpuriousWakes,
-		Promotions:    s.Promotions - prev.Promotions,
-		PromoWasted:   s.PromoWasted - prev.PromoWasted,
-		DuelLosses:    s.DuelLosses - prev.DuelLosses,
-		Backoffs:      s.Backoffs - prev.Backoffs,
-		BackoffSpins:  s.BackoffSpins - prev.BackoffSpins,
-		SpinAcquires:  s.SpinAcquires - prev.SpinAcquires,
-		LockBytes:     s.LockBytes - prev.LockBytes,
-		RWSetBytes:    s.RWSetBytes - prev.RWSetBytes,
-		UndoEntries:   s.UndoEntries - prev.UndoEntries,
-		BufferBytes:   s.BufferBytes - prev.BufferBytes,
-		InitEntries:   s.InitEntries - prev.InitEntries,
-		TxnsMeasured:  s.TxnsMeasured - prev.TxnsMeasured,
+		Init:             s.Init - prev.Init,
+		CheckNew:         s.CheckNew - prev.CheckNew,
+		CheckOwned:       s.CheckOwned - prev.CheckOwned,
+		Acquire:          s.Acquire - prev.Acquire,
+		Commits:          s.Commits - prev.Commits,
+		Aborts:           s.Aborts - prev.Aborts,
+		Contended:        s.Contended - prev.Contended,
+		CASFail:          s.CASFail - prev.CASFail,
+		IDWaits:          s.IDWaits - prev.IDWaits,
+		IDWaitNs:         s.IDWaitNs - prev.IDWaitNs,
+		Deadlocks:        s.Deadlocks - prev.Deadlocks,
+		InevWaits:        s.InevWaits - prev.InevWaits,
+		SpuriousWakes:    s.SpuriousWakes - prev.SpuriousWakes,
+		Promotions:       s.Promotions - prev.Promotions,
+		PromoWasted:      s.PromoWasted - prev.PromoWasted,
+		DuelLosses:       s.DuelLosses - prev.DuelLosses,
+		Backoffs:         s.Backoffs - prev.Backoffs,
+		BackoffSpins:     s.BackoffSpins - prev.BackoffSpins,
+		SpinAcquires:     s.SpinAcquires - prev.SpinAcquires,
+		BiasGrants:       s.BiasGrants - prev.BiasGrants,
+		BiasRevokes:      s.BiasRevokes - prev.BiasRevokes,
+		BiasWriteThrus:   s.BiasWriteThrus - prev.BiasWriteThrus,
+		BiasRevokeWaitNs: s.BiasRevokeWaitNs - prev.BiasRevokeWaitNs,
+		LockBytes:        s.LockBytes - prev.LockBytes,
+		RWSetBytes:       s.RWSetBytes - prev.RWSetBytes,
+		UndoEntries:      s.UndoEntries - prev.UndoEntries,
+		BufferBytes:      s.BufferBytes - prev.BufferBytes,
+		InitEntries:      s.InitEntries - prev.InitEntries,
+		TxnsMeasured:     s.TxnsMeasured - prev.TxnsMeasured,
 	}
 }
 

@@ -84,12 +84,30 @@ type Tx struct {
 	promoLog []promoRec
 	retries  uint32
 	rng      uint64
+	// biasLog records the biased reads of the current attempt (bias.go):
+	// words whose visibility this transaction published through its
+	// distributed reader slots instead of the shared lock-word CAS.
+	// Released in bulk by releaseBias at Commit and Reset.
+	biasLog []biasRead
 	// requeued remembers that this transaction's last contended
 	// acquisition went through the wait queue; its next spinAcquire then
 	// re-enqueues after the reschedule rounds instead of sleep-polling
 	// (promo.go). Deliberately not reset across Begin: the signal is
 	// about the worker's recent history, which transaction reuse tracks.
 	requeued bool
+	// biasDrainFailed is set while lockFor retries a write whose
+	// write-through drain timed out: the retry must go through the queue
+	// (revocation) to become deadlock-detector-visible, so spinAcquire
+	// must not write through the marker again. Cleared when the retry
+	// resolves; a stale true after an abort unwind only skips one
+	// write-through attempt, it cannot affect correctness.
+	biasDrainFailed bool
+	// spinBiased is set by spinAcquire when a read was granted through
+	// the bias slots mid-spin (tryBiasRead) rather than through the lock
+	// word: lockFor must then skip the lock-log append — the read is in
+	// biasLog and releaseBias owns its release. Consumed immediately
+	// after slowAcquire returns.
+	spinBiased bool
 
 	// Per-transaction counters, flushed to Runtime.Stats at end to keep
 	// the access fast path free of shared atomics. They accumulate across
@@ -101,6 +119,9 @@ type Tx struct {
 	nPromoted, nPromoWasted             uint64
 	nDuelLosses, nBackoffs              uint64
 	nBackoffSpins, nSpinAcquires        uint64
+	nBiasGrants, nBiasRevokes           uint64
+	nBiasWriteThrus                     uint64
+	nBiasRevokeWaitNs                   uint64
 	// Table 8 memory accounting, accumulated per attempt (accountMemory)
 	// and flushed with the counters.
 	accRWSetBytes, accUndoEntries, accInitEntries uint64
@@ -246,20 +267,43 @@ func (tx *Tx) lockFor(o *Object, slot int32, kind slotKind, lockID, site int32, 
 			return
 		}
 		// Read held, write needed: upgrade.
+	} else if len(tx.biasLog) != 0 && tx.hasBiasedRead(addr) {
+		// Already a visible reader through the bias slots.
+		if !write {
+			tx.nCheckOwned++
+			return
+		}
+		// Write after a biased read of the same word: an upgrade. The
+		// slot stays published (releasing it would drop read visibility
+		// mid-transaction); every write-grant drain check excludes our
+		// own slot, so the common case writes through the marker below,
+		// and the fallback enqueues this transaction as an upgrader —
+		// front of queue, U flag, structural duel detection.
 	} else if !write && tx.rt.promo.shouldPromote(site) {
 		// Adaptive write-intent promotion: this site's reads keep
 		// upgrading and losing duels, so acquire in write mode up front.
 		// Strictly stronger than the requested read lock — always safe.
 		write = true
 		tx.notePromoted(addr, site)
+	} else if !write && tx.rt.bias.shouldBias(site) && tx.tryBiasRead(addr, site) {
+		// Read-biased site: visibility is published through the reader
+		// slots — no shared CAS, no lock log entry; releaseBias clears
+		// the slot at commit.
+		return
 	}
 	// Step (4): try to lock, else enqueue. An installed queue normally
 	// forces the slow path, but a promoted site under bounded overtaking
 	// (promo.go) may CAS past it; the short-circuit keeps the overtake
-	// check (an atomic load) off the word's uncontended path.
+	// check (an atomic load) off the word's uncontended path. A biased
+	// word admits reads through the shared CAS always, and writes in
+	// production — the write-through of bias.go: W lands beside the
+	// marker and the drain wait below takes care of the published
+	// reader slots. A harness run keeps writers on the revocation path,
+	// which is the machinery schedules should explore.
 	tx.rt.yield(PointFastCAS)
 	acquired := false
-	if wordQueueID(w) == 0 || tx.overtakeOK(site) {
+	if wordQueueID(w) == 0 || (wordIsBiased(w) && (!write || tx.rt.hooks == nil)) ||
+		tx.overtakeOK(site) {
 		if nw, ok := grantWord(w, tx, write); ok {
 			if tx.rt.casWord(addr, w, nw, PointFastCAS) {
 				acquired = true
@@ -270,6 +314,29 @@ func (tx *Tx) lockFor(o *Object, slot int32, kind slotKind, lockID, site int32, 
 	}
 	if !acquired {
 		tx.slowAcquire(addr, site, write) // blocks; panics with *Aborted on defeat
+		if tx.spinBiased {
+			// The spin phase published the read through the bias slots
+			// instead of the lock word: biasLog owns it, no lock-log entry.
+			tx.spinBiased = false
+			return
+		}
+	}
+	if write && tx.rt.bias.everAny.Load() {
+		for wordIsBiased(atomic.LoadUint64(addr)) && !tx.biasWriteDrain(addr) {
+			// Write-through drain budget exhausted: some reader slot is
+			// not clearing, so its holder is likely blocked — possibly on
+			// a lock this transaction holds. Retract the write and take
+			// the queue path, which folds the slot holders into the
+			// published digest and makes the cycle visible to the
+			// deadlock detector. biasDrainFailed keeps the retry's spin
+			// phase from writing through the marker again (spinAcquire) —
+			// without it the retry could re-enter this loop forever and
+			// never reach the detector.
+			tx.biasWriteRetract(addr, owned)
+			tx.biasDrainFailed = true
+			tx.slowAcquire(addr, site, write)
+		}
+		tx.biasDrainFailed = false
 	}
 	tx.nAcq++
 	// The per-site acquire count is sampled 1-in-(profMask+1): the ticket
@@ -278,6 +345,7 @@ func (tx *Tx) lockFor(o *Object, slot int32, kind slotKind, lockID, site int32, 
 	// All other site counters are slow-path-only and stay exact.
 	if (tx.nAcq+tx.ticket)&tx.rt.profMask == 0 {
 		tx.chargeAcquire(site)
+		tx.noteBiasSample(site, write)
 	}
 	if !owned {
 		// An upgrade keeps its original log entry: the word was already
@@ -566,7 +634,9 @@ func (tx *Tx) releaseLocks() {
 				nw &^= wFlag
 			}
 			if tx.rt.casWord(addr, w, nw, PointReleaseCAS) {
-				if qid := wordQueueID(nw); qid != 0 {
+				// The bias marker is not a real queue (wordRealQueue);
+				// waking it would index past the queue table.
+				if qid := wordRealQueue(nw); qid != 0 {
 					dup := false
 					for _, wk := range wakes {
 						if wk.qid == qid && wk.addr == addr {
@@ -607,37 +677,50 @@ func (tx *Tx) accountMemory() {
 // flushCounters moves the per-transaction counters into the runtime
 // aggregate.
 func (tx *Tx) flushCounters() {
+	// Every add below is guarded on the counter being nonzero: a shared
+	// atomic add costs as much as the acquire itself on Table6AcqRls,
+	// while a predictable not-taken branch is near free, and on any given
+	// commit most counters are zero — a bias-read-only transaction, the
+	// hot case of a read-biased site, flushes two adds instead of twenty.
 	st := &tx.rt.stats
-	st.Init.Add(tx.nInit)
-	st.CheckNew.Add(tx.nCheckNew)
-	st.CheckOwned.Add(tx.nCheckOwned)
-	st.Acquire.Add(tx.nAcq)
-	st.Contended.Add(tx.nContended)
-	st.CASFail.Add(tx.nCASFail)
-	// The adaptation counters are all zero on the uncontended path; one
-	// branch keeps their six shared atomic adds off the fast-path commit
-	// (they cost as much as the acquire itself on Table6AcqRls).
+	flushNZ(&st.Init, &tx.nInit)
+	flushNZ(&st.CheckNew, &tx.nCheckNew)
+	flushNZ(&st.CheckOwned, &tx.nCheckOwned)
+	flushNZ(&st.Acquire, &tx.nAcq)
+	flushNZ(&st.Contended, &tx.nContended)
+	flushNZ(&st.CASFail, &tx.nCASFail)
+	// The adaptation counters are all zero on the uncontended non-biased
+	// path; one branch keeps their individual checks off it entirely.
 	if tx.nPromoted|tx.nPromoWasted|tx.nDuelLosses|
-		tx.nBackoffs|tx.nBackoffSpins|tx.nSpinAcquires != 0 {
-		st.Promotions.Add(tx.nPromoted)
-		st.PromoWasted.Add(tx.nPromoWasted)
-		st.DuelLosses.Add(tx.nDuelLosses)
-		st.Backoffs.Add(tx.nBackoffs)
-		st.BackoffSpins.Add(tx.nBackoffSpins)
-		st.SpinAcquires.Add(tx.nSpinAcquires)
-		tx.nPromoted, tx.nPromoWasted, tx.nDuelLosses = 0, 0, 0
-		tx.nBackoffs, tx.nBackoffSpins, tx.nSpinAcquires = 0, 0, 0
+		tx.nBackoffs|tx.nBackoffSpins|tx.nSpinAcquires|
+		tx.nBiasGrants|tx.nBiasRevokes|tx.nBiasWriteThrus != 0 {
+		flushNZ(&st.Promotions, &tx.nPromoted)
+		flushNZ(&st.PromoWasted, &tx.nPromoWasted)
+		flushNZ(&st.DuelLosses, &tx.nDuelLosses)
+		flushNZ(&st.Backoffs, &tx.nBackoffs)
+		flushNZ(&st.BackoffSpins, &tx.nBackoffSpins)
+		flushNZ(&st.SpinAcquires, &tx.nSpinAcquires)
+		flushNZ(&st.BiasGrants, &tx.nBiasGrants)
+		flushNZ(&st.BiasRevokes, &tx.nBiasRevokes)
+		flushNZ(&st.BiasWriteThrus, &tx.nBiasWriteThrus)
+		flushNZ(&st.BiasRevokeWaitNs, &tx.nBiasRevokeWaitNs)
 	}
-	tx.nInit, tx.nCheckNew, tx.nCheckOwned, tx.nAcq = 0, 0, 0, 0
-	tx.nContended, tx.nCASFail = 0, 0
 	if tx.accAttempts != 0 {
-		st.RWSetBytes.Add(tx.accRWSetBytes)
-		st.UndoEntries.Add(tx.accUndoEntries)
-		st.InitEntries.Add(tx.accInitEntries)
-		st.BufferBytes.Add(tx.accBufferBytes)
+		flushNZ(&st.RWSetBytes, &tx.accRWSetBytes)
+		flushNZ(&st.UndoEntries, &tx.accUndoEntries)
+		flushNZ(&st.InitEntries, &tx.accInitEntries)
+		flushNZ(&st.BufferBytes, &tx.accBufferBytes)
 		st.TxnsMeasured.Add(tx.accAttempts)
-		tx.accRWSetBytes, tx.accUndoEntries, tx.accInitEntries = 0, 0, 0
-		tx.accBufferBytes, tx.accAttempts = 0, 0
+		tx.accAttempts = 0
+	}
+}
+
+// flushNZ adds *src to dst and zeroes it, skipping the shared atomic
+// add when the local counter is zero.
+func flushNZ(dst *atomic.Uint64, src *uint64) {
+	if *src != 0 {
+		dst.Add(*src)
+		*src = 0
 	}
 }
 
@@ -658,6 +741,9 @@ func (tx *Tx) Commit() {
 		o.locks.Store(unallocSlab)
 	}
 	tx.releaseLocks()
+	if len(tx.biasLog) != 0 {
+		tx.releaseBias()
+	}
 	tx.releaseInevitable()
 	// Take ownership of the deferred callbacks before clearLogs zeroes
 	// the backing array (Commit is terminal, so losing the capacity here
@@ -709,6 +795,9 @@ func (tx *Tx) Reset() {
 		}
 	}
 	tx.releaseLocks()
+	if len(tx.biasLog) != 0 {
+		tx.releaseBias()
+	}
 	tx.clearLogs()
 	// Promotions of the aborted attempt are dropped unscored: the attempt
 	// never reached commit, so whether the promotion would have been
