@@ -325,11 +325,18 @@ func (tx *Tx) tryBiasRead(addr *uint64, site int32) bool {
 		if wordQueueID(w) != 0 {
 			return false
 		}
+		// Latch ever/everAny BEFORE installing the marker: once the CAS
+		// lands, another reader may publish+verify a slot and a concurrent
+		// write-through writer then consults everAny in its drain checks —
+		// if the latch landed after the CAS, that writer could read false
+		// and skip the slot scan while a verified biased reader is live. A
+		// stale true (CAS fails below) is conservative: it only enables
+		// extra slot scans.
+		rt.bias.at(site).ever.Store(true)
+		rt.bias.everAny.Store(true)
 		if !rt.casWord(addr, w, wordWithQueue(w, biasQID), PointBiasPublish) {
 			return false
 		}
-		rt.bias.at(site).ever.Store(true)
-		rt.bias.everAny.Store(true)
 	}
 	slot := rt.bias.slot(tx.id, addr)
 	if slot.Load() != nil {

@@ -310,7 +310,7 @@ func (tx *Tx) slowAcquire(addr *uint64, site int32, write bool) {
 			// visible readers exclude a writer exactly like holder bits.
 			w = atomic.LoadUint64(addr)
 			nw, ok := grantWord(w, tx, write)
-			if ok && write && !d.rt.bias.drainedExcept(addr, tx.id) {
+			if ok && write && d.rt != nil && !d.rt.bias.drainedExcept(addr, tx.id) {
 				if rt.hooks == nil && drainSpins < biasDrainSpinMax {
 					// Drain-spin: the slots belong to readers that are past
 					// their reads and only need processor time to commit and

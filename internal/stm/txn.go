@@ -693,7 +693,8 @@ func (tx *Tx) flushCounters() {
 	// path; one branch keeps their individual checks off it entirely.
 	if tx.nPromoted|tx.nPromoWasted|tx.nDuelLosses|
 		tx.nBackoffs|tx.nBackoffSpins|tx.nSpinAcquires|
-		tx.nBiasGrants|tx.nBiasRevokes|tx.nBiasWriteThrus != 0 {
+		tx.nBiasGrants|tx.nBiasRevokes|tx.nBiasWriteThrus|
+		tx.nBiasRevokeWaitNs != 0 {
 		flushNZ(&st.Promotions, &tx.nPromoted)
 		flushNZ(&st.PromoWasted, &tx.nPromoWasted)
 		flushNZ(&st.DuelLosses, &tx.nDuelLosses)
