@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-snapshot bench-compare tables examples clean ci fmt-check stress
+.PHONY: all build vet test race bench bench-snapshot bench-compare tables examples clean ci fmt-check stress serve-smoke
 
 all: build vet test
 
@@ -47,8 +47,11 @@ bench:
 # of write-intent promotion and abort backoff. BENCH_5.json: the suite
 # (now including the pure-reader read-fan mix) against the committed
 # BENCH_4 "after" numbers, isolating the effect of the adaptive
-# read-bias layer. CI runs this non-gating and uploads all four files.
-bench-snapshot:
+# read-bias layer. BENCH_6.json: open-loop serving — sbd-load boots a
+# real sbd-serve over TCP and sweeps arrival rates, recording achieved
+# throughput and latency percentiles per cell. CI runs this non-gating
+# and uploads every BENCH_*.json.
+bench-snapshot: bin/sbd-serve bin/sbd-load
 	$(GO) run ./cmd/sbd-bench -scale=1 -threads=1,2,4 \
 		-bench=sunflow,tomcat -json=BENCH_2.json
 	$(GO) run ./cmd/sbd-bench -scalability -ops=20000 \
@@ -57,6 +60,26 @@ bench-snapshot:
 		-baseline=BENCH_3.json -json=BENCH_4.json
 	$(GO) run ./cmd/sbd-bench -scalability -ops=20000 \
 		-baseline=BENCH_4.json -json=BENCH_5.json
+	./bin/sbd-load -spawn=bin/sbd-serve -seed=1 -conns=64 \
+		-rates=300,900,1800 -duration=3s -json=BENCH_6.json
+
+bin/sbd-serve: FORCE
+	@mkdir -p bin
+	$(GO) build -o $@ ./cmd/sbd-serve
+
+bin/sbd-load: FORCE
+	@mkdir -p bin
+	$(GO) build -o $@ ./cmd/sbd-load
+
+FORCE:
+
+# The serving smoke CI runs on every push/PR: boot a real sbd-serve,
+# drive a short deterministic open-loop burst against it, and fail on
+# any request error, non-2xx response, empty latency histogram, or
+# unclean SIGTERM drain.
+serve-smoke: bin/sbd-serve bin/sbd-load
+	./bin/sbd-load -spawn=bin/sbd-serve -seed=1 -conns=32 \
+		-rates=400 -duration=5s -smoke
 
 # Compare head benchmarks against a base git ref (default main),
 # benchstat-style via the stdlib-only cmd/sbd-benchcmp. Informational
@@ -66,13 +89,20 @@ BENCH_BASE    ?= main
 BENCH_PATTERN ?= BenchmarkTable6AcqRls|BenchmarkScalability
 BENCH_COUNT   ?= 3
 BENCH_TIME    ?= 0.5s
+# The base worktree is removed by a shell EXIT trap so a benchmark
+# failure (or ^C) mid-target cannot leave a stale .benchcmp-base behind
+# to break the next run; the leading remove clears one left by an older
+# Makefile or a kill -9.
 bench-compare:
-	rm -rf .benchcmp-base && git worktree add --force --detach .benchcmp-base $(BENCH_BASE)
-	cd .benchcmp-base && $(GO) test -run=NONE -bench '$(BENCH_PATTERN)' \
-		-benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . > $(CURDIR)/bench-base.txt || true
-	$(GO) test -run=NONE -bench '$(BENCH_PATTERN)' \
-		-benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . > bench-head.txt
-	git worktree remove --force .benchcmp-base
+	@git worktree remove --force .benchcmp-base 2>/dev/null; \
+		rm -rf .benchcmp-base; git worktree prune
+	git worktree add --force --detach .benchcmp-base $(BENCH_BASE)
+	trap 'git worktree remove --force .benchcmp-base 2>/dev/null; \
+			rm -rf .benchcmp-base; git worktree prune' EXIT; \
+		cd .benchcmp-base && $(GO) test -run=NONE -bench '$(BENCH_PATTERN)' \
+			-benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . > $(CURDIR)/bench-base.txt || true; \
+		cd $(CURDIR) && $(GO) test -run=NONE -bench '$(BENCH_PATTERN)' \
+			-benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . > bench-head.txt
 	$(GO) run ./cmd/sbd-benchcmp -gate 'Table6AcqRls' -threshold 5 bench-base.txt bench-head.txt
 
 # Regenerate every table and figure of the paper's evaluation into results/.
@@ -93,5 +123,5 @@ examples:
 	$(GO) run ./examples/pingpong
 
 clean:
-	rm -rf results test_output.txt bench_output.txt stress-failure.txt \
+	rm -rf results bin test_output.txt bench_output.txt stress-failure.txt \
 		bench-base.txt bench-head.txt .benchcmp-base

@@ -1,7 +1,8 @@
 // Webshop: the request-processing example of paper Figures 2 and 3.
 //
-// Two request threads process orders against a shared article inventory.
-// The example runs the workload twice:
+// The schema and order-processing routines live in internal/shop (the
+// same package cmd/sbd-serve runs as a long-lived server); this example
+// is the didactic two-request version. It runs the workload twice:
 //
 //   - Coarse sections (Figure 3a): one atomic section per request, so two
 //     requests touching the same article serialize for the whole request.
@@ -20,53 +21,9 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/shop"
 	"repro/internal/stm"
 )
-
-var articleClass = stm.NewClass("Article",
-	stm.FieldSpec{Name: "name", Kind: stm.KindStr, Final: true},
-	stm.FieldSpec{Name: "available", Kind: stm.KindWord},
-	stm.FieldSpec{Name: "sold", Kind: stm.KindWord},
-)
-
-var (
-	nameF      = articleClass.Field("name")
-	availableF = articleClass.Field("available")
-	soldF      = articleClass.Field("sold")
-)
-
-// position is one (article, quantity) line of an order.
-type position struct {
-	article  int
-	quantity int64
-}
-
-// processPosition is Figure 2's method: it cannot split (it does not
-// take the *core.Thread), so callers know their locked set survives it.
-func processPosition(tx *stm.Tx, a *stm.Object, quantity int64) bool {
-	if tx.ReadInt(a, availableF) < quantity {
-		return false
-	}
-	tx.WriteInt(a, availableF, tx.ReadInt(a, availableF)-quantity)
-	tx.WriteInt(a, soldF, tx.ReadInt(a, soldF)+quantity)
-	return true
-}
-
-// processRequest handles one order. With fine=false it runs entirely in
-// the caller's section (Figure 3a); with fine=true it has the canSplit
-// property and splits after each position (Figure 3b) — which is why it
-// takes the thread.
-func processRequest(th *core.Thread, articles []*stm.Object, order []position, fine bool) {
-	for _, pos := range order {
-		p := pos
-		th.Atomic(func(tx *stm.Tx) {
-			processPosition(tx, articles[p.article], p.quantity)
-		})
-		if fine {
-			th.Split()
-		}
-	}
-}
 
 func run(fine bool) (sold int64, sections uint64) {
 	rt := core.New()
@@ -75,16 +32,13 @@ func run(fine bool) (sold int64, sections uint64) {
 		tx := rt.STM().Begin()
 		defer tx.Commit()
 		for i := 0; i < 4; i++ {
-			a := tx.New(articleClass)
-			tx.WriteStr(a, nameF, fmt.Sprintf("article-%d", i))
-			tx.WriteInt(a, availableF, 100)
-			articles = append(articles, a)
+			articles = append(articles, shop.NewProduct(tx, fmt.Sprintf("article-%d", i), 100))
 		}
 	}()
 
-	orders := [][]position{
-		{{0, 2}, {1, 1}, {2, 3}},
-		{{2, 1}, {0, 4}, {3, 2}},
+	orders := [][]shop.Position{
+		{{Article: 0, Quantity: 2}, {Article: 1, Quantity: 1}, {Article: 2, Quantity: 3}},
+		{{Article: 2, Quantity: 1}, {Article: 0, Quantity: 4}, {Article: 3, Quantity: 2}},
 	}
 
 	rt.Main(func(th *core.Thread) {
@@ -92,7 +46,7 @@ func run(fine bool) (sold int64, sections uint64) {
 		for i, order := range orders {
 			o := order
 			kids = append(kids, th.Go(fmt.Sprintf("request-%d", i), func(c *core.Thread) {
-				processRequest(c, articles, o, fine)
+				shop.ProcessRequest(c, articles, o, fine)
 			}))
 		}
 		for _, k := range kids {
@@ -100,7 +54,7 @@ func run(fine bool) (sold int64, sections uint64) {
 		}
 		th.Atomic(func(tx *stm.Tx) {
 			for _, a := range articles {
-				sold += tx.ReadInt(a, soldF)
+				sold += tx.ReadInt(a, shop.ProductSold)
 			}
 		})
 	})

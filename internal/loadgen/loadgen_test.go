@@ -1,0 +1,183 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatalf("empty hist: count=%d p50=%v max=%v", h.Count(), h.Quantile(0.5), h.Max())
+	}
+}
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	// bucketFloor(bucket(v)) must be the floor of v's bucket, and bucket
+	// must be monotone: the log-linear mapping never reorders values.
+	prev := -1
+	for v := uint64(0); v < 1<<22; v += 97 {
+		b := bucket(v)
+		if b < prev {
+			t.Fatalf("bucket not monotone at %d: %d < %d", v, b, prev)
+		}
+		prev = b
+		if f := bucketFloor(b); f > v {
+			t.Fatalf("bucketFloor(%d)=%d exceeds value %d", b, f, v)
+		}
+		// Relative error bound: floor within 1/histMinors of the value.
+		if v >= histMinors {
+			if f := bucketFloor(b); float64(v-f)/float64(v) > 1.0/histMinors {
+				t.Fatalf("relative error at %d: floor %d", v, bucketFloor(b))
+			}
+		}
+	}
+	// Out-of-range values clamp to the last bucket instead of panicking.
+	if b := bucket(math.MaxUint64); b != histBuckets-1 {
+		t.Fatalf("max value bucket = %d", b)
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != n*time.Microsecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 5000 * time.Microsecond},
+		{0.99, 9900 * time.Microsecond},
+		{0.999, 9990 * time.Microsecond},
+	} {
+		got := h.Quantile(tc.q)
+		// The histogram reports bucket floors: conservative, within ~2×
+		// the 1/64 relative error of the true quantile.
+		lo := time.Duration(float64(tc.want) * (1 - 2.0/histMinors))
+		if got < lo || got > tc.want {
+			t.Fatalf("p%g = %v, want in [%v, %v]", tc.q*100, got, lo, tc.want)
+		}
+	}
+	if h.Quantile(1.0) < h.Quantile(0.999) {
+		t.Fatal("quantiles not monotone at the top")
+	}
+}
+
+func TestHistNegativeClamped(t *testing.T) {
+	var h Hist
+	h.Record(-time.Second)
+	if h.Count() != 1 || h.Quantile(0.5) != 0 {
+		t.Fatal("negative latency (clock skew) must clamp to zero, not wrap")
+	}
+}
+
+func TestPacerFixed(t *testing.T) {
+	p := NewPacer(1000, Fixed, 1)
+	for i := 1; i <= 5; i++ {
+		if got := p.Next(); got != time.Duration(i)*time.Millisecond {
+			t.Fatalf("arrival %d at %v, want %v", i, got, time.Duration(i)*time.Millisecond)
+		}
+	}
+}
+
+func TestPacerDeterministic(t *testing.T) {
+	a := NewPacer(500, Poisson, 42)
+	b := NewPacer(500, Poisson, 42)
+	c := NewPacer(500, Poisson, 43)
+	same, diff := true, false
+	for i := 0; i < 1000; i++ {
+		av := a.Next()
+		if av != b.Next() {
+			same = false
+		}
+		if av != c.Next() {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different schedules")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestPacerPoissonRate(t *testing.T) {
+	const (
+		rate = 1000.0
+		n    = 50000
+	)
+	p := NewPacer(rate, Poisson, 7)
+	var last time.Duration
+	for i := 0; i < n; i++ {
+		next := p.Next()
+		if next < last {
+			t.Fatalf("arrival schedule went backwards: %v after %v", next, last)
+		}
+		last = next
+	}
+	want := float64(n) / rate * float64(time.Second)
+	if got := float64(last); math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("after %d arrivals at %.0f/s: %v, want ~%v", n, rate, last, time.Duration(want))
+	}
+}
+
+func TestKeyPickerZipfSkew(t *testing.T) {
+	const (
+		n     = 16
+		picks = 20000
+	)
+	kp := NewKeyPicker(n, 1.2, 1)
+	counts := make([]int, n)
+	for i := 0; i < picks; i++ {
+		k := kp.Pick()
+		if k < 0 || k >= n {
+			t.Fatalf("pick %d out of range", k)
+		}
+		counts[k]++
+	}
+	for k := 1; k < n; k++ {
+		if counts[0] < counts[k] {
+			t.Fatalf("zipf skew missing: key 0 hit %d times, key %d hit %d", counts[0], k, counts[k])
+		}
+	}
+	if counts[0] < picks/4 {
+		t.Fatalf("hot key only %d/%d picks — not a hot key", counts[0], picks)
+	}
+}
+
+func TestKeyPickerUniform(t *testing.T) {
+	const (
+		n     = 8
+		picks = 8000
+	)
+	kp := NewKeyPicker(n, 0, 1)
+	counts := make([]int, n)
+	for i := 0; i < picks; i++ {
+		counts[kp.Pick()]++
+	}
+	for k, c := range counts {
+		if c < picks/n/2 || c > picks/n*2 {
+			t.Fatalf("uniform picker skewed: key %d hit %d/%d", k, c, picks)
+		}
+	}
+}
+
+func TestKeyPickerDeterministic(t *testing.T) {
+	a := NewKeyPicker(24, 1.2, 9)
+	b := NewKeyPicker(24, 1.2, 9)
+	for i := 0; i < 1000; i++ {
+		if a.Pick() != b.Pick() || a.Intn(100) != b.Intn(100) {
+			t.Fatal("same seed produced different key streams")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Dist selects the arrival process.
+type Dist string
+
+const (
+	// Poisson arrivals: exponentially distributed inter-arrival gaps —
+	// the memoryless process real user traffic approximates, and the one
+	// that exposes tail latency (bursts happen).
+	Poisson Dist = "poisson"
+	// Fixed arrivals: a constant inter-arrival gap; deterministic offered
+	// load for smoke tests and A/B runs.
+	Fixed Dist = "fixed"
+)
+
+// Pacer produces a deterministic open-loop arrival schedule: Next
+// returns successive arrival offsets (from the start of the run) for a
+// target rate. The schedule depends only on (rate, dist, seed), so two
+// runs with the same parameters offer identical load.
+type Pacer struct {
+	gap  float64 // mean inter-arrival gap in nanoseconds
+	dist Dist
+	rng  *rand.Rand
+	at   float64 // next arrival offset, ns
+}
+
+// NewPacer builds a pacer for rate arrivals per second.
+func NewPacer(rate float64, dist Dist, seed int64) *Pacer {
+	return &Pacer{
+		gap:  1e9 / rate,
+		dist: dist,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Next returns the next arrival offset from run start.
+func (p *Pacer) Next() time.Duration {
+	switch p.dist {
+	case Poisson:
+		p.at += p.gap * p.rng.ExpFloat64()
+	default:
+		p.at += p.gap
+	}
+	if p.at > math.MaxInt64 {
+		p.at = math.MaxInt64
+	}
+	return time.Duration(p.at)
+}
+
+// KeyPicker draws item keys, optionally Zipf-skewed. s <= 1 means
+// uniform; s > 1 uses the stdlib Zipf sampler (rank-frequency exponent
+// s), making key 0 the hot row every connection fights over.
+type KeyPicker struct {
+	n    int
+	zipf *rand.Zipf
+	rng  *rand.Rand
+}
+
+// NewKeyPicker builds a picker over keys [0, n).
+func NewKeyPicker(n int, s float64, seed int64) *KeyPicker {
+	rng := rand.New(rand.NewSource(seed))
+	kp := &KeyPicker{n: n, rng: rng}
+	if s > 1 {
+		kp.zipf = rand.NewZipf(rng, s, 1, uint64(n-1))
+	}
+	return kp
+}
+
+// Pick returns the next key.
+func (kp *KeyPicker) Pick() int {
+	if kp.zipf != nil {
+		return int(kp.zipf.Uint64())
+	}
+	return kp.rng.Intn(kp.n)
+}
+
+// Intn exposes the picker's deterministic stream for auxiliary choices
+// (operation mix, quantities) so one seed fixes a worker's whole run.
+func (kp *KeyPicker) Intn(n int) int { return kp.rng.Intn(n) }

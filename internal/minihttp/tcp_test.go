@@ -1,0 +1,97 @@
+package minihttp
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestNetConnWaitReadableBuffers(t *testing.T) {
+	local, peer := net.Pipe()
+	nc := NewNetConn(local)
+
+	go peer.Write([]byte("hello\n")) //nolint:errcheck
+	if !nc.WaitReadable() {
+		t.Fatal("WaitReadable returned false with bytes pending")
+	}
+	// A second WaitReadable must not consume or block: the bytes sit in
+	// the buffer until Read drains them.
+	if !nc.WaitReadable() {
+		t.Fatal("WaitReadable lost the buffered bytes")
+	}
+	buf := make([]byte, 16)
+	n, err := nc.Read(buf)
+	if err != nil || string(buf[:n]) != "hello\n" {
+		t.Fatalf("Read after WaitReadable: %q, %v", buf[:n], err)
+	}
+
+	// Peer hangs up: WaitReadable must report unreadable, and the error
+	// must be sticky across Read calls.
+	go peer.Close() //nolint:errcheck
+	if nc.WaitReadable() {
+		t.Fatal("WaitReadable true after peer close with empty buffer")
+	}
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("Read succeeded after peer close")
+	}
+	if nc.WaitReadable() {
+		t.Fatal("sticky error not reported by WaitReadable")
+	}
+}
+
+func TestNetConnPartialReadKeepsRemainder(t *testing.T) {
+	local, peer := net.Pipe()
+	nc := NewNetConn(local)
+
+	go peer.Write([]byte("abcdef")) //nolint:errcheck
+	if !nc.WaitReadable() {
+		t.Fatal("WaitReadable")
+	}
+	small := make([]byte, 2)
+	if n, err := nc.Read(small); err != nil || string(small[:n]) != "ab" {
+		t.Fatalf("first read: %q, %v", small[:n], err)
+	}
+	// Remainder still buffered: readable without touching the socket.
+	if !nc.WaitReadable() {
+		t.Fatal("remainder lost")
+	}
+	rest := make([]byte, 8)
+	if n, err := nc.Read(rest); err != nil || string(rest[:n]) != "cdef" {
+		t.Fatalf("second read: %q, %v", rest[:n], err)
+	}
+}
+
+// TestNetConnCloseUnblocksWaitReadable is the drain path: the server
+// force-closes an idle connection from another goroutine and the
+// handler thread parked in WaitReadable must come back (with false).
+func TestNetConnCloseUnblocksWaitReadable(t *testing.T) {
+	local, peer := net.Pipe()
+	defer peer.Close()
+	nc := NewNetConn(local)
+
+	got := make(chan bool, 1)
+	go func() { got <- nc.WaitReadable() }()
+	time.Sleep(10 * time.Millisecond) // let the goroutine park in the read
+	nc.Close()
+	select {
+	case readable := <-got:
+		if readable {
+			t.Fatal("WaitReadable reported readable on a closed conn")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock WaitReadable")
+	}
+}
+
+func TestNetConnWritePassesThrough(t *testing.T) {
+	local, peer := net.Pipe()
+	nc := NewNetConn(local)
+	go nc.Write([]byte("out")) //nolint:errcheck
+	buf := make([]byte, 8)
+	n, err := peer.Read(buf)
+	if err != nil || string(buf[:n]) != "out" {
+		t.Fatalf("peer read: %q, %v", buf[:n], err)
+	}
+	nc.Close()
+	peer.Close()
+}

@@ -10,6 +10,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -19,6 +20,17 @@ import (
 	"repro/internal/harness"
 	"repro/internal/stm"
 )
+
+// StatsJSON renders a stats snapshot as indented JSON (exported field
+// names as keys). It is the machine-readable sibling of Metrics: a
+// scraper diffs two snapshots instead of parsing Prometheus text.
+func StatsJSON(snap stm.StatsSnapshot) string {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return "{}\n" // StatsSnapshot is all integers; cannot happen
+	}
+	return string(data) + "\n"
+}
 
 // FormatRate renders an abort-rate-style ratio for tables. Infinite
 // rates (aborts with zero commits — total livelock) render as "inf",

@@ -14,6 +14,8 @@ import (
 //	/metrics  Prometheus text exposition (counters + per-site profile)
 //	/profile  per-site contention table, hottest first
 //	/events   flight-recorder dump, oldest first
+//	/stats    stm.StatsSnapshot as JSON (machine-readable deltas:
+//	          cmd/sbd-load scrapes it before/after a load cell)
 //
 // It speaks the minihttp wire format over in-memory listeners (the same
 // substrate the Tomcat workload uses) and plain HTTP/1.0 over TCP, so
@@ -43,8 +45,10 @@ func (s *Server) handle(path string) (status int, body string) {
 		return 200, ProfileTable(rt.Profile().Snapshot())
 	case "/events":
 		return 200, EventsDump(rt.Recorder())
+	case "/stats":
+		return 200, StatsJSON(rt.Stats().Snapshot())
 	default:
-		return 404, fmt.Sprintf("unknown path %s (try /metrics, /profile, /events)\n", path)
+		return 404, fmt.Sprintf("unknown path %s (try /metrics, /profile, /events, /stats)\n", path)
 	}
 }
 

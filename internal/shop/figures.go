@@ -1,0 +1,78 @@
+// Package shop is the webshop domain shared by examples/webshop,
+// cmd/sbd-serve, and the serving tests: the STM product schema and the
+// order-processing routines of paper Figures 2 and 3, plus the
+// transactional browse/add-to-cart/checkout request handlers that wire
+// internal/memdb (catalog, cart, and order tables behind the paper's
+// §5.3 database integration), internal/minihttp (wire format and page
+// templates), and internal/txio (buffered connection writes flushed at
+// commit, §4.4) into a long-running server.
+//
+// The split mirrors the paper's own layering: Figures 2/3 are the
+// didactic core (one inventory, two requests), and the Tomcat/H2
+// evaluation is the same logic run as a real server under load.
+package shop
+
+import (
+	"repro/internal/core"
+	"repro/internal/stm"
+)
+
+// ProductClass is the inventory schema of paper Figure 2: an immutable
+// name plus the two hot counters every sale updates.
+var ProductClass = stm.NewClass("shop.Product",
+	stm.FieldSpec{Name: "name", Kind: stm.KindStr, Final: true},
+	stm.FieldSpec{Name: "available", Kind: stm.KindWord},
+	stm.FieldSpec{Name: "sold", Kind: stm.KindWord},
+)
+
+var (
+	// ProductName, ProductAvailable, ProductSold are the field handles of
+	// ProductClass.
+	ProductName      = ProductClass.Field("name")
+	ProductAvailable = ProductClass.Field("available")
+	ProductSold      = ProductClass.Field("sold")
+)
+
+// NewProduct allocates a product with the given starting stock.
+func NewProduct(tx *stm.Tx, name string, stock int64) *stm.Object {
+	p := tx.New(ProductClass)
+	tx.WriteStr(p, ProductName, name)
+	tx.WriteInt(p, ProductAvailable, stock)
+	return p
+}
+
+// Position is one (article, quantity) line of an order.
+type Position struct {
+	Article  int
+	Quantity int64
+}
+
+// ProcessPosition is Figure 2's method: it cannot split (it does not
+// take the *core.Thread), so callers know their locked set survives it.
+// It reports whether the sale went through. The first read declares
+// write intent — both counters are written on success, and the explicit
+// intent keeps a contended hot row out of the read→upgrade duel.
+func ProcessPosition(tx *stm.Tx, p *stm.Object, quantity int64) bool {
+	if tx.ReadIntForWrite(p, ProductAvailable) < quantity {
+		return false
+	}
+	tx.WriteInt(p, ProductAvailable, tx.ReadInt(p, ProductAvailable)-quantity)
+	tx.WriteInt(p, ProductSold, tx.ReadInt(p, ProductSold)+quantity)
+	return true
+}
+
+// ProcessRequest handles one order against the product list. With
+// fine=false it runs entirely in the caller's section (Figure 3a); with
+// fine=true it has the canSplit property and splits after each position
+// (Figure 3b) — which is why it takes the thread.
+func ProcessRequest(th *core.Thread, products []*stm.Object, order []Position, fine bool) {
+	for _, pos := range order {
+		p := pos
+		th.Atomic(func(tx *stm.Tx) {
+			ProcessPosition(tx, products[p.Article], p.Quantity)
+		})
+		if fine {
+			th.Split()
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package txio
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stm"
+)
+
+// orderSink is a goroutine-safe io.ReadWriter whose Read is never used:
+// the Conn under test only flushes into it.
+type orderSink struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (s *orderSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(p)
+}
+
+func (s *orderSink) Read([]byte) (int, error) { panic("orderSink is write-only") }
+
+func (s *orderSink) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.String()
+}
+
+var orderCtrClass = stm.NewClass("txio.OrderCtr",
+	stm.FieldSpec{Name: "n", Kind: stm.KindWord},
+)
+
+var orderCtrN = orderCtrClass.Field("n")
+
+// TestConnFlushOrderMatchesCommitOrder is the §4.4 ordering property
+// under real concurrency: each transaction increments a shared counter
+// and writes the pre-increment value to a transactional connection in
+// two separate Write calls. Buffered output flushes at commit while the
+// counter's lock is still held, so the next transaction cannot even
+// read the counter before the previous one's bytes are out — the sink
+// must therefore hold every transaction's lines contiguously AND in
+// strictly increasing counter order, despite the committers racing.
+func TestConnFlushOrderMatchesCommitOrder(t *testing.T) {
+	const (
+		workers  = 8
+		sections = 50
+		total    = workers * sections
+	)
+	rt := core.New()
+	var sink orderSink
+	tc := NewConn(&sink)
+
+	var ctr *stm.Object
+	rt.Main(func(th *core.Thread) {
+		th.Atomic(func(tx *stm.Tx) {
+			ctr = tx.New(orderCtrClass)
+		})
+		th.Split()
+		kids := make([]*core.Thread, 0, workers)
+		for w := 0; w < workers; w++ {
+			kids = append(kids, th.Go("committer"+strconv.Itoa(w), func(wt *core.Thread) {
+				for i := 0; i < sections; i++ {
+					wt.Atomic(func(tx *stm.Tx) {
+						v := tx.ReadIntForWrite(ctr, orderCtrN)
+						tx.WriteInt(ctr, orderCtrN, v+1)
+						s := strconv.FormatInt(v, 10)
+						tc.WriteString(tx, "a"+s+"\n") //nolint:errcheck
+						tc.WriteString(tx, "b"+s+"\n") //nolint:errcheck
+					})
+					wt.Split()
+				}
+			}))
+		}
+		th.Split()
+		for _, k := range kids {
+			th.Join(k)
+		}
+	})
+
+	lines := strings.Split(strings.TrimSuffix(sink.String(), "\n"), "\n")
+	if len(lines) != 2*total {
+		t.Fatalf("got %d lines, want %d", len(lines), 2*total)
+	}
+	for i := 0; i < total; i++ {
+		want := strconv.Itoa(i)
+		if lines[2*i] != "a"+want || lines[2*i+1] != "b"+want {
+			t.Fatalf("lines %d,%d = %q,%q, want a%s,b%s (flush order diverged from commit order)",
+				2*i, 2*i+1, lines[2*i], lines[2*i+1], want, want)
+		}
+	}
+}
