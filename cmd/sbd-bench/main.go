@@ -138,6 +138,7 @@ type scalCell struct {
 	CASFails   uint64  `json:"cas_fails"`
 	Deadlocks  uint64  `json:"deadlocks"`
 	IDWaits    uint64  `json:"id_waits"`
+	SlotWaits  uint64  `json:"slot_waits,omitempty"`
 	// Read-bias counters; omitted from snapshots taken before the bias
 	// layer existed, so older baselines decode with zeros.
 	BiasGrants     uint64 `json:"bias_grants,omitempty"`
@@ -220,6 +221,7 @@ func runScalability() {
 				CASFails:       res.CASFails,
 				Deadlocks:      res.Deadlocks,
 				IDWaits:        res.IDWaits,
+				SlotWaits:      res.SlotWaits,
 				BiasGrants:     res.BiasGrants,
 				BiasRevokes:    res.BiasRevokes,
 				BiasWriteThrus: res.BiasWriteThrus,

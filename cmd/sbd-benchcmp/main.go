@@ -26,6 +26,7 @@ import (
 	"math"
 	"os"
 	"regexp"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -39,15 +40,24 @@ type sample struct {
 
 func (s sample) mean() float64 { return s.sum / float64(s.n) }
 
+// waitUnits are the slot-lease / transaction-ID wait counters some
+// benchmarks report via b.ReportMetric. Their deltas are printed as
+// extra rows, informational only — counters are too workload-shaped to
+// gate on, but a slot-wait count appearing where there was none flags a
+// concurrency-ceiling change no ns/op column would show.
+var waitUnits = []string{"slotwaits/run", "idwaits/run"}
+
 // parseFile extracts "Benchmark<Name>[-P] <iters> <value> ns/op ..."
-// lines. Repetitions of the same name accumulate.
-func parseFile(path string) (map[string]sample, error) {
+// lines. Repetitions of the same name accumulate. The second map holds
+// the wait-counter metrics, keyed "<name> <unit>".
+func parseFile(path string) (map[string]sample, map[string]sample, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
 	out := map[string]sample{}
+	waits := map[string]sample{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -55,25 +65,57 @@ func parseFile(path string) (map[string]sample, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		// Locate the ns/op pair; custom -benchtime metrics may precede or
-		// follow it.
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		// Walk the value/unit pairs; custom -benchtime metrics may precede
+		// or follow ns/op.
 		for i := 2; i+1 < len(fields); i++ {
-			if fields[i+1] != "ns/op" {
-				continue
-			}
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				break
+				continue
 			}
-			name := strings.TrimPrefix(fields[0], "Benchmark")
-			s := out[name]
-			s.sum += v
-			s.n++
-			out[name] = s
-			break
+			switch unit := fields[i+1]; {
+			case unit == "ns/op":
+				s := out[name]
+				s.sum += v
+				s.n++
+				out[name] = s
+			case slices.Contains(waitUnits, unit):
+				key := name + " " + unit
+				s := waits[key]
+				s.sum += v
+				s.n++
+				waits[key] = s
+			}
 		}
 	}
-	return out, sc.Err()
+	return out, waits, sc.Err()
+}
+
+// waitRows renders the wait-counter comparisons, new file's key order.
+func waitRows(old, cur map[string]sample) []row {
+	keys := make([]string, 0, len(cur))
+	for key := range cur {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	var rows []row
+	for _, key := range keys {
+		ns := cur[key]
+		r := row{name: key, oldNs: "-", newNs: fmt.Sprintf("%.1f", ns.mean()), delta: "new"}
+		if os_, ok := old[key]; ok {
+			r.oldNs = fmt.Sprintf("%.1f", os_.mean())
+			switch {
+			case os_.mean() != 0:
+				r.delta = fmt.Sprintf("%+.1f%%", (ns.mean()-os_.mean())/os_.mean()*100)
+			case ns.mean() == 0:
+				r.delta = "+0.0%"
+			default:
+				r.delta = "was 0"
+			}
+		}
+		rows = append(rows, r)
+	}
+	return rows
 }
 
 // row is one rendered comparison line.
@@ -178,12 +220,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sbd-benchcmp: bad -gate:", err)
 		os.Exit(2)
 	}
-	old, err := parseFile(flag.Arg(0))
+	old, oldWaits, err := parseFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sbd-benchcmp:", err)
 		os.Exit(2)
 	}
-	cur, err := parseFile(flag.Arg(1))
+	cur, curWaits, err := parseFile(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sbd-benchcmp:", err)
 		os.Exit(2)
@@ -243,6 +285,7 @@ func main() {
 		rows = append(rows, row{name: "geomean", oldNs: "", newNs: "", delta: fmt.Sprintf("%+.1f%%", gm)})
 	}
 	rows = append(rows, scalingRows(old, cur)...)
+	rows = append(rows, waitRows(oldWaits, curWaits)...)
 
 	if *markdown {
 		fmt.Println("| name | old ns/op | new ns/op | delta | |")

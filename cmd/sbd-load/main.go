@@ -9,7 +9,7 @@
 //
 // Each -rates cell runs for -duration, records per-request latency into
 // an HDR-style histogram, scrapes the server's /stats JSON before and
-// after (runtime counters: aborts, contention, ID-pool waits, bias),
+// after (runtime counters: aborts, contention, slot-lease waits, bias),
 // and reports p50/p99/p999/max, achieved txns/s, and error counts. -json
 // writes the cells as a BENCH_6-style snapshot in the sbd-bench
 // before/after schema (-baseline embeds an earlier snapshot as the
@@ -64,7 +64,8 @@ var (
 // cell (decoded from the obs /stats JSON endpoint).
 type statsSnap struct {
 	Commits, Aborts, Contended, CASFail      uint64
-	IDWaits, IDWaitNs, Deadlocks, Promotions uint64
+	IDWaits, IDWaitNs, SlotWaits, SlotWaitNs uint64
+	Deadlocks, Promotions                    uint64
 	BiasGrants, BiasRevokes, BiasWriteThrus  uint64
 }
 
@@ -73,6 +74,7 @@ func (a statsSnap) sub(b statsSnap) statsSnap {
 		Commits: a.Commits - b.Commits, Aborts: a.Aborts - b.Aborts,
 		Contended: a.Contended - b.Contended, CASFail: a.CASFail - b.CASFail,
 		IDWaits: a.IDWaits - b.IDWaits, IDWaitNs: a.IDWaitNs - b.IDWaitNs,
+		SlotWaits: a.SlotWaits - b.SlotWaits, SlotWaitNs: a.SlotWaitNs - b.SlotWaitNs,
 		Deadlocks: a.Deadlocks - b.Deadlocks, Promotions: a.Promotions - b.Promotions,
 		BiasGrants: a.BiasGrants - b.BiasGrants, BiasRevokes: a.BiasRevokes - b.BiasRevokes,
 		BiasWriteThrus: a.BiasWriteThrus - b.BiasWriteThrus,
@@ -109,6 +111,7 @@ type jsonCell struct {
 	CASFails       uint64  `json:"cas_fails"`
 	Deadlocks      uint64  `json:"deadlocks"`
 	IDWaits        uint64  `json:"id_waits"`
+	SlotWaits      uint64  `json:"slot_waits"`
 	BiasGrants     uint64  `json:"bias_grants,omitempty"`
 	BiasRevokes    uint64  `json:"bias_revokes,omitempty"`
 	BiasWriteThrus uint64  `json:"bias_write_thrus,omitempty"`
@@ -120,6 +123,7 @@ type jsonCell struct {
 	MaxNs         int64   `json:"max_ns,omitempty"`
 	Errors        uint64  `json:"errors,omitempty"`
 	IDWaitNs      uint64  `json:"id_wait_ns,omitempty"`
+	SlotWaitNs    uint64  `json:"slot_wait_ns,omitempty"`
 	Promotions    uint64  `json:"promotions,omitempty"`
 }
 
@@ -434,7 +438,7 @@ func main() {
 	}
 
 	after := jsonSnapshot{Tool: "sbd-load", Mode: "serving"}
-	tbl := harness.NewTable("Rate", "Txns/s", "Ops", "Err", "p50", "p99", "p999", "max", "Abr", "Con", "IDWait")
+	tbl := harness.NewTable("Rate", "Txns/s", "Ops", "Err", "p50", "p99", "p999", "max", "Abr", "Con", "SlotWait")
 	smokeFailures := []string{}
 	for i, rate := range rateList {
 		res := runCell(cs, mix, rate, d, *duration, *seed+int64(i)*104729, statsAddr)
@@ -446,7 +450,7 @@ func main() {
 			res.hist.Quantile(0.999).Round(time.Microsecond).String(),
 			res.hist.Max().Round(time.Microsecond).String(),
 			res.stats.Aborts, res.stats.Contended,
-			time.Duration(res.stats.IDWaitNs).Round(time.Microsecond).String())
+			time.Duration(res.stats.SlotWaitNs).Round(time.Microsecond).String())
 		after.Cells = append(after.Cells, jsonCell{
 			Mix:            fmt.Sprintf("open-loop/%s@%.0f", d, rate),
 			Threads:        *conns,
@@ -458,6 +462,7 @@ func main() {
 			CASFails:       res.stats.CASFail,
 			Deadlocks:      res.stats.Deadlocks,
 			IDWaits:        res.stats.IDWaits,
+			SlotWaits:      res.stats.SlotWaits,
 			BiasGrants:     res.stats.BiasGrants,
 			BiasRevokes:    res.stats.BiasRevokes,
 			BiasWriteThrus: res.stats.BiasWriteThrus,
@@ -468,6 +473,7 @@ func main() {
 			MaxNs:          res.hist.Max().Nanoseconds(),
 			Errors:         res.errors + res.non2xx + res.dropped,
 			IDWaitNs:       res.stats.IDWaitNs,
+			SlotWaitNs:     res.stats.SlotWaitNs,
 			Promotions:     res.stats.Promotions,
 		})
 		if *smoke {
@@ -490,6 +496,11 @@ func main() {
 			}
 			if statsAddr != "" && !res.statsValid {
 				smokeFailures = append(smokeFailures, fmt.Sprintf("rate %.0f: stats scrape failed", rate))
+			}
+			if n := res.stats.IDWaits; n > 0 {
+				// Identity is virtual: Begin must never block. Any overload
+				// waiting belongs in the slot-lease counters instead.
+				smokeFailures = append(smokeFailures, fmt.Sprintf("rate %.0f: %d ID waits (Begin blocked)", rate, n))
 			}
 		}
 	}

@@ -4,9 +4,10 @@
 // catalog/cart/order tables committing with the STM transaction (§5.3),
 // and response bytes buffered in the transactional connection wrapper
 // until commit (§4.4). Every accepted connection gets its own SBD
-// thread, so in-flight parallelism is bounded by the transaction-ID pool
-// only while requests are actually inside sections (ID-pool pressure
-// shows up as Stats.IDWaitNs, not as a connection cap).
+// thread; transaction identity is virtual, so Begin never blocks and
+// in-flight parallelism is bounded by the lock-word slot pool only
+// while requests actually hold locks (slot-lease pressure shows up as
+// Stats.SlotWaitNs, not as a connection cap).
 //
 // Endpoints (minihttp wire format, one request line per round trip):
 //
@@ -86,9 +87,9 @@ func main() {
 	tx := rt.STM().Begin()
 	served, orders := sh.Served(tx), sh.OrdersPlaced(tx)
 	tx.Commit()
-	fmt.Printf("sbd-serve: served=%d orders=%d commits=%d aborts=%d contended=%d idwait=%v\n",
+	fmt.Printf("sbd-serve: served=%d orders=%d commits=%d aborts=%d contended=%d slotwait=%v\n",
 		served, orders, snap.Commits, snap.Aborts, snap.Contended,
-		time.Duration(snap.IDWaitNs).Round(time.Microsecond))
+		time.Duration(snap.SlotWaitNs).Round(time.Microsecond))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sbd-serve: unclean shutdown: %v\n", err)
 		os.Exit(1)

@@ -12,6 +12,7 @@ package loadgen
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -82,14 +83,24 @@ func (h *Hist) Count() uint64 { return h.total.Load() }
 // Max returns the largest recorded value.
 func (h *Hist) Max() time.Duration { return time.Duration(h.max.Load()) }
 
-// Quantile returns the q-quantile (0 < q <= 1) as the floor of the
-// bucket holding the q-th observation; 0 when the histogram is empty.
+// Quantile returns the q-quantile as the floor of the bucket holding
+// the nearest-rank observation (the ceil(q*n)-th smallest, so the p50
+// of two observations is the first, not the second); 0 when the
+// histogram is empty. q is clamped into (0, 1]: out-of-range inputs
+// must not reach the float-to-uint64 rank conversion, whose behavior
+// on negative values silently produced a rank near the maximum.
 func (h *Hist) Quantile(q float64) time.Duration {
 	total := h.total.Load()
 	if total == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(total))
+	var rank uint64
+	if q > 0 {
+		if q > 1 {
+			q = 1
+		}
+		rank = uint64(math.Ceil(q*float64(total))) - 1
+	}
 	if rank >= total {
 		rank = total - 1
 	}

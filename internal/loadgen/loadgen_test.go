@@ -72,6 +72,36 @@ func TestHistQuantiles(t *testing.T) {
 	}
 }
 
+// TestHistQuantileOutOfRangeQ pins the clamping of q: a negative q used
+// to go through uint64(q*float64(total)), wrap to a huge rank, and
+// silently report ~max. Out-of-range q must clamp into (0, 1].
+func TestHistQuantileOutOfRangeQ(t *testing.T) {
+	var h Hist
+	h.Record(1 * time.Microsecond)
+	h.Record(1 * time.Millisecond)
+	if got, first := h.Quantile(-0.5), h.Quantile(0.001); got != first {
+		t.Fatalf("Quantile(-0.5) = %v, want the first observation %v (negative q wrapped the rank)", got, first)
+	}
+	if got, max := h.Quantile(1.5), h.Quantile(1.0); got != max {
+		t.Fatalf("Quantile(1.5) = %v, want the top quantile %v", got, max)
+	}
+}
+
+// TestHistQuantileNearestRank pins the nearest-rank definition: the
+// q-quantile is the ceil(q*n)-th smallest observation, so the p50 of
+// two observations is the first, not the second.
+func TestHistQuantileNearestRank(t *testing.T) {
+	var h Hist
+	h.Record(1 * time.Microsecond)
+	h.Record(1 * time.Millisecond)
+	if got := h.Quantile(0.5); got >= 1*time.Millisecond || got == 0 {
+		t.Fatalf("p50 of {1µs, 1ms} = %v, want the first observation's bucket", got)
+	}
+	if got := h.Quantile(1.0); got < 900*time.Microsecond {
+		t.Fatalf("p100 of {1µs, 1ms} = %v, want the second observation's bucket", got)
+	}
+}
+
 func TestHistNegativeClamped(t *testing.T) {
 	var h Hist
 	h.Record(-time.Second)

@@ -105,10 +105,14 @@ func Metrics(snap stm.StatsSnapshot, sites []stm.SiteProfile, rec *stm.FlightRec
 	counter("sbd_aborts_total", "Aborted transactions.", snap.Aborts)
 	counter("sbd_contended_acquires_total", "Lock acquisitions that had to enqueue.", snap.Contended)
 	counter("sbd_cas_failures_total", "Failed lock-word CAS attempts.", snap.CASFail)
-	counter("sbd_id_waits_total", "Begin calls that waited for a transaction ID.", snap.IDWaits)
-	fmt.Fprintf(&b, "# HELP sbd_id_wait_seconds_total Time Begin calls spent waiting for a transaction ID.\n")
+	counter("sbd_id_waits_total", "Begin calls that waited for a transaction ID (always 0 since identity went virtual; kept for dashboard compatibility).", snap.IDWaits)
+	fmt.Fprintf(&b, "# HELP sbd_id_wait_seconds_total Time Begin calls spent waiting for a transaction ID (always 0; see sbd_slot_wait_seconds_total).\n")
 	fmt.Fprintf(&b, "# TYPE sbd_id_wait_seconds_total counter\n")
 	fmt.Fprintf(&b, "sbd_id_wait_seconds_total %s\n", promFloat(float64(snap.IDWaitNs)/1e9))
+	counter("sbd_slot_waits_total", "Sections that parked waiting for a lock-word slot lease.", snap.SlotWaits)
+	fmt.Fprintf(&b, "# HELP sbd_slot_wait_seconds_total Time sections spent parked waiting for a lock-word slot lease.\n")
+	fmt.Fprintf(&b, "# TYPE sbd_slot_wait_seconds_total counter\n")
+	fmt.Fprintf(&b, "sbd_slot_wait_seconds_total %s\n", promFloat(float64(snap.SlotWaitNs)/1e9))
 	counter("sbd_deadlocks_total", "Deadlock cycles resolved.", snap.Deadlocks)
 	counter("sbd_inev_waits_total", "BecomeInevitable calls that waited for the token.", snap.InevWaits)
 	counter("sbd_promotions_total", "Reads adaptively promoted to write acquisitions.", snap.Promotions)

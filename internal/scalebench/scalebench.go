@@ -193,6 +193,7 @@ type Result struct {
 	CASFails  uint64
 	Deadlocks uint64
 	IDWaits   uint64
+	SlotWaits uint64
 	// Read-bias counters (bias.go): grants are reads served by the
 	// reader-slot path, revokes are writers tearing the bias down.
 	BiasGrants     uint64
@@ -254,6 +255,7 @@ func Run(m Mix, threads, totalOps int) Result {
 		CASFails:       snap.CASFail,
 		Deadlocks:      snap.Deadlocks,
 		IDWaits:        snap.IDWaits,
+		SlotWaits:      snap.SlotWaits,
 		BiasGrants:     snap.BiasGrants,
 		BiasRevokes:    snap.BiasRevokes,
 		BiasWriteThrus: snap.BiasWriteThrus,

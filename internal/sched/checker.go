@@ -21,8 +21,8 @@ import (
 // The checker is fed under the scheduler mutex; events from one runtime
 // arrive in a serial order consistent with the detector mutex.
 type checker struct {
-	tickets [stm.MaxTxns]uint64
-	began   [stm.MaxTxns]bool
+	// tickets maps virtual transaction IDs (unbounded) to begin tickets.
+	tickets map[int]uint64
 	queues  map[*uint64][]qentry
 }
 
@@ -32,14 +32,16 @@ type qentry struct {
 }
 
 func newChecker() *checker {
-	return &checker{queues: make(map[*uint64][]qentry)}
+	return &checker{
+		tickets: make(map[int]uint64),
+		queues:  make(map[*uint64][]qentry),
+	}
 }
 
 func (c *checker) observe(ev stm.Event) error {
 	switch ev.Kind {
 	case stm.EvBegin:
 		c.tickets[ev.TxID] = ev.Ticket
-		c.began[ev.TxID] = true
 
 	case stm.EvBlocked:
 		e := qentry{txID: ev.TxID, upgrader: ev.Upgrader}
@@ -133,10 +135,12 @@ func (c *checker) checkDuel(ev stm.Event) error {
 	if ev.Inev {
 		return nil // an inevitable survivor may be younger
 	}
-	if !c.began[victim] || !c.began[survivor] {
+	vt, vok := c.tickets[victim]
+	st, sok := c.tickets[survivor]
+	if !vok || !sok {
 		return nil // setup outside the harness; tickets unknown
 	}
-	if c.tickets[survivor] > c.tickets[victim] {
+	if st > vt {
 		return fmt.Errorf("duel: survivor tx %d (ticket %d) is younger than aborted tx %d (ticket %d)",
 			survivor, c.tickets[survivor], victim, c.tickets[victim])
 	}

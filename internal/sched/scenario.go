@@ -7,14 +7,14 @@ import (
 	"repro/internal/stm"
 )
 
-// Scenarios are workloads run under the scheduler. Four directed
+// Scenarios are workloads run under the scheduler. The directed
 // scenarios force the protocol corners the paper's correctness argument
 // rests on — a deadlock cycle, a dueling write-upgrade, a queue
-// handoff, ID-pool exhaustion — so every round exercises them
-// regardless of what the random walk happens to hit; a fifth randomized
-// transfer workload explores everything else (abort/undo consistency,
-// mixed read/write contention) under the schedule and faults the policy
-// chooses.
+// handoff, slot-pool exhaustion and lease handoff — so every round
+// exercises them regardless of what the random walk happens to hit; a
+// randomized transfer workload explores everything else (abort/undo
+// consistency, mixed read/write contention) under the schedule and
+// faults the policy chooses.
 
 // Scenario is one workload: Build creates the worker bodies against a
 // fresh runtime and returns an optional post-run consistency check
@@ -314,8 +314,12 @@ func ScenarioShardedRelease() Scenario {
 }
 
 // ScenarioIDPool runs three workers against a runtime capped at two
-// concurrent transactions, forcing Begin to park on the exhausted ID
-// pool and resume on EvIDRelease.
+// lock-word slots. Begin itself never blocks (identity is virtual), but
+// each increment's first lock acquisition must lease a slot, so the
+// third section in flight parks in the slot pool's overflow tier and
+// resumes on a lease handoff (EvSlotGrant). The name predates the
+// identity split; it keeps its list position so per-index policy seeds
+// are stable.
 func ScenarioIDPool() Scenario {
 	return Scenario{
 		Name:    "idpool",
@@ -578,6 +582,78 @@ func ScenarioBiasRevoke() Scenario {
 	}
 }
 
+// ScenarioSlotLease forces slot-lease exhaustion with a choreographed
+// handoff: a runtime capped at two slots, two holders that keep their
+// slots (locks held) until both overflow waiters are provably parked in
+// the slot pool, then commit. The releases must hand the two leases to
+// the waiters in FIFO order without losing a wakeup — a lost handoff
+// shows up as a global stall, a double-grant trips the pool's lease
+// invariant, and the post-run check asserts every section committed and
+// that the overflow tier was actually exercised.
+func ScenarioSlotLease() Scenario {
+	return Scenario{
+		Name:    "slot-lease",
+		MaxTxns: 2,
+		Build: func(rt *stm.Runtime, s *Scheduler) ([]Worker, func() error) {
+			objs := make([]*stm.Object, 4)
+			for i := range objs {
+				objs[i] = stm.NewCommitted(cellClass)
+			}
+			s.Watch(objs...)
+			wid := [4]int{-1, -1, -1, -1} // written before the barrier, read after
+			mkHolder := func(i int) Worker {
+				o := objs[i]
+				return Worker{Name: fmt.Sprintf("sl-h%d", i), Body: func() {
+					arm := true
+					Retry(s, rt, func(tx *stm.Tx) {
+						tx.WriteWord(o, cellV, tx.ReadWord(o, cellV)+1) // leases a slot
+						if arm {
+							arm = false
+							s.Barrier("sl-held", 4)
+							// Exactly one holder observes the waiters parking
+							// (after the first handoff the observation would
+							// never re-fire); the other holds its slot at the
+							// second barrier until the observation is done, so
+							// both commits are real lease handoffs.
+							if i == 0 {
+								s.AwaitSlotBlocked(wid[2])
+								s.AwaitSlotBlocked(wid[3])
+							}
+							s.Barrier("sl-go", 2)
+						}
+					})
+				}}
+			}
+			mkWaiter := func(i int) Worker {
+				o := objs[i]
+				return Worker{Name: fmt.Sprintf("sl-w%d", i), Body: func() {
+					arm := true
+					Retry(s, rt, func(tx *stm.Tx) {
+						wid[i] = tx.ID() // Begin is identity-only: no slot yet
+						if arm {
+							arm = false
+							s.Barrier("sl-held", 4)
+						}
+						tx.WriteWord(o, cellV, tx.ReadWord(o, cellV)+1) // parks for a lease
+					})
+				}}
+			}
+			post := func() error {
+				for i, o := range objs {
+					if v := stm.CommittedWord(o, cellV); v != 1 {
+						return fmt.Errorf("slot-lease scenario: object %d = %d, want 1 (lost section)", i, v)
+					}
+				}
+				if snap := rt.Stats().Snapshot(); snap.SlotWaits < 2 {
+					return fmt.Errorf("slot-lease scenario: SlotWaits = %d, want >= 2 (overflow tier not exercised)", snap.SlotWaits)
+				}
+				return nil
+			}
+			return []Worker{mkHolder(0), mkHolder(1), mkWaiter(2), mkWaiter(3)}, post
+		},
+	}
+}
+
 // RoundScenarios returns the scenario list of one stress round.
 func RoundScenarios(seed uint64) []Scenario {
 	return []Scenario{
@@ -594,6 +670,7 @@ func RoundScenarios(seed uint64) []Scenario {
 		// above stay what they were before the storm existed.
 		ScenarioUpgradeStorm(),
 		ScenarioBiasRevoke(),
+		ScenarioSlotLease(),
 	}
 }
 

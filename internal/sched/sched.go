@@ -56,9 +56,12 @@ type goroutineState struct {
 	// awaitTx, when >= 0, parks the goroutine until that transaction
 	// enqueues on a lock (AwaitBlocked).
 	awaitTx int
-	barrier string
+	// awaitSlotTx, when >= 0, parks the goroutine until that transaction
+	// enters the slot pool's overflow tier (AwaitSlotBlocked).
+	awaitSlotTx int
+	barrier     string
 	// lastBlock is the yield point of the most recent Block; targeted
-	// wakes (ID pool, inevitability token) match on it.
+	// wakes (slot pool, inevitability token) match on it.
 	lastBlock stm.YieldPoint
 }
 
@@ -89,15 +92,22 @@ type Scheduler struct {
 	cfg    Config
 	failed atomic.Bool
 
-	mu        sync.Mutex
-	gs        []*goroutineState
-	byGID     map[uint64]*goroutineState
-	byTx      [stm.MaxTxns]*goroutineState
-	blockedTx [stm.MaxTxns]bool
-	barriers  map[string][]*goroutineState
-	nLive     int
-	errs      []error
-	done      chan error
+	mu    sync.Mutex
+	gs    []*goroutineState
+	byGID map[uint64]*goroutineState
+	// byTx maps a transaction's virtual ID to the worker running it.
+	// Virtual IDs are unbounded, so these are maps, not [MaxTxns] arrays;
+	// entries are dropped when the transaction ends.
+	byTx map[int]*goroutineState
+	// blockedTx marks virtual IDs currently enqueued on a lock queue;
+	// slotWaitTx marks virtual IDs parked in the slot pool's overflow
+	// tier.
+	blockedTx  map[int]bool
+	slotWaitTx map[int]bool
+	barriers   map[string][]*goroutineState
+	nLive      int
+	errs       []error
+	done       chan error
 
 	rt      *stm.Runtime
 	watched []*stm.Object
@@ -125,13 +135,15 @@ type Coverage struct {
 	Backoffs      int // backed-off retries (EvBackoff)
 	BiasGrants    int // biased reader-slot grants (EvBiased)
 	BiasRevokes   int // read-bias revocations by writers (EvBiasRevoke)
+	SlotWaits     int // sections parked in the slot pool's overflow tier (EvSlotWait)
+	SlotGrants    int // slot leases handed to overflow-tier waiters (EvSlotGrant)
 	Commits       int
 	Aborts        int
 }
 
 func (c Coverage) String() string {
-	return fmt.Sprintf("deadlocks=%d duels=%d grants=%d blocked=%d casfail=%d delayed=%d redeliver=%d spurious=%d promoted=%d backoffs=%d biased=%d revoked=%d commits=%d aborts=%d",
-		c.Deadlocks, c.Duels, c.Grants, c.Blocked, c.CASFails, c.DelayedGrants, c.Redeliveries, c.SpuriousWakes, c.Promotions, c.Backoffs, c.BiasGrants, c.BiasRevokes, c.Commits, c.Aborts)
+	return fmt.Sprintf("deadlocks=%d duels=%d grants=%d blocked=%d casfail=%d delayed=%d redeliver=%d spurious=%d promoted=%d backoffs=%d biased=%d revoked=%d slotwaits=%d slotgrants=%d commits=%d aborts=%d",
+		c.Deadlocks, c.Duels, c.Grants, c.Blocked, c.CASFails, c.DelayedGrants, c.Redeliveries, c.SpuriousWakes, c.Promotions, c.Backoffs, c.BiasGrants, c.BiasRevokes, c.SlotWaits, c.SlotGrants, c.Commits, c.Aborts)
 }
 
 // Add accumulates c2 into c.
@@ -148,6 +160,8 @@ func (c *Coverage) Add(c2 Coverage) {
 	c.Backoffs += c2.Backoffs
 	c.BiasGrants += c2.BiasGrants
 	c.BiasRevokes += c2.BiasRevokes
+	c.SlotWaits += c2.SlotWaits
+	c.SlotGrants += c2.SlotGrants
 	c.Commits += c2.Commits
 	c.Aborts += c2.Aborts
 }
@@ -165,13 +179,13 @@ func New(cfg Config) *Scheduler {
 		cfg.CheckEvery = 64
 	}
 	s := &Scheduler{
-		cfg:      cfg,
-		byGID:    make(map[uint64]*goroutineState),
-		barriers: make(map[string][]*goroutineState),
-		check:    newChecker(),
-	}
-	for i := range s.byTx {
-		s.byTx[i] = nil
+		cfg:        cfg,
+		byGID:      make(map[uint64]*goroutineState),
+		byTx:       make(map[int]*goroutineState),
+		blockedTx:  make(map[int]bool),
+		slotWaitTx: make(map[int]bool),
+		barriers:   make(map[string][]*goroutineState),
+		check:      newChecker(),
 	}
 	return s
 }
@@ -274,7 +288,7 @@ func (s *Scheduler) Run(workers ...Worker) error {
 	s.done = make(chan error, 1)
 	var reg sync.WaitGroup
 	for i, w := range workers {
-		g := &goroutineState{idx: i, name: w.Name, token: make(chan struct{}, 1), state: gReady, awaitTx: -1}
+		g := &goroutineState{idx: i, name: w.Name, token: make(chan struct{}, 1), state: gReady, awaitTx: -1, awaitSlotTx: -1}
 		s.gs = append(s.gs, g)
 		s.nLive++
 		reg.Add(1)
@@ -499,11 +513,12 @@ func (s *Scheduler) Yield(p stm.YieldPoint) {
 		if s.cfg.Policy.Fault(FaultSpurious) {
 			s.mu.Lock()
 			s.recordLocked(Decision{Kind: DecFault, FKind: FaultSpurious, Fault: true})
+			// Deterministic target: the lowest blocked virtual ID (maps
+			// iterate in random order, so take the min explicitly).
 			target := -1
-			for id := 0; id < stm.MaxTxns; id++ {
-				if s.blockedTx[id] {
+			for id, b := range s.blockedTx {
+				if b && (target < 0 || id < target) {
 					target = id
-					break
 				}
 			}
 			s.mu.Unlock()
@@ -677,6 +692,10 @@ func (s *Scheduler) Event(ev stm.Event) {
 		}
 	case stm.EvCommit:
 		s.cov.Commits++
+		// The transaction is over; drop its VID binding (the slot release,
+		// if any, carries its own event and needs no byTx lookup). Keeping
+		// the map bounded matters now that VIDs are unbounded.
+		delete(s.byTx, ev.TxID)
 	case stm.EvReset:
 		s.cov.Aborts++
 		// An abort unwind never parks between its wake event and the
@@ -685,13 +704,25 @@ func (s *Scheduler) Event(ev stm.Event) {
 		if g != nil {
 			g.pendingWake = false
 		}
-	case stm.EvIDRelease:
-		s.byTx[ev.TxID] = nil
+	case stm.EvSlotRelease:
+		delete(s.byTx, ev.TxID)
+	case stm.EvSlotWait:
+		s.cov.SlotWaits++
+		s.slotWaitTx[ev.TxID] = true
 		for _, og := range s.gs {
-			if og.state == gBlocked && og.blockPointIs(stm.PointIDWait) {
+			if og.awaitSlotTx == ev.TxID {
+				og.awaitSlotTx = -1
 				s.wakeLocked(og)
 			}
 		}
+	case stm.EvSlotGrant:
+		// A direct lease handoff: the releaser already placed the slot in
+		// the waiter's channel, so exactly the recipient becomes wakeable
+		// (broadcasting would manufacture spurious wake-ups the policy
+		// never asked for).
+		s.cov.SlotGrants++
+		delete(s.slotWaitTx, ev.TxID)
+		s.wakeLocked(s.byTx[ev.TxID])
 	case stm.EvInevRelease:
 		for _, og := range s.gs {
 			if og.state == gBlocked && og.blockPointIs(stm.PointInevWait) {
@@ -709,10 +740,10 @@ func (s *Scheduler) Event(ev stm.Event) {
 		}
 	case stm.EvGranted:
 		s.cov.Grants++
-		s.blockedTx[ev.TxID] = false
+		delete(s.blockedTx, ev.TxID)
 		s.wakeLocked(s.byTx[ev.TxID])
 	case stm.EvAbortWaiter:
-		s.blockedTx[ev.TxID] = false
+		delete(s.blockedTx, ev.TxID)
 		// A running target is the self-victim path in slowAcquire: the
 		// goroutine dequeues itself and unwinds by panic without ever
 		// parking, so recording a pending wake here would later pair a
@@ -835,6 +866,30 @@ func (s *Scheduler) AwaitBlocked(txID int) {
 		return
 	}
 	g.awaitTx = txID
+	g.state = gBlocked
+	s.handoffLocked(g, PointWorkload)
+	s.mu.Unlock()
+	<-g.token
+}
+
+// AwaitSlotBlocked parks the caller until transaction txID is parked in
+// the slot pool's overflow tier (it returns immediately if it already
+// is). Scenarios use it to force "waiter is queued for a slot lease
+// before a holder releases one" interleavings.
+func (s *Scheduler) AwaitSlotBlocked(txID int) {
+	if s.failed.Load() {
+		return
+	}
+	g := s.current()
+	if g == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.slotWaitTx[txID] {
+		s.mu.Unlock()
+		return
+	}
+	g.awaitSlotTx = txID
 	g.state = gBlocked
 	s.handoffLocked(g, PointWorkload)
 	s.mu.Unlock()

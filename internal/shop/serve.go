@@ -58,9 +58,10 @@ func (s *Shop) ServeConn(w *core.Thread, conn minihttp.Stream, slot int, drainin
 
 // Server runs a Shop behind a real TCP accept loop: one SBD thread per
 // connection (the thousands-of-in-flight-requests shape of the paper's
-// Tomcat scenario — transaction IDs are only held inside sections, so
-// connection count is bounded by sockets, not by MaxTxns, and ID-pool
-// pressure surfaces as Stats.IDWaitNs instead of a hard cap).
+// Tomcat scenario — transaction identity is virtual so Begin never
+// blocks, lock-word slots are only leased while a section holds locks,
+// and slot-lease pressure surfaces as Stats.SlotWaitNs instead of a
+// hard cap).
 type Server struct {
 	rt   *core.Runtime
 	shop *Shop

@@ -338,7 +338,7 @@ func (tx *Tx) tryBiasRead(addr *uint64, site int32) bool {
 			return false
 		}
 	}
-	slot := rt.bias.slot(tx.id, addr)
+	slot := rt.bias.slot(tx.slot, addr)
 	if slot.Load() != nil {
 		return false // stripe collision within this transaction
 	}
@@ -366,7 +366,7 @@ func (tx *Tx) tryBiasRead(addr *uint64, site int32) bool {
 		tx.profAt(site).biasGrants += uint32(rt.profMask + 1)
 	}
 	if rt.wantsEvent(EvBiased) {
-		rt.event(Event{Kind: EvBiased, TxID: tx.id, Ticket: tx.ticket, Addr: addr})
+		rt.event(Event{Kind: EvBiased, TxID: tx.vid, Ticket: tx.ticket, Addr: addr})
 	}
 	return true
 }
@@ -405,7 +405,7 @@ func (tx *Tx) releaseBias() {
 func (tx *Tx) biasWriteDrain(addr *uint64) bool {
 	rt := tx.rt
 	for i := 0; i < biasDrainSpinMax; i++ {
-		if rt.bias.drainedExcept(addr, tx.id) {
+		if rt.bias.drainedExcept(addr, tx.slot) {
 			tx.nBiasWriteThrus++
 			return true
 		}
@@ -453,11 +453,11 @@ func (tx *Tx) biasWriteRetract(addr *uint64, keepBit bool) {
 func (tx *Tx) noteBiasRevoke(addr *uint64, site int32, qid int) {
 	tx.nBiasRevokes++
 	tx.profAt(site).biasRevokes++
-	if tx.rt.bias.drainedExcept(addr, tx.id) {
+	if tx.rt.bias.drainedExcept(addr, tx.slot) {
 		tx.rt.bias.at(site).add(-biasEmptyRevokePen)
 	}
 	if tx.rt.wantsEvent(EvBiasRevoke) {
-		tx.rt.event(Event{Kind: EvBiasRevoke, TxID: tx.id, Ticket: tx.ticket, Addr: addr, QID: qid})
+		tx.rt.event(Event{Kind: EvBiasRevoke, TxID: tx.vid, Ticket: tx.ticket, Addr: addr, QID: qid})
 	}
 }
 

@@ -359,38 +359,60 @@ func TestConcurrentCounterIsSerializable(t *testing.T) {
 	check.Commit()
 }
 
-func TestTransactionIDPoolLimit(t *testing.T) {
+// TestSlotLeaseLimit pins the virtual-ID semantics: Begin never blocks
+// on the bounded slot pool — only a section's first lock acquisition
+// does, and only while more than MaxConcurrentTxns sections hold locks.
+func TestSlotLeaseLimit(t *testing.T) {
 	rt := NewRuntimeOpts(Options{MaxConcurrentTxns: 2})
+	c := NewClass("SlotLim", FieldSpec{Name: "v", Kind: KindWord})
+	v := c.Field("v")
+	a, b, d := NewCommitted(c), NewCommitted(c), NewCommitted(c)
+
 	tx1 := rt.Begin()
 	tx2 := rt.Begin()
-	if rt.ActiveTxns() != 2 {
-		t.Fatalf("ActiveTxns = %d, want 2", rt.ActiveTxns())
+	// A third Begin proceeds immediately: identity is virtual, unbounded.
+	tx3 := rt.Begin()
+	if rt.ActiveTxns() != 3 {
+		t.Fatalf("ActiveTxns = %d, want 3", rt.ActiveTxns())
+	}
+	tx1.WriteInt(a, v, 1)
+	tx2.WriteInt(b, v, 1)
+	if got := rt.LeasedSlots(); got != 2 {
+		t.Fatalf("LeasedSlots = %d, want 2", got)
 	}
 
-	got := make(chan *Tx)
-	go func() { got <- rt.Begin() }()
+	// tx3's first lock acquisition must park in the overflow tier until
+	// a lock-holding section ends.
+	got := make(chan struct{})
+	go func() {
+		tx3.WriteInt(d, v, 1)
+		close(got)
+	}()
 	select {
 	case <-got:
-		t.Fatal("third Begin proceeded past the ID limit")
+		t.Fatal("third section acquired a lock past the slot limit")
 	case <-time.After(50 * time.Millisecond):
 	}
 	tx1.Commit()
-	var tx3 *Tx
 	select {
-	case tx3 = <-got:
+	case <-got:
 	case <-time.After(2 * time.Second):
-		t.Fatal("Begin never unblocked after an ID was freed")
+		t.Fatal("section never unblocked after a slot lease was released")
 	}
 	tx2.Commit()
 	tx3.Commit()
 	snap := rt.Stats().Snapshot()
-	if snap.IDWaits == 0 {
-		t.Fatal("ID wait not counted")
+	if snap.SlotWaits == 0 {
+		t.Fatal("slot wait not counted")
 	}
-	// The third Begin was parked for at least the 50ms probe window, so
-	// the pool must have charged a visible amount of wait time.
-	if snap.IDWaitNs < uint64(25*time.Millisecond) {
-		t.Fatalf("IDWaitNs = %d, want at least 25ms of charged pool wait", snap.IDWaitNs)
+	// The third section was parked for at least the 50ms probe window,
+	// so the pool must have charged a visible amount of wait time.
+	if snap.SlotWaitNs < uint64(25*time.Millisecond) {
+		t.Fatalf("SlotWaitNs = %d, want at least 25ms of charged pool wait", snap.SlotWaitNs)
+	}
+	// Begin itself never waited on identity.
+	if snap.IDWaits != 0 || snap.IDWaitNs != 0 {
+		t.Fatalf("IDWaits/IDWaitNs = %d/%d, want 0/0 (Begin must not block)", snap.IDWaits, snap.IDWaitNs)
 	}
 }
 

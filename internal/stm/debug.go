@@ -34,7 +34,7 @@ func (d *debugLog) printf(format string, args ...any) {
 	d.mu.Unlock()
 }
 
-// maskIDs renders a transaction bit set as a list of IDs.
+// maskIDs renders a lock-word slot bit set as a list of slot indexes.
 func maskIDs(mask uint64) string {
 	if mask == 0 {
 		return "-"
@@ -58,10 +58,10 @@ func (d *debugLog) blocked(tx *Tx, addr *uint64, write bool, holders uint64, que
 	}
 	var waiting []string
 	for _, wt := range queue.waiters {
-		waiting = append(waiting, fmt.Sprintf("%d", wt.tx.id))
+		waiting = append(waiting, fmt.Sprintf("%d", wt.tx.vid))
 	}
-	d.printf("txn %d (ticket %d) blocked for %s of lock %p: holders={%s} queue=[%s]",
-		tx.id, tx.ticket, mode, addr, maskIDs(holders), strings.Join(waiting, ","))
+	d.printf("txn %d (ticket %d) blocked for %s of lock %p: holder-slots={%s} queue=[%s]",
+		tx.vid, tx.ticket, mode, addr, maskIDs(holders), strings.Join(waiting, ","))
 }
 
 func (d *debugLog) granted(tx *Tx, addr *uint64, write bool) {
@@ -72,7 +72,7 @@ func (d *debugLog) granted(tx *Tx, addr *uint64, write bool) {
 	if write {
 		mode = "write"
 	}
-	d.printf("txn %d granted %s of lock %p from queue", tx.id, mode, addr)
+	d.printf("txn %d granted %s of lock %p from queue", tx.vid, mode, addr)
 }
 
 func (d *debugLog) deadlock(cycle []*waiter, victim *waiter) {
@@ -81,10 +81,10 @@ func (d *debugLog) deadlock(cycle []*waiter, victim *waiter) {
 	}
 	var ids []string
 	for _, m := range cycle {
-		ids = append(ids, fmt.Sprintf("%d(t%d)", m.tx.id, m.tx.ticket))
+		ids = append(ids, fmt.Sprintf("%d(t%d)", m.tx.vid, m.tx.ticket))
 	}
 	d.printf("deadlock cycle [%s]; aborting youngest txn %d (ticket %d)",
-		strings.Join(ids, " -> "), victim.tx.id, victim.tx.ticket)
+		strings.Join(ids, " -> "), victim.tx.vid, victim.tx.ticket)
 }
 
 func (d *debugLog) duel(aborted, survivor *Tx) {
@@ -92,5 +92,5 @@ func (d *debugLog) duel(aborted, survivor *Tx) {
 		return
 	}
 	d.printf("dueling write-upgrade: aborting txn %d (ticket %d), txn %d (ticket %d) proceeds",
-		aborted.id, aborted.ticket, survivor.id, survivor.ticket)
+		aborted.vid, aborted.ticket, survivor.vid, survivor.ticket)
 }

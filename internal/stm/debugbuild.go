@@ -1,0 +1,9 @@
+//go:build !sbddebug
+
+package stm
+
+// debugInvariants gates the extra structural assertions on the
+// detector's hot paths (e.g. queue-ID range checks at queue install).
+// Off in normal builds; `go build -tags sbddebug` (used by the nightly
+// stress job) turns them into panics.
+const debugInvariants = false

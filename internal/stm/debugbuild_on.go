@@ -1,0 +1,7 @@
+//go:build sbddebug
+
+package stm
+
+// debugInvariants: see debugbuild.go. This is the sbddebug-tagged build
+// used by the nightly stress job.
+const debugInvariants = true

@@ -169,29 +169,30 @@ type writerFunc func(p []byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
 
-func TestIDPoolNoDuplicatesUnderStress(t *testing.T) {
-	p := newIDPool(8)
+func TestSlotPoolNoDuplicatesUnderStress(t *testing.T) {
+	p := newSlotPool(8)
 	var inUse [8]int32
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for g := 0; g < 16; g++ {
 		wg.Add(1)
-		go func() {
+		go func(g int) {
 			defer wg.Done()
+			tx := &Tx{vid: g}
 			for i := 0; i < 500; i++ {
-				id, _ := p.acquire()
+				slot, _ := p.acquire(tx)
 				mu.Lock()
-				inUse[id]++
-				if inUse[id] != 1 {
-					t.Errorf("ID %d handed out twice", id)
+				inUse[slot]++
+				if inUse[slot] != 1 {
+					t.Errorf("slot %d handed out twice", slot)
 				}
 				mu.Unlock()
 				mu.Lock()
-				inUse[id]--
+				inUse[slot]--
 				mu.Unlock()
-				p.release(id)
+				p.release(slot)
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	if p.available() != 8 {
@@ -199,29 +200,29 @@ func TestIDPoolNoDuplicatesUnderStress(t *testing.T) {
 	}
 }
 
-func TestIDPoolBlocksWhenEmpty(t *testing.T) {
-	p := newIDPool(1)
-	id, waited := p.acquire()
+func TestSlotPoolBlocksWhenEmpty(t *testing.T) {
+	p := newSlotPool(1)
+	slot, waited := p.acquire(&Tx{vid: 0})
 	if waited {
 		t.Fatal("first acquire reported waiting")
 	}
 	got := make(chan int)
 	go func() {
-		id2, w2 := p.acquire()
+		slot2, w2 := p.acquire(&Tx{vid: 1})
 		if !w2 {
 			t.Error("blocked acquire did not report waiting")
 		}
-		got <- id2
+		got <- slot2
 	}()
 	select {
 	case <-got:
 		t.Fatal("second acquire proceeded on an empty pool")
 	case <-time.After(50 * time.Millisecond):
 	}
-	p.release(id)
+	p.release(slot)
 	select {
-	case id2 := <-got:
-		p.release(id2)
+	case slot2 := <-got:
+		p.release(slot2)
 	case <-time.After(2 * time.Second):
 		t.Fatal("blocked acquire never woke")
 	}

@@ -2,7 +2,7 @@ package stm
 
 // Schedule-exploration hooks. The STM's correctness-critical behavior
 // lives in its slow paths — lock-word CAS loops, the fair wait queues,
-// the dreadlocks detector, the ID pool — which a single-core container
+// the dreadlocks detector, the slot pool — which a single-core container
 // exercises only when interleavings are forced. The hooks below expose
 // every such decision point to an external harness (internal/sched)
 // that serializes goroutines deterministically and injects faults.
@@ -42,11 +42,11 @@ const (
 	// PointParked marks a waiter parking on (Block) or resuming from
 	// (Unblock) its queue channel.
 	PointParked
-	// PointIDWait marks a Begin parking on (Block) or resuming from
-	// (Unblock) the exhausted transaction-ID pool.
-	PointIDWait
-	// PointIDPoolCAS is a CAS on the ID pool's free-bit mask.
-	PointIDPoolCAS
+	// PointSlotWait marks a section parking on (Block) or resuming from
+	// (Unblock) the exhausted lock-word slot pool's overflow tier.
+	PointSlotWait
+	// PointSlotPoolCAS is a CAS on the slot pool's free-bit mask.
+	PointSlotPoolCAS
 	// PointInevWait marks BecomeInevitable parking on (Block) or
 	// resuming from (Unblock) the inevitability token.
 	PointInevWait
@@ -73,8 +73,8 @@ var pointNames = [...]string{
 	PointReleaseCAS:   "release-cas",
 	PointWakeQueue:    "wake-queue",
 	PointParked:       "parked",
-	PointIDWait:       "id-wait",
-	PointIDPoolCAS:    "idpool-cas",
+	PointSlotWait:     "slot-wait",
+	PointSlotPoolCAS:  "slotpool-cas",
 	PointInevWait:     "inev-wait",
 	PointBackoff:      "backoff",
 	PointBiasPublish:  "bias-publish",
@@ -91,7 +91,8 @@ func (p YieldPoint) String() string {
 type EventKind uint8
 
 const (
-	// EvBegin: a transaction acquired an ID and started (TxID, Ticket).
+	// EvBegin: a transaction was assigned its virtual ID and started
+	// (TxID, Ticket). Begin never blocks on the slot pool.
 	EvBegin EventKind = iota
 	// EvCommit: a transaction committed (TxID).
 	EvCommit
@@ -118,9 +119,10 @@ const (
 	// EvDelayedGrant: a grant scan was suppressed by fault injection
 	// (QID); RedeliverDelayedGrants runs the suppressed scans.
 	EvDelayedGrant
-	// EvIDRelease: a transaction ID returned to the pool (TxID);
-	// emitted after the free bit is published and waiters broadcast.
-	EvIDRelease
+	// EvSlotRelease: a section released its lock-word slot (TxID =
+	// virtual ID, OtherID = slot); emitted after the slot is back in
+	// the pool or handed off.
+	EvSlotRelease
 	// EvInevRelease: the inevitability token was returned (TxID).
 	EvInevRelease
 	// EvPromoted: a read acquisition was adaptively promoted to a write
@@ -135,6 +137,13 @@ const (
 	// EvBiasRevoke: a writer replaced the bias marker of a lock word
 	// with an installed wait queue (TxID, Addr, QID).
 	EvBiasRevoke
+	// EvSlotWait: a section parked in the slot pool's overflow tier
+	// because all lock-word slots are leased (TxID = virtual ID).
+	EvSlotWait
+	// EvSlotGrant: a released slot was handed directly to a queued
+	// section (TxID = recipient's virtual ID, OtherID = slot). Emitted
+	// synchronously by the releaser, before the recipient resumes.
+	EvSlotGrant
 )
 
 var eventNames = [...]string{
@@ -148,12 +157,14 @@ var eventNames = [...]string{
 	EvDuel:         "duel",
 	EvSpuriousWake: "spurious-wake",
 	EvDelayedGrant: "delayed-grant",
-	EvIDRelease:    "id-release",
+	EvSlotRelease:  "slot-release",
 	EvInevRelease:  "inev-release",
 	EvPromoted:     "promoted",
 	EvBackoff:      "backoff",
 	EvBiased:       "biased",
 	EvBiasRevoke:   "bias-revoke",
+	EvSlotWait:     "slot-wait",
+	EvSlotGrant:    "slot-grant",
 }
 
 func (k EventKind) String() string {
@@ -195,7 +206,7 @@ type Hooks interface {
 	// calling goroutine.
 	Yield(p YieldPoint)
 	// Block announces that the caller is about to park on a runtime
-	// primitive (queue channel, ID-pool cond, inevitability token) and
+	// primitive (queue channel, slot-pool handoff, inevitability token) and
 	// will not run until a matching wake event. It must not park; it
 	// may be called with runtime-internal mutexes held.
 	Block(p YieldPoint)

@@ -58,27 +58,31 @@ func (rt *Runtime) CheckInvariants() error {
 			holders := wordHolders(w)
 			for _, wt := range q.waiters {
 				if wt.granted {
-					return fmt.Errorf("queue %d: granted waiter txn %d still enqueued", qid, wt.tx.id)
+					return fmt.Errorf("queue %d: granted waiter txn %d still enqueued", qid, wt.tx.vid)
 				}
 				if wt.q != q {
-					return fmt.Errorf("queue %d: waiter txn %d points at queue %d", qid, wt.tx.id, wt.q.qid)
+					return fmt.Errorf("queue %d: waiter txn %d points at queue %d", qid, wt.tx.vid, wt.q.qid)
 				}
-				if d.blocked[wt.tx.id].Load() != wt {
-					return fmt.Errorf("queue %d: waiter txn %d missing from blocked table", qid, wt.tx.id)
+				if wt.tx.slot < 0 {
+					return fmt.Errorf("queue %d: waiter txn %d has no slot lease", qid, wt.tx.vid)
+				}
+				if d.blocked[wt.tx.slot].Load() != wt {
+					return fmt.Errorf("queue %d: waiter txn %d (slot %d) missing from blocked table",
+						qid, wt.tx.vid, wt.tx.slot)
 				}
 				if holders&wt.tx.mask != 0 && !wt.upgrader {
 					return fmt.Errorf("queue %d: non-upgrader txn %d both holds and waits (%s)",
-						qid, wt.tx.id, formatWord(w))
+						qid, wt.tx.vid, formatWord(w))
 				}
 			}
-			// Holder bits must belong to live transactions.
+			// Holder bits must belong to leased slots with live sections.
 			for h := holders; h != 0; {
 				b := h & (-h)
 				h &^= b
-				id := bits.TrailingZeros64(b)
-				if rt.txByID[id].Load() == nil {
-					return fmt.Errorf("queue %d: holder bit for dead txn %d (%s)",
-						qid, id, formatWord(w))
+				slot := bits.TrailingZeros64(b)
+				if rt.trackSlots && rt.txBySlot[slot].Load() == nil {
+					return fmt.Errorf("queue %d: holder bit for unleased slot %d (%s)",
+						qid, slot, formatWord(w))
 				}
 			}
 			return nil
@@ -94,29 +98,29 @@ func (rt *Runtime) CheckInvariants() error {
 			return fmt.Errorf("queue ID %d both free and installed", qid)
 		}
 	}
-	for id := 0; id < MaxTxns; id++ {
-		wt := d.blocked[id].Load()
+	for slot := 0; slot < MaxTxns; slot++ {
+		wt := d.blocked[slot].Load()
 		if wt == nil {
 			continue
 		}
-		if wt.tx.id != id {
-			return fmt.Errorf("blocked table slot %d holds txn %d", id, wt.tx.id)
+		if wt.tx.slot != slot {
+			return fmt.Errorf("blocked table slot %d holds txn %d leasing slot %d", slot, wt.tx.vid, wt.tx.slot)
 		}
 		q := wt.q
 		q.mu.Lock()
 		err := func() error {
-			if d.blocked[id].Load() != wt {
+			if d.blocked[slot].Load() != wt {
 				return nil // resolved between the loads
 			}
 			if q.dead || d.queues[q.qid].Load() != q {
-				return fmt.Errorf("blocked txn %d waits on uninstalled queue %d", id, q.qid)
+				return fmt.Errorf("blocked txn %d waits on uninstalled queue %d", wt.tx.vid, q.qid)
 			}
 			for _, qwt := range q.waiters {
 				if qwt == wt {
 					return nil
 				}
 			}
-			return fmt.Errorf("blocked txn %d not in its queue %d", id, q.qid)
+			return fmt.Errorf("blocked txn %d not in its queue %d", wt.tx.vid, q.qid)
 		}()
 		q.mu.Unlock()
 		if err != nil {
@@ -128,18 +132,18 @@ func (rt *Runtime) CheckInvariants() error {
 	// queue) in the word it names — the drain-pinning rule every write
 	// acquisition path relies on (see bias.go).
 	if rt.bias.everAny.Load() {
-		for id := 0; id < MaxTxns; id++ {
+		for slot := 0; slot < MaxTxns; slot++ {
 			for s := 0; s < biasStripes; s++ {
-				addr := rt.bias.lines[id].slots[s].Load()
+				addr := rt.bias.lines[slot].slots[s].Load()
 				if addr == nil {
 					continue
 				}
-				if rt.txByID[id].Load() == nil {
-					return fmt.Errorf("bias slot (txn %d, stripe %d): live slot owned by dead txn", id, s)
+				if rt.trackSlots && rt.txBySlot[slot].Load() == nil {
+					return fmt.Errorf("bias slot (slot %d, stripe %d): live reader slot but lock-word slot unleased", slot, s)
 				}
 				if w := atomic.LoadUint64(addr); wordQueueID(w) == 0 {
-					return fmt.Errorf("bias slot (txn %d, stripe %d): live slot but word has empty queue field (%s)",
-						id, s, formatWord(w))
+					return fmt.Errorf("bias slot (slot %d, stripe %d): live slot but word has empty queue field (%s)",
+						slot, s, formatWord(w))
 				}
 			}
 		}
@@ -166,10 +170,10 @@ func (rt *Runtime) CheckObjectLocks(o *Object) error {
 		for h := wordHolders(w); h != 0; {
 			b := h & (-h)
 			h &^= b
-			id := bits.TrailingZeros64(b)
-			if rt.txByID[id].Load() == nil {
-				return fmt.Errorf("%s lock %d: holder bit for dead txn %d (%s)",
-					o.class.name, i, id, formatWord(w))
+			slot := bits.TrailingZeros64(b)
+			if rt.trackSlots && rt.txBySlot[slot].Load() == nil {
+				return fmt.Errorf("%s lock %d: holder bit for unleased slot %d (%s)",
+					o.class.name, i, slot, formatWord(w))
 			}
 		}
 		if wordIsBiased(w) {
@@ -192,37 +196,42 @@ func (rt *Runtime) CheckObjectLocks(o *Object) error {
 	return nil
 }
 
-// BlockedTxns returns the IDs of transactions currently enqueued on a
-// lock, for harness stall diagnosis.
+// BlockedTxns returns the virtual IDs of transactions currently
+// enqueued on a lock, for harness stall diagnosis. The blocked table is
+// slot-keyed (every blocked section holds a slot lease), so this scans
+// the slots and reports the leasing transactions' virtual IDs.
 func (rt *Runtime) BlockedTxns() []int {
 	d := rt.det
 	var ids []int
-	for id := 0; id < MaxTxns; id++ {
-		if d.blocked[id].Load() != nil {
-			ids = append(ids, id)
+	for slot := 0; slot < MaxTxns; slot++ {
+		if wt := d.blocked[slot].Load(); wt != nil {
+			ids = append(ids, wt.tx.vid)
 		}
 	}
 	return ids
 }
 
 // InjectSpuriousWake delivers a wake-up signal to the parked waiter of
-// transaction txID without granting or aborting it (fault injection):
-// the waiter re-checks its flags, finds nothing, and re-parks. Reports
-// whether a parked waiter existed.
+// the transaction with virtual ID txID without granting or aborting it
+// (fault injection): the waiter re-checks its flags, finds nothing, and
+// re-parks. Reports whether a parked waiter existed.
 func (rt *Runtime) InjectSpuriousWake(txID int) bool {
 	d := rt.det
-	wt := d.blocked[txID].Load()
-	if wt == nil {
-		return false
+	for slot := 0; slot < MaxTxns; slot++ {
+		wt := d.blocked[slot].Load()
+		if wt == nil || wt.tx.vid != txID {
+			continue
+		}
+		q := wt.q
+		q.mu.Lock()
+		ok := d.blocked[slot].Load() == wt && !wt.granted && !wt.aborted
+		if ok {
+			wt.signal()
+		}
+		q.mu.Unlock()
+		return ok
 	}
-	q := wt.q
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if d.blocked[txID].Load() != wt || wt.granted || wt.aborted {
-		return false
-	}
-	wt.signal()
-	return true
+	return false
 }
 
 // RedeliverDelayedGrants re-runs the grant scans suppressed by the

@@ -7,19 +7,30 @@ import (
 
 // The 64-bit lock word (paper Figure 4b). Bits, LSB first:
 //
-//	[0..55]  transaction bit set: bit i is set while transaction ID i
-//	         holds this lock (as reader, or as the writer when W is set)
+//	[0..55]  slot bit set: bit i is set while the section leasing
+//	         lock-word slot i holds this lock (as reader, or as the
+//	         writer when W is set)
 //	[56]     W flag: a write lock is in place (the bit set then contains
 //	         exactly the writer's bit)
 //	[57]     U flag: an upgrading reader is enqueued (detects dueling
 //	         write-upgrades early, paper §3.3)
 //	[58..63] queue ID: 0 means no wait queue; 1..MaxTxns index the global
-//	         queue table
+//	         queue table; biasQID (63) marks a read-biased word; the
+//	         remaining values 57..62 are invalid and rejected by
+//	         wellformed
+//
+// The bits name slots, not transactions: a transaction's identity is
+// its unbounded virtual ID (Tx.vid), and a slot is leased only while a
+// section holds or acquires locks (runtime.go). The slot pool provides
+// the happens-before edge between consecutive lessees of a slot, so a
+// bit never means two different sections at once.
 const (
-	// MaxTxns is the maximum number of concurrently active transactions.
-	// The bit set occupies 56 of the lock word's 64 bits: the largest CAS
-	// the implementation platform supports is 64 bits, and 8 bits are
-	// needed for W, U, and the queue ID.
+	// MaxTxns is the number of lock-word slots: the maximum number of
+	// sections that can hold locks simultaneously (not the number of live
+	// transactions — Begin never blocks on it). The bit set occupies 56
+	// of the lock word's 64 bits: the largest CAS the implementation
+	// platform supports is 64 bits, and 8 bits are needed for W, U, and
+	// the queue ID.
 	MaxTxns = 56
 
 	bitsetMask uint64 = (1 << 56) - 1
@@ -42,8 +53,8 @@ const (
 	biasQID = 63
 )
 
-// txMask returns the bit-set mask for transaction ID id.
-func txMask(id int) uint64 { return 1 << uint(id) }
+// txMask returns the bit-set mask for lock-word slot slot.
+func txMask(slot int) uint64 { return 1 << uint(slot) }
 
 // wordQueueID extracts the queue ID from a lock word (0 = no queue).
 func wordQueueID(w uint64) int { return int(w >> queueShift) }
@@ -94,6 +105,11 @@ func wellformed(w uint64) error {
 		if holders == 0 || holders&(holders-1) != 0 {
 			return fmt.Errorf("stm: W flag with holders=%014x (want exactly one)", holders)
 		}
+	}
+	if qid := wordQueueID(w); qid > MaxTxns && qid != biasQID {
+		// Valid queue IDs are 1..MaxTxns plus the bias marker; 57..62
+		// index nothing and must never appear in a word.
+		return fmt.Errorf("stm: invalid queue ID %d (%s)", qid, formatWord(w))
 	}
 	if wordHasUpgrader(w) && wordRealQueue(w) == 0 {
 		return fmt.Errorf("stm: U flag without a wait queue (%s)", formatWord(w))

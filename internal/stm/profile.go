@@ -109,21 +109,21 @@ type siteDelta struct {
 // creating it on first touch. The newest-first linear search exploits
 // locality: a transaction usually hammers the site it touched last.
 //
-// The buffer lives in Runtime.profBufs, indexed by transaction ID, not
-// in Tx: the ID is exclusively owned by one goroutine between acquire
-// and release (with the ID pool providing the happens-before edge on
-// handoff), the buffer's capacity survives across transactions that
-// reuse the ID, and Tx itself — allocated fresh on every Begin — stays
-// a size class smaller than it would be carrying the slice header.
+// The buffer lives in Runtime.profBufs, indexed by the leased lock-word
+// slot, not in Tx: the slot is exclusively owned by one section between
+// lease and release (with the slot pool providing the happens-before
+// edge on handoff), and the buffer's capacity survives across sections
+// that reuse the slot. Every caller is on a lock path, so the slot lease
+// is already in place (lockFor runs ensureSlot first).
 func (tx *Tx) profAt(site int32) *siteDelta {
-	buf := tx.rt.profBufs[tx.id]
+	buf := tx.rt.profBufs[tx.slot]
 	for i := len(buf) - 1; i >= 0; i-- {
 		if buf[i].site == site {
 			return &buf[i]
 		}
 	}
 	buf = append(buf, siteDelta{site: site})
-	tx.rt.profBufs[tx.id] = buf
+	tx.rt.profBufs[tx.slot] = buf
 	return &buf[len(buf)-1]
 }
 
@@ -150,7 +150,10 @@ func (tx *Tx) chargeCASFail(site int32) {
 // profile. Zero fields are skipped so the common uncontended acquire
 // costs one atomic add per touched site.
 func (tx *Tx) flushProfile() {
-	buf := tx.rt.profBufs[tx.id]
+	if tx.slot < 0 {
+		return // never leased a slot: no lock was acquired, nothing buffered
+	}
+	buf := tx.rt.profBufs[tx.slot]
 	if len(buf) == 0 {
 		return
 	}
@@ -189,7 +192,7 @@ func (tx *Tx) flushProfile() {
 			c.blockNs.Add(d.blockNs)
 		}
 	}
-	tx.rt.profBufs[tx.id] = buf[:0]
+	tx.rt.profBufs[tx.slot] = buf[:0]
 }
 
 // Profile aggregates per-site contention counters for one runtime. The

@@ -144,7 +144,7 @@ func (tx *Tx) notePromoted(addr *uint64, site int32) {
 	tx.nPromoted++
 	tx.profAt(site).promotions++
 	if tx.rt.wantsEvent(EvPromoted) {
-		tx.rt.event(Event{Kind: EvPromoted, TxID: tx.id, Ticket: tx.ticket, Addr: addr, Write: true})
+		tx.rt.event(Event{Kind: EvPromoted, TxID: tx.vid, Ticket: tx.ticket, Addr: addr, Write: true})
 	}
 }
 
@@ -231,7 +231,7 @@ func (tx *Tx) RetryBackoff() {
 	tx.nBackoffs++
 	rt := tx.rt
 	if rt.wantsEvent(EvBackoff) {
-		rt.event(Event{Kind: EvBackoff, TxID: tx.id, Ticket: tx.ticket})
+		rt.event(Event{Kind: EvBackoff, TxID: tx.vid, Ticket: tx.ticket})
 	}
 	if rt.hooks != nil {
 		rt.yield(PointBackoff)
@@ -254,7 +254,7 @@ func (tx *Tx) RetryBackoff() {
 // shared state.
 func (tx *Tx) nextRand() uint64 {
 	if tx.rng == 0 {
-		tx.rng = uint64(tx.id+1)<<32 ^ (tx.ticket | 1)
+		tx.rng = uint64(tx.vid+1)<<32 ^ (tx.ticket | 1)
 	}
 	x := tx.rng
 	x ^= x << 13

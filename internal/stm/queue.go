@@ -1,6 +1,7 @@
 package stm
 
 import (
+	"fmt"
 	"math/bits"
 	"runtime"
 	"sync"
@@ -199,6 +200,14 @@ func (d *detector) lockedQueue(addr *uint64) (*lockQueue, bool) {
 		// reader whose verify load sees the marker gone finds the queue
 		// to wake when it retracts.
 		qid := d.allocQID()
+		if debugInvariants {
+			// Only 1..MaxTxns index the queue table; 57..62 are dead values
+			// of the 6-bit field and 63 is the bias marker. Installing any
+			// of them would make wordRealQueue resolve garbage.
+			if qid < 1 || qid > MaxTxns {
+				panic(fmt.Sprintf("stm: installing invalid queue ID %d", qid))
+			}
+		}
 		q := &lockQueue{qid: qid, addr: addr}
 		q.waiters = q.waitersBuf[:0]
 		q.mu.Lock()
@@ -310,7 +319,7 @@ func (tx *Tx) slowAcquire(addr *uint64, site int32, write bool) {
 			// visible readers exclude a writer exactly like holder bits.
 			w = atomic.LoadUint64(addr)
 			nw, ok := grantWord(w, tx, write)
-			if ok && write && d.rt != nil && !d.rt.bias.drainedExcept(addr, tx.id) {
+			if ok && write && d.rt != nil && !d.rt.bias.drainedExcept(addr, tx.slot) {
 				if rt.hooks == nil && drainSpins < biasDrainSpinMax {
 					// Drain-spin: the slots belong to readers that are past
 					// their reads and only need processor time to commit and
@@ -362,7 +371,7 @@ func (tx *Tx) slowAcquire(addr *uint64, site int32, write bool) {
 		if tx.inevitable || (!other.tx.inevitable && tx.ticket < other.tx.ticket) {
 			d.debug.duel(other.tx, tx)
 			if d.wantsEvent(EvDuel) {
-				d.event(Event{Kind: EvDuel, TxID: other.tx.id, VictimID: other.tx.id, OtherID: tx.id, Addr: addr, Inev: tx.inevitable})
+				d.event(Event{Kind: EvDuel, TxID: other.tx.vid, VictimID: other.tx.vid, OtherID: tx.vid, Addr: addr, Inev: tx.inevitable})
 			}
 			d.abortWaiterLocked(q, other)
 			if q.dead {
@@ -375,7 +384,7 @@ func (tx *Tx) slowAcquire(addr *uint64, site int32, write bool) {
 		}
 		d.debug.duel(tx, other.tx)
 		if d.wantsEvent(EvDuel) {
-			d.event(Event{Kind: EvDuel, TxID: tx.id, VictimID: tx.id, OtherID: other.tx.id, Addr: addr, Inev: other.tx.inevitable})
+			d.event(Event{Kind: EvDuel, TxID: tx.vid, VictimID: tx.vid, OtherID: other.tx.vid, Addr: addr, Inev: other.tx.inevitable})
 		}
 		q.mu.Unlock()
 		tx.profAt(site).deadlocks++
@@ -407,7 +416,7 @@ func (tx *Tx) slowAcquire(addr *uint64, site int32, write bool) {
 		q.waiters = append(q.waiters, wt)
 	}
 	wt.deps.Store(q.depsOfLocked(wt))
-	d.blocked[tx.id].Store(wt)
+	d.blocked[tx.slot].Store(wt)
 	if upgrader {
 		setWordFlag(d, addr, uFlag)
 	}
@@ -415,7 +424,7 @@ func (tx *Tx) slowAcquire(addr *uint64, site int32, write bool) {
 		d.debug.blocked(tx, addr, write, wordHolders(atomic.LoadUint64(addr)), q)
 	}
 	if d.wantsEvent(EvBlocked) {
-		d.event(Event{Kind: EvBlocked, TxID: tx.id, Ticket: tx.ticket, Addr: addr, QID: q.qid, Write: write, Upgrader: upgrader})
+		d.event(Event{Kind: EvBlocked, TxID: tx.vid, Ticket: tx.ticket, Addr: addr, QID: q.qid, Write: write, Upgrader: upgrader})
 	}
 
 	// The queue may have become serviceable while we enqueued (e.g. a
@@ -511,18 +520,19 @@ func (tx *Tx) slowAcquire(addr *uint64, site int32, write bool) {
 		// state changed; re-check and re-park.
 		rt.stats.SpuriousWakes.Add(1)
 		if rt.wantsEvent(EvSpuriousWake) {
-			rt.event(Event{Kind: EvSpuriousWake, TxID: tx.id, Addr: addr})
+			rt.event(Event{Kind: EvSpuriousWake, TxID: tx.vid, Addr: addr})
 		}
 	}
 }
 
-// waiterFor returns the reusable waiter slot of tx's ID, draining any
-// stale wake-up token left by a previous block.
+// waiterFor returns the reusable waiter object of tx's leased lock-word
+// slot, draining any stale wake-up token left by a previous block. A
+// blocking section always holds a slot (lockFor leases it up front).
 func (rt *Runtime) waiterFor(tx *Tx) *waiter {
-	wt := rt.waiterSlots[tx.id]
+	wt := rt.waiterSlots[tx.slot]
 	if wt == nil {
 		wt = &waiter{ch: make(chan struct{}, 1)}
-		rt.waiterSlots[tx.id] = wt
+		rt.waiterSlots[tx.slot] = wt
 	}
 	select {
 	case <-wt.ch:
@@ -625,7 +635,7 @@ func (d *detector) grantScanLocked(q *lockQueue) {
 		if head.write && wordHolders(w) != 0 && wordHolders(w) != head.tx.mask {
 			return
 		}
-		if head.write && d.rt != nil && !d.rt.bias.drainedExcept(q.addr, head.tx.id) {
+		if head.write && d.rt != nil && !d.rt.bias.drainedExcept(q.addr, head.tx.slot) {
 			// Live biased reader slots (other than the head's own, kept
 			// across an upgrade-from-bias) exclude a writer exactly like
 			// holder bits; each slot release re-runs this scan. No new
@@ -637,11 +647,11 @@ func (d *detector) grantScanLocked(q *lockQueue) {
 			continue // racing release; recompute
 		}
 		q.waiters = q.waiters[1:]
-		d.blocked[head.tx.id].Store(nil)
+		d.blocked[head.tx.slot].Store(nil)
 		head.granted = true
 		d.debug.granted(head.tx, q.addr, head.write)
 		if d.wantsEvent(EvGranted) {
-			d.event(Event{Kind: EvGranted, TxID: head.tx.id, Ticket: head.tx.ticket, Addr: q.addr, QID: q.qid, Write: head.write, Upgrader: head.upgrader})
+			d.event(Event{Kind: EvGranted, TxID: head.tx.vid, Ticket: head.tx.ticket, Addr: q.addr, QID: q.qid, Write: head.write, Upgrader: head.upgrader})
 		}
 		head.signal()
 		if head.write {
@@ -754,7 +764,7 @@ func (d *detector) removeWaiterLocked(q *lockQueue, wt *waiter) {
 			break
 		}
 	}
-	d.blocked[wt.tx.id].Store(nil)
+	d.blocked[wt.tx.slot].Store(nil)
 	if wt.upgrader && q.findUpgrader() == nil {
 		clearWordFlag(d, q.addr, uFlag)
 	}
@@ -772,7 +782,7 @@ func (d *detector) abortWaiterLocked(q *lockQueue, wt *waiter) {
 	wt.tx.victim.Store(true)
 	wt.aborted = true
 	if d.wantsEvent(EvAbortWaiter) {
-		d.event(Event{Kind: EvAbortWaiter, TxID: wt.tx.id, Addr: q.addr})
+		d.event(Event{Kind: EvAbortWaiter, TxID: wt.tx.vid, Addr: q.addr})
 	}
 	d.removeWaiterLocked(q, wt)
 	wt.signal()
@@ -845,7 +855,7 @@ func (d *detector) resolveDeadlocks(wt *waiter, site int32) {
 				q.mu.Unlock()
 				continue // granted since the snapshot; re-confirm
 			}
-			d.event(Event{Kind: EvAbortWaiter, TxID: tx.id, Addr: q.addr})
+			d.event(Event{Kind: EvAbortWaiter, TxID: tx.vid, Addr: q.addr})
 			d.removeWaiterLocked(q, wt)
 			q.mu.Unlock()
 			d.cycleMu.Unlock()
@@ -922,13 +932,15 @@ func (d *detector) exactVictim(wt *waiter) (victim *waiter, vq *lockQueue, epoch
 		snap[id] = bw
 		deps[id] = bw.q.depsOfLocked(bw)
 	}
-	if snap[wt.tx.id] != wt {
+	if snap[wt.tx.slot] != wt {
 		return nil, nil, 0 // granted or aborted since the pre-check
 	}
 
 	// Fixpoint digest propagation over the snapshot (paper §4.2: a
 	// blocking variant of the dreadlocks algorithm modified for
-	// read/write locks). Digests are bit sets over transaction IDs: the
+	// read/write locks). Digests are bit sets over lock-word slots —
+	// every blocked section holds one, and a slot's lease outlives its
+	// holder's wait, so slot bits name cycle members unambiguously: the
 	// digest of a blocked transaction is its own bit plus the union of
 	// the digests of everything it waits for. A cycle exists iff the
 	// digest of one of wt's dependencies already contains wt's bit.
@@ -963,7 +975,7 @@ func (d *detector) exactVictim(wt *waiter) (victim *waiter, vq *lockQueue, epoch
 		}
 	}
 	cycle := false
-	for rest := deps[wt.tx.id]; rest != 0; {
+	for rest := deps[wt.tx.slot]; rest != 0; {
 		dep := rest & (-rest)
 		rest &^= dep
 		depID := bitIndex(dep)
@@ -993,9 +1005,9 @@ func (d *detector) exactVictim(wt *waiter) (victim *waiter, vq *lockQueue, epoch
 	}
 	d.debug.deadlock(members, victim)
 	if d.rt != nil && d.rt.wantsEvent(EvDeadlock) {
-		ev := Event{Kind: EvDeadlock, VictimID: victim.tx.id, TxID: wt.tx.id}
+		ev := Event{Kind: EvDeadlock, VictimID: victim.tx.vid, TxID: wt.tx.vid}
 		for _, m := range members {
-			ev.CycleIDs = append(ev.CycleIDs, m.tx.id)
+			ev.CycleIDs = append(ev.CycleIDs, m.tx.vid)
 			ev.CycleTickets = append(ev.CycleTickets, m.tx.ticket)
 			ev.CycleInev = append(ev.CycleInev, m.tx.inevitable)
 		}
@@ -1015,9 +1027,9 @@ func cycleMembers(wt *waiter, snap *[MaxTxns]*waiter, deps *[MaxTxns]uint64) []*
 	var dfs func(cur *waiter) bool
 	dfs = func(cur *waiter) bool {
 		path = append(path, cur)
-		onPath[cur.tx.id] = true
-		visited[cur.tx.id] = true
-		rest := deps[cur.tx.id]
+		onPath[cur.tx.slot] = true
+		visited[cur.tx.slot] = true
+		rest := deps[cur.tx.slot]
 		for rest != 0 {
 			dep := rest & (-rest)
 			rest &^= dep
@@ -1038,7 +1050,7 @@ func cycleMembers(wt *waiter, snap *[MaxTxns]*waiter, deps *[MaxTxns]uint64) []*
 			}
 		}
 		path = path[:len(path)-1]
-		onPath[cur.tx.id] = false
+		onPath[cur.tx.slot] = false
 		return false
 	}
 	dfs(wt)

@@ -18,10 +18,13 @@ import (
 // and per-slot sequence validation makes torn (overwritten-while-read)
 // slots detectable, so readers simply skip them.
 //
-// Per-transaction lifecycle events (begin/commit/reset/ID release) are
-// excluded by the default kind mask: they fire once per transaction on
-// the uncontended path, where the recorder must cost nothing beyond a
-// mask check. Options.RecorderKinds can opt them in.
+// Per-transaction lifecycle events (begin/commit/reset/slot release)
+// are excluded by the default kind mask: they fire once per transaction
+// on the uncontended path, where the recorder must cost nothing beyond
+// a mask check. The slot-pool overflow events (slot-wait/slot-grant)
+// are retained: they only fire when more than MaxTxns sections hold
+// locks at once, which is exactly the saturation history a dump should
+// show. Options.RecorderKinds can change the selection.
 
 // DefaultRecorderSize is the event capacity used when Options.RecorderSize
 // is zero.
@@ -32,7 +35,7 @@ const DefaultRecorderSize = 1024
 var defaultRecorderKinds = []EventKind{
 	EvBlocked, EvGranted, EvAbortWaiter, EvDeadlock, EvDuel,
 	EvSpuriousWake, EvDelayedGrant, EvInevRelease, EvPromoted, EvBackoff,
-	EvBiasRevoke,
+	EvBiasRevoke, EvSlotWait, EvSlotGrant,
 }
 
 // recSlot is one ring slot: a sequence word plus the packed payload.
@@ -40,7 +43,7 @@ var defaultRecorderKinds = []EventKind{
 // sequence check catches, never a data race.
 type recSlot struct {
 	seq atomic.Uint64 // logicalIndex*2 + 2 when stable; odd while writing
-	w   [5]atomic.Uint64
+	w   [7]atomic.Uint64
 }
 
 // FlightRecorder is the fixed-size lock-free protocol-event ring.
@@ -90,14 +93,19 @@ func (r *FlightRecorder) Recorded() uint64 { return r.cursor.Load() }
 
 // Payload packing, LSB first in w[0]:
 //
-//	[0..7]   kind     [8..15]  txID+1     [16..23] otherID+1
-//	[24..31] victimID+1        [32..39]  queue ID
-//	[40] write  [41] upgrader  [42] inevitable
-//	[48..55] deadlock-cycle length (clamped to 8)
+//	[0..7]   kind      [8..15] queue ID
+//	[16] write  [17] upgrader  [18] inevitable
+//	[24..31] deadlock-cycle length (clamped to 8)
+//	[32..63] txID+1, modulo 2^32
 //
 // w[1] ticket, w[2] lock-word address, w[3] nanos since recorder start,
-// w[4] up to 8 cycle member IDs, one byte each (MaxTxns = 56 < 255).
-// IDs are stored +1 so 0 means "not applicable".
+// w[4] = otherID+1 (low 32 bits) | victimID+1 (high 32 bits), w[5..6]
+// up to 8 cycle member IDs, 16 bits each. Transaction IDs are virtual
+// and unbounded, so the packed forms are modular: the main ID keeps 32
+// bits (exact for the first 4G transactions), cycle members keep 16 —
+// a documented diagnostic truncation, acceptable because the cycle
+// list only disambiguates members within one dump. IDs are stored +1
+// so 0 means "not applicable".
 func (r *FlightRecorder) record(ev *Event) {
 	idx := r.cursor.Add(1) - 1
 	s := &r.slots[idx&r.mask]
@@ -105,32 +113,40 @@ func (r *FlightRecorder) record(ev *Event) {
 
 	var w0 uint64
 	w0 |= uint64(ev.Kind)
-	w0 |= uint64(ev.TxID+1) << 8
-	if ev.Kind == EvDuel {
-		w0 |= uint64(ev.OtherID+1) << 16
-	}
-	if ev.Kind == EvDuel || ev.Kind == EvDeadlock {
-		w0 |= uint64(ev.VictimID+1) << 24
-	}
-	w0 |= uint64(ev.QID) << 32
+	w0 |= uint64(ev.QID) << 8
 	if ev.Write {
-		w0 |= 1 << 40
+		w0 |= 1 << 16
 	}
 	if ev.Upgrader {
-		w0 |= 1 << 41
+		w0 |= 1 << 17
 	}
 	if ev.Inev {
-		w0 |= 1 << 42
+		w0 |= 1 << 18
 	}
-	var cyc uint64
+	w0 |= (uint64(ev.TxID+1) & 0xffffffff) << 32
+
+	var ov uint64
+	if ev.Kind == EvDuel || ev.Kind == EvSlotGrant || ev.Kind == EvSlotRelease {
+		ov |= uint64(ev.OtherID+1) & 0xffffffff
+	}
+	if ev.Kind == EvDuel || ev.Kind == EvDeadlock {
+		ov |= (uint64(ev.VictimID+1) & 0xffffffff) << 32
+	}
+
+	var cycLo, cycHi uint64
 	n := len(ev.CycleIDs)
 	if n > 8 {
 		n = 8
 	}
 	for i := 0; i < n; i++ {
-		cyc |= uint64(ev.CycleIDs[i]+1) << (8 * uint(i))
+		m := uint64(ev.CycleIDs[i]+1) & 0xffff
+		if i < 4 {
+			cycLo |= m << (16 * uint(i))
+		} else {
+			cycHi |= m << (16 * uint(i-4))
+		}
 	}
-	w0 |= uint64(n) << 48
+	w0 |= uint64(n) << 24
 
 	s.w[0].Store(w0)
 	s.w[1].Store(ev.Ticket)
@@ -140,7 +156,9 @@ func (r *FlightRecorder) record(ev *Event) {
 	}
 	s.w[2].Store(addr)
 	s.w[3].Store(uint64(time.Since(r.start)))
-	s.w[4].Store(cyc)
+	s.w[4].Store(ov)
+	s.w[5].Store(cycLo)
+	s.w[6].Store(cycHi)
 
 	s.seq.Store(idx*2 + 2) // publish
 }
@@ -151,7 +169,7 @@ type RecordedEvent struct {
 	T        time.Duration // offset from recorder start
 	Kind     EventKind
 	TxID     int
-	OtherID  int // EvDuel survivor; -1 when not applicable
+	OtherID  int // EvDuel survivor, EvSlotGrant/EvSlotRelease slot; -1 when not applicable
 	VictimID int // EvDuel/EvDeadlock victim; -1 when not applicable
 	QID      int
 	Write    bool
@@ -179,7 +197,7 @@ func (r *FlightRecorder) Snapshot() []RecordedEvent {
 		if s.seq.Load() != want {
 			continue
 		}
-		var w [5]uint64
+		var w [7]uint64
 		for i := range w {
 			w[i] = s.w[i].Load()
 		}
@@ -190,20 +208,25 @@ func (r *FlightRecorder) Snapshot() []RecordedEvent {
 			Seq:      idx,
 			T:        time.Duration(w[3]),
 			Kind:     EventKind(w[0] & 0xff),
-			TxID:     int((w[0]>>8)&0xff) - 1,
-			OtherID:  int((w[0]>>16)&0xff) - 1,
-			VictimID: int((w[0]>>24)&0xff) - 1,
-			QID:      int((w[0] >> 32) & 0xff),
-			Write:    w[0]&(1<<40) != 0,
-			Upgrader: w[0]&(1<<41) != 0,
-			Inev:     w[0]&(1<<42) != 0,
+			TxID:     int((w[0]>>32)&0xffffffff) - 1,
+			OtherID:  int(w[4]&0xffffffff) - 1,
+			VictimID: int((w[4]>>32)&0xffffffff) - 1,
+			QID:      int((w[0] >> 8) & 0xff),
+			Write:    w[0]&(1<<16) != 0,
+			Upgrader: w[0]&(1<<17) != 0,
+			Inev:     w[0]&(1<<18) != 0,
 			Ticket:   w[1],
 			Addr:     uintptr(w[2]),
 		}
-		if cn := int((w[0] >> 48) & 0xff); cn > 0 {
+		if cn := int((w[0] >> 24) & 0xff); cn > 0 {
 			ev.CycleIDs = make([]int, cn)
 			for i := 0; i < cn; i++ {
-				ev.CycleIDs[i] = int((w[4]>>(8*uint(i)))&0xff) - 1
+				word := w[5]
+				sh := 16 * uint(i)
+				if i >= 4 {
+					word, sh = w[6], 16*uint(i-4)
+				}
+				ev.CycleIDs[i] = int((word>>sh)&0xffff) - 1
 			}
 		}
 		out = append(out, ev)
@@ -234,6 +257,9 @@ func (ev RecordedEvent) String() string {
 	}
 	if ev.Kind == EvDuel && ev.OtherID >= 0 {
 		fmt.Fprintf(&b, " survivor=%d", ev.OtherID)
+	}
+	if (ev.Kind == EvSlotGrant || ev.Kind == EvSlotRelease) && ev.OtherID >= 0 {
+		fmt.Fprintf(&b, " slot=%d", ev.OtherID)
 	}
 	if len(ev.CycleIDs) > 0 {
 		fmt.Fprintf(&b, " cycle=%v", ev.CycleIDs)

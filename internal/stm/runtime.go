@@ -2,20 +2,47 @@ package stm
 
 import (
 	"io"
+	"sync"
 	"sync/atomic"
 )
 
-// Runtime owns the transaction ID pool, the queue table, the deadlock
-// detector, and the statistics counters. One Runtime corresponds to one
-// SBD program.
+// Runtime owns the lock-word slot pool, the virtual-ID allocator, the
+// queue table, the deadlock detector, and the statistics counters. One
+// Runtime corresponds to one SBD program.
+//
+// Identity is split from visibility: a transaction's name is its
+// unbounded virtual ID (vid), drawn from per-Tx lease blocks over the
+// central vidNext counter, while the 56 lock-word bits are slot leases
+// a section acquires on its first lock acquisition and returns at
+// commit/abort. Begin never blocks; only >MaxTxns sections holding
+// locks simultaneously wait (in the slot pool's overflow tier).
 type Runtime struct {
-	ids    *idPool
+	slots  *slotPool
 	ticket atomic.Uint64
-	det    *detector
-	stats  Stats
-	txByID [MaxTxns]atomic.Pointer[Tx]
-	maxIDs int
-	debug  *debugLog
+	// vidNext is the central virtual-ID allocator; Tx objects carve
+	// lease blocks (vidLeaseBlock IDs at a time) off it so the counter
+	// is touched once per block, not once per Begin.
+	vidNext atomic.Uint64
+	// ended counts transactions retired through endTx. The number begun
+	// is the ticket counter's value, so the active count is derived as
+	// ticket-ended rather than paid for with a dedicated atomic add in
+	// Begin. Purely informational; nothing is bounded by it.
+	ended atomic.Uint64
+	det   *detector
+	stats Stats
+	// txBySlot maps a leased lock-word slot to the section holding it;
+	// the invariant sweeps resolve holder bits through it. nil for
+	// unleased slots. Maintained only when trackSlots is set — nothing
+	// on the production hot path reads it, and the two fenced pointer
+	// stores per transaction are measurable on the uncontended gate.
+	txBySlot [MaxTxns]atomic.Pointer[Tx]
+	// trackSlots enables txBySlot maintenance: set when a schedule
+	// harness or the debug log is attached (the contexts that run
+	// invariant sweeps). The sweeps skip holder-resolution checks when
+	// unset.
+	trackSlots bool
+	maxSlots   int
+	debug      *debugLog
 	// hooks, when non-nil, routes slow-path decision points to a
 	// schedule-exploration harness (internal/sched). nil in production.
 	hooks Hooks
@@ -33,21 +60,22 @@ type Runtime struct {
 	// profMask gates the sampled per-site acquire counter: a lock acquire
 	// is charged to its site when (nAcq+ticket)&profMask == 0.
 	profMask uint64
-	// profBufs holds the per-transaction site-delta buffers, indexed by
-	// transaction ID (see profAt): the slot is exclusively owned by the
-	// goroutine holding the ID, and keeping the buffers here lets their
-	// capacity survive ID reuse without growing the Tx struct.
+	// profBufs holds the per-slot site-delta buffers, indexed by the
+	// leased lock-word slot (see profAt): the buffer is exclusively
+	// owned by the section holding the slot, and keeping the buffers
+	// here lets their capacity survive slot reuse without growing the
+	// Tx struct. Flushed before the slot is released.
 	profBufs [MaxTxns][]siteDelta
-	// waiterSlots holds the reusable per-transaction-ID waiter objects
-	// (see Tx.slowAcquire): the slot is exclusively owned by the
-	// goroutine holding the ID, so a slow-path block allocates nothing
-	// in steady state.
+	// waiterSlots holds the reusable per-slot waiter objects (see
+	// Tx.slowAcquire): the entry is exclusively owned by the section
+	// holding the slot, so a slow-path block allocates nothing in
+	// steady state.
 	waiterSlots [MaxTxns]*waiter
-	// txSlots holds the reusable per-transaction-ID Tx objects: Begin
-	// re-issues the slot's Tx, whose log capacities survive across
-	// transactions. Exclusively owned by the goroutine holding the ID
-	// (the pool's handoff provides the happens-before edge).
-	txSlots [MaxTxns]*Tx
+	// txPool recycles Tx objects (and their log capacities) across
+	// transactions. The per-P caches double as the per-thread lease
+	// caches for virtual IDs: a recycled Tx usually still holds part of
+	// its vid lease block.
+	txPool sync.Pool
 	// rec is the protocol-event flight recorder; nil when disabled via
 	// Options.RecorderSize < 0.
 	rec *FlightRecorder
@@ -59,12 +87,20 @@ type Runtime struct {
 	inev chan struct{}
 }
 
+// vidLeaseBlock is the number of virtual IDs a Tx leases from the
+// central counter at once. Under a harness the block size is 1 so vid
+// assignment order is a pure function of the schedule (replays stay
+// deterministic even if the object pool's contents differ run to run).
+const vidLeaseBlock = 64
+
 // Options configures a Runtime.
 type Options struct {
-	// MaxConcurrentTxns caps the number of transaction IDs handed out.
-	// 0 means MaxTxns (56). Lowering it below the thread count reproduces
-	// the Tomcat-at-32-client+32-server-threads saturation the paper
-	// reports (§5.4).
+	// MaxConcurrentTxns caps the number of lock-word slots handed out —
+	// the number of sections that can hold locks simultaneously, not
+	// the number of live transactions (Begin never blocks on it).
+	// 0 means MaxTxns (56). Lowering it below the thread count
+	// reproduces the Tomcat-at-32-client+32-server-threads saturation
+	// the paper reports (§5.4) once those threads contend on locks.
 	MaxConcurrentTxns int
 	// DebugLog, when non-nil, enables the §6 debug mode: one line per
 	// blocked thread, grant, deadlock resolution, and dueling upgrade.
@@ -80,9 +116,10 @@ type Options struct {
 	RecorderSize int
 	// RecorderKinds selects which event kinds the flight recorder
 	// retains. nil means the contention-path default: blocked, granted,
-	// abort-waiter, deadlock, duel, spurious-wake, delayed-grant and
-	// inev-release — everything except the per-transaction lifecycle
-	// events, which would tax the uncontended fast path.
+	// abort-waiter, deadlock, duel, spurious-wake, delayed-grant,
+	// inev-release and the slot-pool overflow events — everything except
+	// the per-transaction lifecycle events, which would tax the
+	// uncontended fast path.
 	RecorderKinds []EventKind
 	// DeadlockDump, when non-nil, receives a flight-recorder dump every
 	// time the deadlock detector resolves a cycle — the protocol history
@@ -109,10 +146,10 @@ func NewRuntimeOpts(opts Options) *Runtime {
 		n = MaxTxns
 	}
 	rt := &Runtime{
-		ids:    newIDPool(n),
-		det:    newDetector(),
-		maxIDs: n,
-		inev:   make(chan struct{}, 1),
+		slots:    newSlotPool(n),
+		det:      newDetector(),
+		maxSlots: n,
+		inev:     make(chan struct{}, 1),
 	}
 	rt.inev <- struct{}{}
 	rt.hooks = opts.Hooks
@@ -129,17 +166,19 @@ func NewRuntimeOpts(opts Options) *Runtime {
 		pow <<= 1
 	}
 	rt.profMask = uint64(pow - 1)
-	rt.ids.rt = rt
+	rt.slots.rt = rt
 	rt.det.rt = rt
 	if opts.DebugLog != nil {
 		rt.debug = &debugLog{w: opts.DebugLog}
 		rt.det.debug = rt.debug
 	}
+	rt.trackSlots = rt.hooks != nil || rt.debug != nil
 	return rt
 }
 
-// MaxConcurrentTxns returns the configured transaction ID limit.
-func (rt *Runtime) MaxConcurrentTxns() int { return rt.maxIDs }
+// MaxConcurrentTxns returns the configured lock-word slot limit: the
+// number of sections that can hold locks simultaneously.
+func (rt *Runtime) MaxConcurrentTxns() int { return rt.maxSlots }
 
 // Stats returns the runtime's statistics counters.
 func (rt *Runtime) Stats() *Stats { return &rt.stats }
@@ -151,47 +190,109 @@ func (rt *Runtime) Profile() *Profile { return &rt.profile }
 // was disabled with Options.RecorderSize < 0.
 func (rt *Runtime) Recorder() *FlightRecorder { return rt.rec }
 
-// Begin starts a new transaction, blocking until a transaction ID is
-// available. The number of available IDs limits the achievable actual
-// parallelism (paper §3.3); waiting here is safe because no nesting is
-// possible and any transaction that waits for a condition first ends its
-// current transaction, freeing its ID. The returned Tx is reused across
-// transactions of the same ID, so a handle must not be touched after
-// Commit or AbandonAfterReset returned it to the pool.
+// Begin starts a new transaction. It never blocks: identity is a
+// virtual ID from an unbounded counter, and the bounded lock-word slot
+// is leased lazily on the section's first lock acquisition (txn.go).
+// The returned Tx is recycled through a pool after Commit or
+// AbandonAfterReset, so a handle must not be touched after either.
 func (rt *Runtime) Begin() *Tx {
-	id, waited := rt.ids.acquire()
-	if waited {
-		rt.stats.IDWaits.Add(1)
-	}
-	tx := rt.txSlots[id]
+	tx, _ := rt.txPool.Get().(*Tx)
 	if tx == nil {
-		tx = &Tx{rt: rt, id: id, mask: txMask(id)}
-		rt.txSlots[id] = tx
+		tx = &Tx{rt: rt}
 	}
+	tx.vid = rt.nextVID(tx)
+	tx.slot = -1
+	tx.mask = 0
 	tx.ticket = rt.ticket.Add(1)
 	tx.ended = false
 	tx.inevitable = false
-	tx.victim.Store(false)
+	// An atomic bool store is a locked exchange on amd64; a recycled Tx
+	// is almost never a stale victim, so guard the reset with a plain
+	// load instead of paying the fence unconditionally.
+	if tx.victim.Load() {
+		tx.victim.Store(false)
+	}
 	// Backoff state is per-transaction: a fresh transaction starts with a
 	// zero retry streak and reseeds its PRNG lazily from the new ticket.
 	tx.retries, tx.rng = 0, 0
-	rt.txByID[id].Store(tx)
 	// Guard the Event construction, not just its delivery: with the
 	// default recorder mask, lifecycle events are unwanted and the guard
 	// lets the compiler drop the struct build from the fast path.
 	if rt.wantsEvent(EvBegin) {
-		rt.event(Event{Kind: EvBegin, TxID: id, Ticket: tx.ticket})
+		rt.event(Event{Kind: EvBegin, TxID: tx.vid, Ticket: tx.ticket})
 	}
 	return tx
 }
 
-func (rt *Runtime) releaseID(tx *Tx) {
-	rt.txByID[tx.id].Store(nil)
-	rt.ids.release(tx.id)
-	if rt.wantsEvent(EvIDRelease) {
-		rt.event(Event{Kind: EvIDRelease, TxID: tx.id})
+// nextVID returns the next virtual ID from the Tx's lease block,
+// refilling the block from the central counter when it is spent.
+func (rt *Runtime) nextVID(tx *Tx) int {
+	if tx.vidNext == tx.vidEnd {
+		block := uint64(vidLeaseBlock)
+		if rt.hooks != nil {
+			block = 1
+		}
+		end := rt.vidNext.Add(block)
+		tx.vidNext, tx.vidEnd = end-block, end
+	}
+	v := tx.vidNext
+	tx.vidNext++
+	return int(v)
+}
+
+// acquireSlot leases a lock-word slot for tx, blocking in the overflow
+// tier when all slots are held by other sections. Called from the first
+// lock acquisition of a section (and from BecomeInevitable, so the slot
+// is ordered before the inevitability token).
+func (rt *Runtime) acquireSlot(tx *Tx) {
+	slot, _ := rt.slots.acquire(tx)
+	tx.slot = slot
+	tx.mask = txMask(slot)
+	if rt.trackSlots {
+		rt.txBySlot[slot].Store(tx)
 	}
 }
 
-// ActiveTxns returns the number of transaction IDs currently handed out.
-func (rt *Runtime) ActiveTxns() int { return rt.maxIDs - rt.ids.available() }
+// releaseSlot returns tx's slot lease to the pool (possibly handing it
+// directly to an overflow-tier waiter). The caller must have released
+// all lock words and flushed the per-slot profile buffer first.
+func (rt *Runtime) releaseSlot(tx *Tx) {
+	slot := tx.slot
+	tx.slot = -1
+	tx.mask = 0
+	if rt.trackSlots {
+		rt.txBySlot[slot].Store(nil)
+	}
+	rt.slots.release(slot)
+	if rt.wantsEvent(EvSlotRelease) {
+		rt.event(Event{Kind: EvSlotRelease, TxID: tx.vid, OtherID: slot})
+	}
+}
+
+// endTx retires a finished transaction: releases its slot lease if it
+// holds one and recycles the Tx object.
+func (rt *Runtime) endTx(tx *Tx) {
+	if tx.slot >= 0 {
+		rt.releaseSlot(tx)
+	}
+	rt.ended.Add(1)
+	rt.txPool.Put(tx)
+}
+
+// ActiveTxns returns the number of transactions begun and not yet
+// ended. Unlike the pre-virtual-ID runtime this is not bounded by
+// MaxConcurrentTxns — only sections holding locks occupy slots.
+// Begun is the ticket counter; loading ended first keeps the racy
+// difference non-negative (every retired transaction has a ticket).
+func (rt *Runtime) ActiveTxns() int {
+	ended := rt.ended.Load()
+	return int(rt.ticket.Load() - ended)
+}
+
+// LeasedSlots returns the number of lock-word slots currently out on
+// lease (sections holding or acquiring locks).
+func (rt *Runtime) LeasedSlots() int { return rt.maxSlots - rt.slots.available() }
+
+// SlotWaiters returns the number of sections parked in the slot pool's
+// overflow tier.
+func (rt *Runtime) SlotWaiters() int { return rt.slots.queued() }

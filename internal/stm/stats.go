@@ -22,10 +22,15 @@ type Stats struct {
 	Aborts    atomic.Uint64
 	Contended atomic.Uint64 // acquisitions that had to enqueue
 	CASFail   atomic.Uint64 // failed lock-word CAS attempts
-	IDWaits   atomic.Uint64 // Begin calls that had to wait for a free transaction ID
-	IDWaitNs  atomic.Uint64 // total nanoseconds Begin spent waiting for a free ID
-	Deadlocks atomic.Uint64 // deadlock cycles resolved
-	InevWaits atomic.Uint64 // BecomeInevitable calls that had to wait for the token
+	// IDWaits/IDWaitNs are retained for exporter compatibility but are
+	// always 0 since identity was virtualized: Begin no longer blocks
+	// on a bounded pool. Slot pressure shows up as SlotWaits/SlotWaitNs.
+	IDWaits    atomic.Uint64 // legacy: Begin waits on the old bounded ID pool (always 0)
+	IDWaitNs   atomic.Uint64 // legacy: nanoseconds Begin spent waiting for an ID (always 0)
+	SlotWaits  atomic.Uint64 // sections that parked in the slot pool's overflow tier
+	SlotWaitNs atomic.Uint64 // total nanoseconds sections spent parked for a lock-word slot
+	Deadlocks  atomic.Uint64 // deadlock cycles resolved
+	InevWaits  atomic.Uint64 // BecomeInevitable calls that had to wait for the token
 	// SpuriousWakes counts injected spurious wake-ups consumed by parked
 	// waiters (schedule-exploration fault injection; 0 in production).
 	SpuriousWakes atomic.Uint64
@@ -60,6 +65,7 @@ type StatsSnapshot struct {
 	Init, CheckNew, CheckOwned, Acquire     uint64
 	Commits, Aborts, Contended, CASFail     uint64
 	IDWaits, IDWaitNs, Deadlocks, InevWaits uint64
+	SlotWaits, SlotWaitNs                   uint64
 	SpuriousWakes                           uint64
 	Promotions, PromoWasted, DuelLosses     uint64
 	Backoffs, BackoffSpins, SpinAcquires    uint64
@@ -82,6 +88,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		CASFail:          s.CASFail.Load(),
 		IDWaits:          s.IDWaits.Load(),
 		IDWaitNs:         s.IDWaitNs.Load(),
+		SlotWaits:        s.SlotWaits.Load(),
+		SlotWaitNs:       s.SlotWaitNs.Load(),
 		Deadlocks:        s.Deadlocks.Load(),
 		InevWaits:        s.InevWaits.Load(),
 		SpuriousWakes:    s.SpuriousWakes.Load(),
@@ -116,6 +124,8 @@ func (s *Stats) Reset() {
 	s.CASFail.Store(0)
 	s.IDWaits.Store(0)
 	s.IDWaitNs.Store(0)
+	s.SlotWaits.Store(0)
+	s.SlotWaitNs.Store(0)
 	s.Deadlocks.Store(0)
 	s.InevWaits.Store(0)
 	s.SpuriousWakes.Store(0)
@@ -151,6 +161,8 @@ func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
 		CASFail:          s.CASFail - prev.CASFail,
 		IDWaits:          s.IDWaits - prev.IDWaits,
 		IDWaitNs:         s.IDWaitNs - prev.IDWaitNs,
+		SlotWaits:        s.SlotWaits - prev.SlotWaits,
+		SlotWaitNs:       s.SlotWaitNs - prev.SlotWaitNs,
 		Deadlocks:        s.Deadlocks - prev.Deadlocks,
 		InevWaits:        s.InevWaits - prev.InevWaits,
 		SpuriousWakes:    s.SpuriousWakes - prev.SpuriousWakes,

@@ -15,7 +15,7 @@ type Aborted struct {
 }
 
 func (a *Aborted) Error() string {
-	return fmt.Sprintf("stm: transaction %d aborted: %s", a.Tx.id, a.Reason)
+	return fmt.Sprintf("stm: transaction %d aborted: %s", a.Tx.vid, a.Reason)
 }
 
 // Resource is external state with transactional semantics attached to a
@@ -57,8 +57,19 @@ type lockLogEntry struct {
 // Tx is one transaction, i.e. one atomic section of the SBD model. A Tx
 // must only ever be used by the goroutine that began it.
 type Tx struct {
-	rt     *Runtime
-	id     int
+	rt *Runtime
+	// vid is the transaction's unbounded virtual ID — its identity in
+	// events, debug output, and the serving-path accounting. Assigned
+	// at Begin from the Tx's lease block (vidNext..vidEnd) over the
+	// runtime's central counter.
+	vid             int
+	vidNext, vidEnd uint64
+	// slot is the leased lock-word slot (-1 while none): the bounded
+	// visibility resource, acquired on the section's first lock
+	// acquisition and released at commit/abort. mask is txMask(slot)
+	// while a slot is held, 0 otherwise — so ownership tests against
+	// unleased sections are always false.
+	slot   int
 	mask   uint64
 	ticket uint64
 
@@ -80,7 +91,7 @@ type Tx struct {
 	// attempt (promo.go); flushPromo scores them at commit, Reset drops
 	// them. retries counts consecutive Resets of this transaction and
 	// drives the RetryBackoff window; rng is the per-transaction xorshift64
-	// state, lazily seeded from (id, ticket).
+	// state, lazily seeded from (vid, ticket).
 	promoLog []promoRec
 	retries  uint32
 	rng      uint64
@@ -128,8 +139,14 @@ type Tx struct {
 	accBufferBytes, accAttempts                   uint64
 }
 
-// ID returns the transaction's ID (0..MaxTxns-1).
-func (tx *Tx) ID() int { return tx.id }
+// ID returns the transaction's virtual ID: unbounded, unique for the
+// lifetime of the runtime, assigned at Begin. It is not the lock-word
+// slot (see Slot).
+func (tx *Tx) ID() int { return tx.vid }
+
+// Slot returns the leased lock-word slot (0..MaxTxns-1), or -1 while
+// the section holds none (it has not acquired a lock yet).
+func (tx *Tx) Slot() int { return tx.slot }
 
 // Ticket returns the transaction's start ticket; smaller is older. The
 // ticket is preserved across Reset so a repeatedly aborted transaction
@@ -171,6 +188,11 @@ func (tx *Tx) BecomeInevitable() {
 	if tx.inevitable {
 		return
 	}
+	// Lease the lock-word slot before the token: the bounded resources
+	// are ordered slot < token < locks, so a section parked in the slot
+	// pool's overflow tier can never hold the token — no wait-for cycle
+	// can pass through the slot pool.
+	tx.ensureSlot()
 	select {
 	case <-tx.rt.inev:
 	default:
@@ -189,7 +211,7 @@ func (tx *Tx) releaseInevitable() {
 	if tx.inevitable {
 		tx.inevitable = false
 		tx.rt.inev <- struct{}{}
-		tx.rt.event(Event{Kind: EvInevRelease, TxID: tx.id})
+		tx.rt.event(Event{Kind: EvInevRelease, TxID: tx.vid})
 	}
 }
 
@@ -250,6 +272,7 @@ func (tx *Tx) ensureSlab(o *Object) *lockSlab {
 // When write is true the current value of the slot is captured in the
 // undo log at acquisition time.
 func (tx *Tx) lockFor(o *Object, slot int32, kind slotKind, lockID, site int32, write bool) {
+	tx.ensureSlot()
 	slab := tx.ensureSlab(o)
 	addr := &slab.words[lockID]
 
@@ -727,8 +750,8 @@ func flushNZ(dst *atomic.Uint64, src *uint64) {
 
 // Commit ends the transaction successfully: resources commit (flushing
 // deferred I/O), new instances move to the UNALLOC state, locks are
-// released, deferred actions run, and the transaction ID returns to the
-// pool. The Tx must not be used afterwards.
+// released, deferred actions run, and the lock-word slot lease (if one
+// was taken) returns to the pool. The Tx must not be used afterwards.
 func (tx *Tx) Commit() {
 	if tx.ended {
 		panic("stm: Commit on ended transaction")
@@ -754,12 +777,12 @@ func (tx *Tx) Commit() {
 	tx.clearLogs()
 	tx.rt.stats.Commits.Add(1)
 	if tx.rt.wantsEvent(EvCommit) {
-		tx.rt.event(Event{Kind: EvCommit, TxID: tx.id, Ticket: tx.ticket})
+		tx.rt.event(Event{Kind: EvCommit, TxID: tx.vid, Ticket: tx.ticket})
 	}
 	tx.flushPromo() // before flushCounters: scoring bumps nPromoWasted
 	tx.flushCounters()
-	tx.flushProfile()
-	tx.rt.releaseID(tx)
+	tx.flushProfile() // before endTx: the profile buffer is per-slot
+	tx.rt.endTx(tx)
 	for _, f := range deferred {
 		f()
 	}
@@ -768,8 +791,10 @@ func (tx *Tx) Commit() {
 // Reset rolls the transaction back and prepares it for a retry of the
 // same atomic section: resources roll back, the undo log is applied in
 // reverse, locks are released, deferred actions are dropped. The
-// transaction keeps its ID and its start ticket (so it ages toward being
-// the oldest, which guarantees progress).
+// transaction keeps its virtual ID, its slot lease, and its start
+// ticket (so it ages toward being the oldest, which guarantees
+// progress). Keeping the slot across a retry also keeps the buffered
+// per-slot profile deltas owned by this section until they flush.
 func (tx *Tx) Reset() {
 	if tx.ended {
 		panic("stm: Reset on ended transaction")
@@ -807,7 +832,7 @@ func (tx *Tx) Reset() {
 	tx.victim.Store(false)
 	tx.rt.stats.Aborts.Add(1)
 	if tx.rt.wantsEvent(EvReset) {
-		tx.rt.event(Event{Kind: EvReset, TxID: tx.id, Ticket: tx.ticket})
+		tx.rt.event(Event{Kind: EvReset, TxID: tx.vid, Ticket: tx.ticket})
 	}
 	// Counters, memory accounting, and the profile deltas stay buffered in
 	// the transaction across the retry; Commit (or AbandonAfterReset)
@@ -815,8 +840,8 @@ func (tx *Tx) Reset() {
 	// atomic adds.
 }
 
-// AbandonAfterReset releases the transaction ID of a reset transaction
-// that will not be retried (e.g. the thread is shutting down).
+// AbandonAfterReset retires a reset transaction that will not be
+// retried (e.g. the thread is shutting down), releasing its slot lease.
 func (tx *Tx) AbandonAfterReset() {
 	if tx.ended {
 		return
@@ -825,7 +850,16 @@ func (tx *Tx) AbandonAfterReset() {
 	tx.flushPromo()
 	tx.flushCounters()
 	tx.flushProfile()
-	tx.rt.releaseID(tx)
+	tx.rt.endTx(tx)
+}
+
+// ensureSlot leases the lock-word slot on the section's first lock
+// acquisition (or inevitability request); until then the section
+// occupies none of the bounded MaxTxns slots.
+func (tx *Tx) ensureSlot() {
+	if tx.slot < 0 {
+		tx.rt.acquireSlot(tx)
+	}
 }
 
 func (tx *Tx) clearLogs() {
