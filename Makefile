@@ -49,8 +49,11 @@ bench:
 # BENCH_4 "after" numbers, isolating the effect of the adaptive
 # read-bias layer. BENCH_6.json: open-loop serving — sbd-load boots a
 # real sbd-serve over TCP and sweeps arrival rates, recording achieved
-# throughput and latency percentiles per cell. CI runs this non-gating
-# and uploads every BENCH_*.json.
+# throughput and latency percentiles per cell. BENCH_8.json: the suite
+# (now including the invis-flipflop mix) against the committed BENCH_5
+# "after" numbers, isolating the effect of the invisible-read tier
+# (read-fan/read-mostly gains; bounded validation_aborts under mode
+# flip-flop). CI runs this non-gating and uploads every BENCH_*.json.
 bench-snapshot: bin/sbd-serve bin/sbd-load
 	$(GO) run ./cmd/sbd-bench -scale=1 -threads=1,2,4 \
 		-bench=sunflow,tomcat -json=BENCH_2.json
@@ -62,6 +65,8 @@ bench-snapshot: bin/sbd-serve bin/sbd-load
 		-baseline=BENCH_4.json -json=BENCH_5.json
 	./bin/sbd-load -spawn=bin/sbd-serve -seed=1 -conns=64 \
 		-rates=300,900,1800 -duration=3s -json=BENCH_6.json
+	$(GO) run ./cmd/sbd-bench -scalability -ops=20000 \
+		-baseline=BENCH_5.json -json=BENCH_8.json
 
 bin/sbd-serve: FORCE
 	@mkdir -p bin
@@ -76,10 +81,13 @@ FORCE:
 # The serving smoke CI runs on every push/PR: boot a real sbd-serve,
 # drive a short deterministic open-loop burst against it, and fail on
 # any request error, non-2xx response, empty latency histogram, or
-# unclean SIGTERM drain.
+# unclean SIGTERM drain. The burst uses uniform keys (-zipf=1): on a
+# non-conflicting workload the smoke additionally asserts zero
+# commit-time validation aborts — the invisible-read tier must not
+# turn optimism on where it loses.
 serve-smoke: bin/sbd-serve bin/sbd-load
 	./bin/sbd-load -spawn=bin/sbd-serve -seed=1 -conns=32 \
-		-rates=400 -duration=5s -smoke
+		-rates=400 -duration=5s -zipf=1 -smoke
 
 # Compare head benchmarks against a base git ref (default main),
 # benchstat-style via the stdlib-only cmd/sbd-benchcmp. Informational

@@ -144,6 +144,10 @@ type scalCell struct {
 	BiasGrants     uint64 `json:"bias_grants,omitempty"`
 	BiasRevokes    uint64 `json:"bias_revokes,omitempty"`
 	BiasWriteThrus uint64 `json:"bias_write_thrus,omitempty"`
+	// Invisible-read counters; likewise omitted from older baselines.
+	InvisReads       uint64 `json:"invis_reads,omitempty"`
+	ValidationAborts uint64 `json:"validation_aborts,omitempty"`
+	ModeFlips        uint64 `json:"mode_flips,omitempty"`
 }
 
 type scalSnapshot struct {
@@ -203,7 +207,7 @@ func runScalability() {
 	after := scalSnapshot{Tool: "sbd-bench", Mode: "scalability", OpsPerCell: *scalOps}
 	for _, m := range scalebench.Mixes() {
 		fmt.Printf("Scalability — %s (%s)\n", m.Name, m.Desc)
-		hdr := []string{"Thr", "Txns/s", "Abr", "Con", "Fail", "Dlk", "Bias", "Rvk", "WThr"}
+		hdr := []string{"Thr", "Txns/s", "Abr", "Con", "Fail", "Dlk", "Bias", "Rvk", "WThr", "Invis", "VAbr"}
 		if before != nil {
 			hdr = append(hdr, "vs-base")
 		}
@@ -211,24 +215,28 @@ func runScalability() {
 		for _, tc := range scalebench.ThreadCounts {
 			res := scalebench.Run(m, tc, *scalOps)
 			after.Cells = append(after.Cells, scalCell{
-				Mix:            res.Mix,
-				Threads:        res.Threads,
-				Ops:            res.Ops,
-				ElapsedNs:      res.Elapsed.Nanoseconds(),
-				TxnsPerSec:     res.TxnsPerSec,
-				Aborts:         res.Aborts,
-				Contended:      res.Contended,
-				CASFails:       res.CASFails,
-				Deadlocks:      res.Deadlocks,
-				IDWaits:        res.IDWaits,
-				SlotWaits:      res.SlotWaits,
-				BiasGrants:     res.BiasGrants,
-				BiasRevokes:    res.BiasRevokes,
-				BiasWriteThrus: res.BiasWriteThrus,
+				Mix:              res.Mix,
+				Threads:          res.Threads,
+				Ops:              res.Ops,
+				ElapsedNs:        res.Elapsed.Nanoseconds(),
+				TxnsPerSec:       res.TxnsPerSec,
+				Aborts:           res.Aborts,
+				Contended:        res.Contended,
+				CASFails:         res.CASFails,
+				Deadlocks:        res.Deadlocks,
+				IDWaits:          res.IDWaits,
+				SlotWaits:        res.SlotWaits,
+				BiasGrants:       res.BiasGrants,
+				BiasRevokes:      res.BiasRevokes,
+				BiasWriteThrus:   res.BiasWriteThrus,
+				InvisReads:       res.InvisReads,
+				ValidationAborts: res.ValidationAborts,
+				ModeFlips:        res.ModeFlips,
 			})
 			row := []any{tc, fmt.Sprintf("%.0f", res.TxnsPerSec),
 				res.Aborts, res.Contended, res.CASFails, res.Deadlocks,
-				res.BiasGrants, res.BiasRevokes, res.BiasWriteThrus}
+				res.BiasGrants, res.BiasRevokes, res.BiasWriteThrus,
+				res.InvisReads, res.ValidationAborts}
 			if b := baseOf(res.Mix, tc); b != nil && b.TxnsPerSec > 0 {
 				row = append(row, fmt.Sprintf("%.2fx", res.TxnsPerSec/b.TxnsPerSec))
 			} else if before != nil {

@@ -40,12 +40,14 @@ type sample struct {
 
 func (s sample) mean() float64 { return s.sum / float64(s.n) }
 
-// waitUnits are the slot-lease / transaction-ID wait counters some
-// benchmarks report via b.ReportMetric. Their deltas are printed as
-// extra rows, informational only — counters are too workload-shaped to
-// gate on, but a slot-wait count appearing where there was none flags a
-// concurrency-ceiling change no ns/op column would show.
-var waitUnits = []string{"slotwaits/run", "idwaits/run"}
+// waitUnits are the slot-lease / transaction-ID wait and invisible-read
+// counters some benchmarks report via b.ReportMetric. Their deltas are
+// printed as extra rows, informational only — counters are too
+// workload-shaped to gate on, but a slot-wait count appearing where
+// there was none flags a concurrency-ceiling change, and a validation
+// abort count swelling flags misplaced optimism, that no ns/op column
+// would show.
+var waitUnits = []string{"slotwaits/run", "idwaits/run", "invisreads/run", "valaborts/run"}
 
 // parseFile extracts "Benchmark<Name>[-P] <iters> <value> ns/op ..."
 // lines. Repetitions of the same name accumulate. The second map holds

@@ -67,6 +67,7 @@ type statsSnap struct {
 	IDWaits, IDWaitNs, SlotWaits, SlotWaitNs uint64
 	Deadlocks, Promotions                    uint64
 	BiasGrants, BiasRevokes, BiasWriteThrus  uint64
+	InvisReads, ValidationAborts, ModeFlips  uint64
 }
 
 func (a statsSnap) sub(b statsSnap) statsSnap {
@@ -77,7 +78,10 @@ func (a statsSnap) sub(b statsSnap) statsSnap {
 		SlotWaits: a.SlotWaits - b.SlotWaits, SlotWaitNs: a.SlotWaitNs - b.SlotWaitNs,
 		Deadlocks: a.Deadlocks - b.Deadlocks, Promotions: a.Promotions - b.Promotions,
 		BiasGrants: a.BiasGrants - b.BiasGrants, BiasRevokes: a.BiasRevokes - b.BiasRevokes,
-		BiasWriteThrus: a.BiasWriteThrus - b.BiasWriteThrus,
+		BiasWriteThrus:   a.BiasWriteThrus - b.BiasWriteThrus,
+		InvisReads:       a.InvisReads - b.InvisReads,
+		ValidationAborts: a.ValidationAborts - b.ValidationAborts,
+		ModeFlips:        a.ModeFlips - b.ModeFlips,
 	}
 }
 
@@ -115,6 +119,10 @@ type jsonCell struct {
 	BiasGrants     uint64  `json:"bias_grants,omitempty"`
 	BiasRevokes    uint64  `json:"bias_revokes,omitempty"`
 	BiasWriteThrus uint64  `json:"bias_write_thrus,omitempty"`
+	// Invisible-read counters; omitted from pre-invisible snapshots.
+	InvisReads       uint64 `json:"invis_reads,omitempty"`
+	ValidationAborts uint64 `json:"validation_aborts,omitempty"`
+	ModeFlips        uint64 `json:"mode_flips,omitempty"`
 
 	OfferedPerSec float64 `json:"offered_per_sec,omitempty"`
 	P50Ns         int64   `json:"p50_ns,omitempty"`
@@ -438,7 +446,7 @@ func main() {
 	}
 
 	after := jsonSnapshot{Tool: "sbd-load", Mode: "serving"}
-	tbl := harness.NewTable("Rate", "Txns/s", "Ops", "Err", "p50", "p99", "p999", "max", "Abr", "Con", "SlotWait")
+	tbl := harness.NewTable("Rate", "Txns/s", "Ops", "Err", "p50", "p99", "p999", "max", "Abr", "Con", "SlotWait", "Invis", "VAbr")
 	smokeFailures := []string{}
 	for i, rate := range rateList {
 		res := runCell(cs, mix, rate, d, *duration, *seed+int64(i)*104729, statsAddr)
@@ -450,31 +458,35 @@ func main() {
 			res.hist.Quantile(0.999).Round(time.Microsecond).String(),
 			res.hist.Max().Round(time.Microsecond).String(),
 			res.stats.Aborts, res.stats.Contended,
-			time.Duration(res.stats.SlotWaitNs).Round(time.Microsecond).String())
+			time.Duration(res.stats.SlotWaitNs).Round(time.Microsecond).String(),
+			res.stats.InvisReads, res.stats.ValidationAborts)
 		after.Cells = append(after.Cells, jsonCell{
-			Mix:            fmt.Sprintf("open-loop/%s@%.0f", d, rate),
-			Threads:        *conns,
-			Ops:            res.ops,
-			ElapsedNs:      res.elapsed.Nanoseconds(),
-			TxnsPerSec:     achieved,
-			Aborts:         res.stats.Aborts,
-			Contended:      res.stats.Contended,
-			CASFails:       res.stats.CASFail,
-			Deadlocks:      res.stats.Deadlocks,
-			IDWaits:        res.stats.IDWaits,
-			SlotWaits:      res.stats.SlotWaits,
-			BiasGrants:     res.stats.BiasGrants,
-			BiasRevokes:    res.stats.BiasRevokes,
-			BiasWriteThrus: res.stats.BiasWriteThrus,
-			OfferedPerSec:  rate,
-			P50Ns:          res.hist.Quantile(0.50).Nanoseconds(),
-			P99Ns:          res.hist.Quantile(0.99).Nanoseconds(),
-			P999Ns:         res.hist.Quantile(0.999).Nanoseconds(),
-			MaxNs:          res.hist.Max().Nanoseconds(),
-			Errors:         res.errors + res.non2xx + res.dropped,
-			IDWaitNs:       res.stats.IDWaitNs,
-			SlotWaitNs:     res.stats.SlotWaitNs,
-			Promotions:     res.stats.Promotions,
+			Mix:              fmt.Sprintf("open-loop/%s@%.0f", d, rate),
+			Threads:          *conns,
+			Ops:              res.ops,
+			ElapsedNs:        res.elapsed.Nanoseconds(),
+			TxnsPerSec:       achieved,
+			Aborts:           res.stats.Aborts,
+			Contended:        res.stats.Contended,
+			CASFails:         res.stats.CASFail,
+			Deadlocks:        res.stats.Deadlocks,
+			IDWaits:          res.stats.IDWaits,
+			SlotWaits:        res.stats.SlotWaits,
+			BiasGrants:       res.stats.BiasGrants,
+			BiasRevokes:      res.stats.BiasRevokes,
+			BiasWriteThrus:   res.stats.BiasWriteThrus,
+			OfferedPerSec:    rate,
+			P50Ns:            res.hist.Quantile(0.50).Nanoseconds(),
+			P99Ns:            res.hist.Quantile(0.99).Nanoseconds(),
+			P999Ns:           res.hist.Quantile(0.999).Nanoseconds(),
+			MaxNs:            res.hist.Max().Nanoseconds(),
+			Errors:           res.errors + res.non2xx + res.dropped,
+			IDWaitNs:         res.stats.IDWaitNs,
+			SlotWaitNs:       res.stats.SlotWaitNs,
+			Promotions:       res.stats.Promotions,
+			InvisReads:       res.stats.InvisReads,
+			ValidationAborts: res.stats.ValidationAborts,
+			ModeFlips:        res.stats.ModeFlips,
 		})
 		if *smoke {
 			if n := res.errors; n > 0 {
@@ -501,6 +513,12 @@ func main() {
 				// Identity is virtual: Begin must never block. Any overload
 				// waiting belongs in the slot-lease counters instead.
 				smokeFailures = append(smokeFailures, fmt.Sprintf("rate %.0f: %d ID waits (Begin blocked)", rate, n))
+			}
+			if n := res.stats.ValidationAborts; *zipfS <= 1 && n > 0 {
+				// Uniform keys barely conflict: an invisible read that still
+				// failed validation means the adaptive tier turned optimism
+				// on where it loses — a false-optimism regression, not load.
+				smokeFailures = append(smokeFailures, fmt.Sprintf("rate %.0f: %d validation aborts on uniform keys", rate, n))
 			}
 		}
 	}

@@ -87,9 +87,10 @@ func main() {
 	tx := rt.STM().Begin()
 	served, orders := sh.Served(tx), sh.OrdersPlaced(tx)
 	tx.Commit()
-	fmt.Printf("sbd-serve: served=%d orders=%d commits=%d aborts=%d contended=%d slotwait=%v\n",
+	fmt.Printf("sbd-serve: served=%d orders=%d commits=%d aborts=%d contended=%d slotwait=%v invis=%d valaborts=%d modeflips=%d\n",
 		served, orders, snap.Commits, snap.Aborts, snap.Contended,
-		time.Duration(snap.SlotWaitNs).Round(time.Microsecond))
+		time.Duration(snap.SlotWaitNs).Round(time.Microsecond),
+		snap.InvisReads, snap.ValidationAborts, snap.ModeFlips)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sbd-serve: unclean shutdown: %v\n", err)
 		os.Exit(1)

@@ -122,9 +122,32 @@ func (th *Thread) beginSection() {
 }
 
 func (th *Thread) endSection() {
-	th.tx.Commit()
+	// Commit itself can abort: a section that read invisibly revalidates
+	// its read-set at commit time (stm/readset.go), and a failure unwinds
+	// with *Aborted before anything irreversible happened. Replay the
+	// recorded section and try again — the crushed site score makes the
+	// replay read visibly, so the loop terminates.
+	for !th.tryCommit() {
+		th.tx.Reset()
+		th.tx.RetryBackoff()
+		th.replayFrom(0)
+	}
 	th.tx = nil
 	th.log = th.log[:0]
+}
+
+func (th *Thread) tryCommit() (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ab, isAbort := r.(*stm.Aborted); isAbort && ab.Tx == th.tx {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	th.tx.Commit()
+	return true
 }
 
 // Atomic executes f inside the thread's current atomic section and

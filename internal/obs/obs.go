@@ -48,11 +48,11 @@ func ProfileTable(rows []stm.SiteProfile) string {
 	if len(rows) == 0 {
 		return "no lock-site activity recorded\n"
 	}
-	tbl := harness.NewTable("Site", "Acq", "Cont", "CASFail", "Upgr", "Promo", "DuelLoss", "Dead", "Bias", "Revoke", "Block")
+	tbl := harness.NewTable("Site", "Acq", "Cont", "CASFail", "Upgr", "Promo", "DuelLoss", "Dead", "Bias", "Revoke", "Invis", "VAbr", "Block")
 	for _, r := range rows {
 		tbl.Row(r.Site.String(), r.Acquires, r.Contended, r.CASFails,
 			r.Upgrades, r.Promotions, r.DuelLosses, r.Deadlocks,
-			r.BiasGrants, r.BiasRevokes,
+			r.BiasGrants, r.BiasRevokes, r.InvisReads, r.ValAborts,
 			r.BlockTime.Round(time.Microsecond).String())
 	}
 	return tbl.String()
@@ -127,6 +127,9 @@ func Metrics(snap stm.StatsSnapshot, sites []stm.SiteProfile, rec *stm.FlightRec
 	fmt.Fprintf(&b, "# HELP sbd_bias_revoke_wait_seconds_total Time writers spent draining biased readers.\n")
 	fmt.Fprintf(&b, "# TYPE sbd_bias_revoke_wait_seconds_total counter\n")
 	fmt.Fprintf(&b, "sbd_bias_revoke_wait_seconds_total %s\n", promFloat(float64(snap.BiasRevokeWaitNs)/1e9))
+	counter("sbd_invis_reads_total", "Reads served by the invisible optimistic tier.", snap.InvisReads)
+	counter("sbd_validation_aborts_total", "Commit-time read-set validation failures.", snap.ValidationAborts)
+	counter("sbd_mode_flips_total", "Per-site read-mode threshold crossings (visible<->invisible).", snap.ModeFlips)
 
 	fmt.Fprintf(&b, "# HELP sbd_abort_rate Aborts per commit; +Inf when aborting without commits.\n")
 	fmt.Fprintf(&b, "# TYPE sbd_abort_rate gauge\n")
@@ -163,6 +166,10 @@ func Metrics(snap stm.StatsSnapshot, sites []stm.SiteProfile, rec *stm.FlightRec
 			func(r stm.SiteProfile) string { return fmt.Sprint(r.BiasGrants) })
 		series("sbd_site_bias_revokes_total", "Read-bias revocations per site.",
 			func(r stm.SiteProfile) string { return fmt.Sprint(r.BiasRevokes) })
+		series("sbd_site_invis_reads_total", "Invisible optimistic reads per site.",
+			func(r stm.SiteProfile) string { return fmt.Sprint(r.InvisReads) })
+		series("sbd_site_validation_aborts_total", "Commit-time validation failures per site.",
+			func(r stm.SiteProfile) string { return fmt.Sprint(r.ValAborts) })
 		series("sbd_site_block_seconds_total", "Cumulative time blocked per site.",
 			func(r stm.SiteProfile) string { return promFloat(r.BlockTime.Seconds()) })
 	}

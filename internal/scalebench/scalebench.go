@@ -106,6 +106,33 @@ func Mixes() []Mix {
 			},
 		},
 		{
+			Name:  "invis-flipflop",
+			Desc:  "read fan-out over 4 cells with a migrating write-hot cell, forcing invisible<->visible mode flips",
+			cells: 4,
+			body: func(tx *stm.Tx, cells []*stm.Object, w, i int) {
+				// Every phaseLen ops the write-hot cell moves to the next
+				// index: each site alternates between read-mostly (the
+				// scorer flips it invisible) and write-hot (writes and
+				// validation aborts crush it back to visible). The adaptive
+				// tier has to keep re-learning, and its mistakes are bounded
+				// by the crush-on-abort rule — one validation abort per
+				// site per migration, not one per transaction.
+				const phaseLen = 64
+				p := (i / phaseLen) % len(cells)
+				if i%8 == 0 {
+					v := tx.ReadWord(cells[p], cellV)
+					tx.WriteWord(cells[p], cellV, v+1)
+				} else {
+					for c := 0; c < len(cells); c++ {
+						if c != p {
+							_ = tx.ReadWord(cells[c], cellV)
+						}
+					}
+				}
+				runtime.Gosched() // keep the phases of the workers interleaved
+			},
+		},
+		{
 			Name:  "write-heavy",
 			Desc:  "every transaction write-locks two cells in global order (distinct queues, two-phase release)",
 			cells: 4,
@@ -199,6 +226,14 @@ type Result struct {
 	BiasGrants     uint64
 	BiasRevokes    uint64
 	BiasWriteThrus uint64
+	// Invisible-read counters (invis.go/readset.go): InvisReads are
+	// reads served by the optimistic TL2-style tier (no shared-memory
+	// store at all), ValidationAborts are commit-time read-set
+	// validation failures, ModeFlips are per-site read-mode threshold
+	// crossings (visible<->invisible) by the adaptive scorer.
+	InvisReads       uint64
+	ValidationAborts uint64
+	ModeFlips        uint64
 }
 
 // Run executes totalOps transactions of the mix spread over the given
@@ -245,20 +280,23 @@ func Run(m Mix, threads, totalOps int) Result {
 		}
 	}
 	return Result{
-		Mix:            m.Name,
-		Threads:        threads,
-		Ops:            ops,
-		Elapsed:        elapsed,
-		TxnsPerSec:     float64(ops) / elapsed.Seconds(),
-		Aborts:         snap.Aborts,
-		Contended:      snap.Contended,
-		CASFails:       snap.CASFail,
-		Deadlocks:      snap.Deadlocks,
-		IDWaits:        snap.IDWaits,
-		SlotWaits:      snap.SlotWaits,
-		BiasGrants:     snap.BiasGrants,
-		BiasRevokes:    snap.BiasRevokes,
-		BiasWriteThrus: snap.BiasWriteThrus,
+		Mix:              m.Name,
+		Threads:          threads,
+		Ops:              ops,
+		Elapsed:          elapsed,
+		TxnsPerSec:       float64(ops) / elapsed.Seconds(),
+		Aborts:           snap.Aborts,
+		Contended:        snap.Contended,
+		CASFails:         snap.CASFail,
+		Deadlocks:        snap.Deadlocks,
+		IDWaits:          snap.IDWaits,
+		SlotWaits:        snap.SlotWaits,
+		BiasGrants:       snap.BiasGrants,
+		BiasRevokes:      snap.BiasRevokes,
+		BiasWriteThrus:   snap.BiasWriteThrus,
+		InvisReads:       snap.InvisReads,
+		ValidationAborts: snap.ValidationAborts,
+		ModeFlips:        snap.ModeFlips,
 	}
 }
 
@@ -279,10 +317,12 @@ func runMixTxn(rt *stm.Runtime, m Mix, cells []*stm.Object, w, i int) {
 				}
 			}()
 			m.body(tx, cells, w, i)
+			// Commit inside the recovery scope: a section that read
+			// invisibly revalidates at commit time and may abort there.
+			tx.Commit()
 			return true
 		}()
 		if ok {
-			tx.Commit()
 			return
 		}
 		tx.Reset()

@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The invisible-read validation abort must be deterministic end to end:
+// the same seed yields the identical decision trace and coverage even
+// though the run crosses the optimistic tier's full protocol — version
+// array install, invisible read, version stamp at the writer's release
+// (PointVersionStamp), commit-time validation scan (PointValidate), and
+// the crushed-score visible replay — and a recorded trace replays
+// decision-for-decision.
+func TestInvisibleValidationDeterministic(t *testing.T) {
+	for _, seed := range []uint64{3, 99, 4242} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			run := func() Result {
+				res := RunScenario(ScenarioInvisibleValidation(), NewRandomPolicy(seed), testConfig())
+				if res.Err != nil {
+					t.Fatalf("run failed: %v\nevents:\n%v", res.Err, res.Events)
+				}
+				return res
+			}
+			r1, r2 := run(), run()
+			if r1.Coverage != r2.Coverage {
+				t.Fatalf("coverage diverged:\n  run1: %s\n  run2: %s", r1.Coverage, r2.Coverage)
+			}
+			if len(r1.Decisions) != len(r2.Decisions) {
+				t.Fatalf("%d vs %d decisions", len(r1.Decisions), len(r2.Decisions))
+			}
+			for i := range r1.Decisions {
+				if r1.Decisions[i] != r2.Decisions[i] {
+					t.Fatalf("decision %d diverged: %v vs %v", i, r1.Decisions[i], r2.Decisions[i])
+				}
+			}
+
+			replay := RunScenario(ScenarioInvisibleValidation(), NewReplayPolicy(r1.Decisions), testConfig())
+			if replay.Err != nil {
+				t.Fatalf("replay failed: %v", replay.Err)
+			}
+			if replay.Coverage != r1.Coverage {
+				t.Fatalf("replay coverage diverged:\n  orig:   %s\n  replay: %s",
+					r1.Coverage, replay.Coverage)
+			}
+		})
+	}
+}
+
+// Across a seed sweep the scenario must exercise exactly the machinery
+// it was built for: invisible reads granted, exactly one validation
+// abort per run, and a committed replay after it.
+func TestInvisibleValidationCoverage(t *testing.T) {
+	const seeds = 6
+	var total Coverage
+	for seed := uint64(0); seed < seeds; seed++ {
+		res := RunScenario(ScenarioInvisibleValidation(), NewRandomPolicy(seed), testConfig())
+		if res.Err != nil {
+			t.Fatalf("seed %d: %v\nevents:\n%v", seed, res.Err, res.Events)
+		}
+		total.Add(res.Coverage)
+	}
+	if total.InvisReads == 0 {
+		t.Fatalf("no invisible read observed: %s", total)
+	}
+	if total.ValAborts != seeds {
+		t.Fatalf("ValAborts = %d, want exactly %d (one pinned abort per run): %s", total.ValAborts, seeds, total)
+	}
+	if total.Commits == 0 {
+		t.Fatalf("scenario ran without commits: %s", total)
+	}
+}

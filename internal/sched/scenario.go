@@ -80,10 +80,12 @@ func Retry(s *Scheduler, rt *stm.Runtime, body func(tx *stm.Tx)) {
 				}
 			}()
 			body(tx)
+			// Commit inside the recovery scope: commit-time read-set
+			// validation (stm/readset.go) may abort the transaction.
+			tx.Commit()
 			return true
 		}()
 		if ok {
-			tx.Commit()
 			return
 		}
 		tx.Reset()
@@ -654,6 +656,68 @@ func ScenarioSlotLease() Scenario {
 	}
 }
 
+// ScenarioInvisibleValidation forces the TL2-style optimistic tier
+// (invis.go/readset.go) through its one dangerous window: a reader
+// takes an invisible read — no lock word bit, no reader slot, nothing
+// a writer could see — and a writer commits to the same word before
+// the reader validates. The commit-time read-set validation must abort
+// the reader, the abort must crush the site score so the replay reads
+// visibly, and the replay must observe the writer's value. The
+// interleaving is pinned by barriers, so the validation abort happens
+// on every schedule; the policy still chooses how the version stamp
+// (PointVersionStamp) and the validation scan (PointValidate)
+// interleave with everything else.
+func ScenarioInvisibleValidation() Scenario {
+	return Scenario{
+		Name: "invisible-validation",
+		Build: func(rt *stm.Runtime, s *Scheduler) ([]Worker, func() error) {
+			o := stm.NewCommitted(cellClass)
+			s.Watch(o)
+			rt.SeedInvisible(cellClass, cellV)
+			var seen []uint64
+			reader := Worker{Name: "iv-r", Body: func() {
+				// First section installs the slab's version array (the
+				// installing read itself stays visible by design).
+				Retry(s, rt, func(tx *stm.Tx) { _ = tx.ReadWord(o, cellV) })
+				arm := true
+				Retry(s, rt, func(tx *stm.Tx) {
+					v := tx.ReadWord(o, cellV)
+					seen = append(seen, v)
+					if arm {
+						arm = false
+						s.Barrier("iv-read", 2)    // invisible read taken
+						s.Barrier("iv-written", 2) // writer has committed
+					}
+				})
+			}}
+			writer := Worker{Name: "iv-w", Body: func() {
+				s.Barrier("iv-read", 2)
+				Retry(s, rt, func(tx *stm.Tx) {
+					tx.WriteWord(o, cellV, tx.ReadWord(o, cellV)+1)
+				})
+				s.Barrier("iv-written", 2)
+			}}
+			post := func() error {
+				if len(seen) != 2 || seen[0] != 0 || seen[1] != 1 {
+					return fmt.Errorf("invisible-validation: reader attempts saw %v, want [0 1]", seen)
+				}
+				if v := stm.CommittedWord(o, cellV); v != 1 {
+					return fmt.Errorf("invisible-validation: counter = %d, want 1", v)
+				}
+				snap := rt.Stats().Snapshot()
+				if snap.ValidationAborts != 1 {
+					return fmt.Errorf("invisible-validation: ValidationAborts = %d, want 1", snap.ValidationAborts)
+				}
+				if snap.InvisReads == 0 {
+					return fmt.Errorf("invisible-validation: no invisible read taken")
+				}
+				return nil
+			}
+			return []Worker{reader, writer}, post
+		},
+	}
+}
+
 // RoundScenarios returns the scenario list of one stress round.
 func RoundScenarios(seed uint64) []Scenario {
 	return []Scenario{
@@ -671,6 +735,7 @@ func RoundScenarios(seed uint64) []Scenario {
 		ScenarioUpgradeStorm(),
 		ScenarioBiasRevoke(),
 		ScenarioSlotLease(),
+		ScenarioInvisibleValidation(),
 	}
 }
 

@@ -137,13 +137,15 @@ type Coverage struct {
 	BiasRevokes   int // read-bias revocations by writers (EvBiasRevoke)
 	SlotWaits     int // sections parked in the slot pool's overflow tier (EvSlotWait)
 	SlotGrants    int // slot leases handed to overflow-tier waiters (EvSlotGrant)
+	InvisReads    int // invisible optimistic reads (EvInvisRead)
+	ValAborts     int // commit-time read-set validation failures (EvValidationAbort)
 	Commits       int
 	Aborts        int
 }
 
 func (c Coverage) String() string {
-	return fmt.Sprintf("deadlocks=%d duels=%d grants=%d blocked=%d casfail=%d delayed=%d redeliver=%d spurious=%d promoted=%d backoffs=%d biased=%d revoked=%d slotwaits=%d slotgrants=%d commits=%d aborts=%d",
-		c.Deadlocks, c.Duels, c.Grants, c.Blocked, c.CASFails, c.DelayedGrants, c.Redeliveries, c.SpuriousWakes, c.Promotions, c.Backoffs, c.BiasGrants, c.BiasRevokes, c.SlotWaits, c.SlotGrants, c.Commits, c.Aborts)
+	return fmt.Sprintf("deadlocks=%d duels=%d grants=%d blocked=%d casfail=%d delayed=%d redeliver=%d spurious=%d promoted=%d backoffs=%d biased=%d revoked=%d slotwaits=%d slotgrants=%d invis=%d valaborts=%d commits=%d aborts=%d",
+		c.Deadlocks, c.Duels, c.Grants, c.Blocked, c.CASFails, c.DelayedGrants, c.Redeliveries, c.SpuriousWakes, c.Promotions, c.Backoffs, c.BiasGrants, c.BiasRevokes, c.SlotWaits, c.SlotGrants, c.InvisReads, c.ValAborts, c.Commits, c.Aborts)
 }
 
 // Add accumulates c2 into c.
@@ -162,6 +164,8 @@ func (c *Coverage) Add(c2 Coverage) {
 	c.BiasRevokes += c2.BiasRevokes
 	c.SlotWaits += c2.SlotWaits
 	c.SlotGrants += c2.SlotGrants
+	c.InvisReads += c2.InvisReads
+	c.ValAborts += c2.ValAborts
 	c.Commits += c2.Commits
 	c.Aborts += c2.Aborts
 }
@@ -767,6 +771,10 @@ func (s *Scheduler) Event(ev stm.Event) {
 		s.cov.BiasGrants++
 	case stm.EvBiasRevoke:
 		s.cov.BiasRevokes++
+	case stm.EvInvisRead:
+		s.cov.InvisReads++
+	case stm.EvValidationAbort:
+		s.cov.ValAborts++
 	}
 	if err := s.check.observe(ev); err != nil {
 		s.failLocked(fmt.Errorf("checker: %w", err))

@@ -252,6 +252,103 @@ func TestConcurrentCheckoutConservesStock(t *testing.T) {
 	}
 }
 
+// TestInvisibleCheckoutConservesStock is the invisible-read variant of
+// the stock-conservation race: the product counters are seeded into the
+// optimistic invisible tier, browse threads read them with no shared
+// store at all, and checkout threads keep committing decrements under
+// them. Browses whose invisible reads are overwritten before commit must
+// validation-abort and replay — never observe torn stock, never make a
+// writer lose an update — and once the first abort crushes the site the
+// tier backs itself off. Conservation is the writers' half of the proof;
+// available+sold consistency inside each browse section is the readers'.
+func TestInvisibleCheckoutConservesStock(t *testing.T) {
+	const (
+		writers = 4
+		readers = 4
+		rounds  = 40
+	)
+	rt := core.New()
+	sh, err := shop.New(rt, shop.Config{Items: 2, Stock: 1 << 20, StatSlots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.STM().SeedInvisible(shop.ProductClass, shop.ProductAvailable)
+	rt.STM().SeedInvisible(shop.ProductClass, shop.ProductSold)
+
+	var failures, torn atomic.Int64
+	rt.Main(func(th *core.Thread) {
+		kids := make([]*core.Thread, 0, writers+readers)
+		for w := 0; w < writers; w++ {
+			sess := strconv.Itoa(w)
+			id := w
+			kids = append(kids, th.Go("buyer"+sess, func(wt *core.Thread) {
+				add, _ := minihttp.ParseRequest("GET /add?session=" + sess + "&item=0&qty=1")
+				checkout, _ := minihttp.ParseRequest("GET /checkout?session=" + sess)
+				for r := 0; r < rounds; r++ {
+					var addSt, coSt int
+					wt.Atomic(func(tx *stm.Tx) {
+						addSt, _ = sh.Handle(tx, add, id)
+					})
+					wt.Split()
+					wt.Atomic(func(tx *stm.Tx) {
+						coSt, _ = sh.Handle(tx, checkout, id)
+					})
+					wt.Split()
+					if addSt != 200 || coSt != 200 {
+						failures.Add(1)
+					}
+				}
+			}))
+		}
+		for g := 0; g < readers; g++ {
+			kids = append(kids, th.Go(fmt.Sprintf("browser%d", g), func(wt *core.Thread) {
+				p := sh.Product(0)
+				for r := 0; r < rounds; r++ {
+					// Two reads of the same pair inside one section: if the
+					// optimistic tier ever let a writer's commit slide between
+					// them undetected, the sums would disagree.
+					var a1, s1, a2, s2 int64
+					wt.Atomic(func(tx *stm.Tx) {
+						a1, s1 = sh.StockOf(tx, 0)
+						a2 = tx.ReadInt(p, shop.ProductAvailable)
+						s2 = tx.ReadInt(p, shop.ProductSold)
+					})
+					wt.Split()
+					if a1+s1 != 1<<20 || a1 != a2 || s1 != s2 {
+						torn.Add(1)
+					}
+				}
+			}))
+		}
+		th.Split()
+		for _, k := range kids {
+			th.Join(k)
+		}
+	})
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d handler calls failed", n)
+	}
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d browse sections observed torn stock", n)
+	}
+
+	const want = writers * rounds
+	tx := rt.STM().Begin()
+	avail, sold := sh.StockOf(tx, 0)
+	placed := sh.OrdersPlaced(tx)
+	tx.Commit()
+	if sold != want || avail != 1<<20-want {
+		t.Fatalf("stock not conserved: available=%d sold=%d want sold=%d", avail, sold, want)
+	}
+	if placed != want {
+		t.Fatalf("orders placed = %d, want %d", placed, want)
+	}
+	snap := rt.Stats().Snapshot()
+	if snap.InvisReads == 0 {
+		t.Fatalf("seeded product counters served no invisible reads: %+v", snap)
+	}
+}
+
 // TestConcurrentAddSharedSession races cart adds on ONE session so the
 // memdb cart row itself is the contended resource. The first-updater-wins
 // engine rejects overlapping writers with ErrConflict (409 at the

@@ -1,0 +1,38 @@
+package stm
+
+import "sync/atomic"
+
+// Global version clock for the invisible-read tier (readset.go). The
+// design is TL2's: the clock advances once per writing commit that
+// touches a versioned word, committed words are stamped with the new
+// value before their write locks clear, and an invisible reader proves
+// at commit time that every version it observed is still current.
+//
+// The clock is the only shared word the invisible-read machinery ever
+// writes, and only writers write it — the whole point of the tier is
+// that readers store nothing shared. Writers bump it lazily: the first
+// stamped word of a committing transaction pays one fetch-add
+// (versionClock.tick in Tx.stampVersion), and a commit that stamped
+// nothing — every commit, until some site's lock slab carries a version
+// array — never touches it. That keeps the gated uncontended fast path
+// (Table6AcqRls) at literally zero extra shared traffic while no site
+// is in invisible mode.
+type versionClock struct {
+	_   [64]byte // pad: the clock must not false-share with Runtime's other hot fields
+	clk atomic.Uint64
+	_   [64]byte
+}
+
+// init starts the clock at 1 so a transaction's read version (Tx.rv) is
+// never zero — zero is the "no invisible read yet" sentinel — and every
+// stamped version (tick ≥ 2) is distinguishable from the implicit
+// version 0 of a never-stamped word.
+func (vc *versionClock) init() { vc.clk.Store(1) }
+
+// now returns the current clock value. Readers snapshot it as their
+// read version (snapshot extension re-snapshots it).
+func (vc *versionClock) now() uint64 { return vc.clk.Load() }
+
+// tick advances the clock and returns the new value; committing writers
+// stamp their written words with it.
+func (vc *versionClock) tick() uint64 { return vc.clk.Add(1) }

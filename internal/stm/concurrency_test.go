@@ -22,10 +22,12 @@ func retryLoop(rt *Runtime, body func(tx *Tx)) {
 				}
 			}()
 			body(tx)
+			// Commit inside the recovery scope: commit-time read-set
+			// validation may abort (readset.go).
+			tx.Commit()
 			return true
 		}()
 		if done {
-			tx.Commit()
 			return
 		}
 		tx.Reset()

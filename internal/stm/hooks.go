@@ -60,6 +60,16 @@ const (
 	// publish and its marker verify — the window a revoking writer
 	// races against.
 	PointBiasPublish
+	// PointVersionStamp is the yield before a committing writer stamps a
+	// written word's version (Tx.stampVersion), between its value store
+	// and the release CAS — the window an invisible reader's validation
+	// races against.
+	PointVersionStamp
+	// PointValidate is the yield at the top of commit-time read-set
+	// validation (Tx.validateReads): a writer scheduled here commits
+	// between an invisible read and its validation, forcing a
+	// validation abort.
+	PointValidate
 )
 
 var pointNames = [...]string{
@@ -78,6 +88,8 @@ var pointNames = [...]string{
 	PointInevWait:     "inev-wait",
 	PointBackoff:      "backoff",
 	PointBiasPublish:  "bias-publish",
+	PointVersionStamp: "version-stamp",
+	PointValidate:     "validate",
 }
 
 func (p YieldPoint) String() string {
@@ -144,27 +156,36 @@ const (
 	// section (TxID = recipient's virtual ID, OtherID = slot). Emitted
 	// synchronously by the releaser, before the recipient resumes.
 	EvSlotGrant
+	// EvInvisRead: a read was served invisibly — no shared store at all,
+	// validated at commit (TxID, Addr). Per-access; not retained by the
+	// default recorder mask.
+	EvInvisRead
+	// EvValidationAbort: commit-time read-set validation failed and the
+	// transaction unwound for replay (TxID, Ticket).
+	EvValidationAbort
 )
 
 var eventNames = [...]string{
-	EvBegin:        "begin",
-	EvCommit:       "commit",
-	EvReset:        "reset",
-	EvBlocked:      "blocked",
-	EvGranted:      "granted",
-	EvAbortWaiter:  "abort-waiter",
-	EvDeadlock:     "deadlock",
-	EvDuel:         "duel",
-	EvSpuriousWake: "spurious-wake",
-	EvDelayedGrant: "delayed-grant",
-	EvSlotRelease:  "slot-release",
-	EvInevRelease:  "inev-release",
-	EvPromoted:     "promoted",
-	EvBackoff:      "backoff",
-	EvBiased:       "biased",
-	EvBiasRevoke:   "bias-revoke",
-	EvSlotWait:     "slot-wait",
-	EvSlotGrant:    "slot-grant",
+	EvBegin:           "begin",
+	EvCommit:          "commit",
+	EvReset:           "reset",
+	EvBlocked:         "blocked",
+	EvGranted:         "granted",
+	EvAbortWaiter:     "abort-waiter",
+	EvDeadlock:        "deadlock",
+	EvDuel:            "duel",
+	EvSpuriousWake:    "spurious-wake",
+	EvDelayedGrant:    "delayed-grant",
+	EvSlotRelease:     "slot-release",
+	EvInevRelease:     "inev-release",
+	EvPromoted:        "promoted",
+	EvBackoff:         "backoff",
+	EvBiased:          "biased",
+	EvBiasRevoke:      "bias-revoke",
+	EvSlotWait:        "slot-wait",
+	EvSlotGrant:       "slot-grant",
+	EvInvisRead:       "invis-read",
+	EvValidationAbort: "validation-abort",
 }
 
 func (k EventKind) String() string {

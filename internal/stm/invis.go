@@ -1,0 +1,190 @@
+package stm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Adaptive invisible-read selection. The runtime now has four read
+// modes, in decreasing visibility: a promoted write acquisition
+// (promo.go), a plain TID holder bit in the lock word (the paper's
+// visible reader), a distributed bias slot (bias.go) — and, here, no
+// store at all. An invisible read records (word, observed version) in
+// the transaction's private read-set and proves at commit that every
+// observed version is still current (readset.go). The mode is chosen
+// per lock site by the same copy-on-write score-table shape as
+// promotion and bias: sampled read acquisitions build the score,
+// sampled write acquisitions knock it down hard (written-rarely is a
+// requirement, not a preference — every write risks a validation
+// abort for every concurrent invisible reader), and an actual
+// validation abort crushes the score below zero, so the site sits out
+// a long cooldown in bias/visible mode before optimism is retried.
+//
+// Threshold interplay: invisOn is deliberately below biasOn with the
+// same sampled boost, so a purely read-hot site flips invisible before
+// the bias layer would claim it — read-fan traffic then never installs
+// a bias marker at all (BiasGrants stays 0). A site with any write
+// traffic takes the write penalty before reaching invisOn and settles
+// in bias or visible mode instead; RMW sites are crushed outright by
+// duel losses (noteDuelLoss) exactly like bias.
+const (
+	invisCap = 128 // score saturation
+	invisOn  = 24  // readers go invisible while score >= invisOn
+	// invisCrushFloor is the score a validation abort (or duel loss)
+	// sets: recovery to invisOn takes (invisOn-invisCrushFloor)/invisReadBoost
+	// sampled reads with no intervening write, so a site that keeps
+	// aborting its readers oscillates slowly, not per-transaction.
+	invisCrushFloor = -invisCap
+
+	invisReadBoost = 8  // sampled read acquisition
+	invisWritePen  = 48 // sampled write acquisition
+)
+
+// invisCell is the invisible-read score of one lock site. on tracks
+// which side of invisOn the score last settled on, purely so threshold
+// crossings can be counted as Stats.ModeFlips.
+type invisCell struct {
+	score atomic.Int32
+	on    atomic.Bool
+}
+
+// invisTable is the per-runtime invisible-read state: a copy-on-write
+// score slice indexed by global site ID, same shape as promoTable and
+// biasTable, so shouldRead on the read path is one pointer load, one
+// bounds check, and one score load — and a runtime whose readers never
+// trained a site keeps the pointer nil and pays only the load.
+type invisTable struct {
+	mu    sync.Mutex
+	cells atomic.Pointer[[]*invisCell]
+	rt    *Runtime
+}
+
+// shouldRead reports whether reads of the site should go invisible.
+func (t *invisTable) shouldRead(site int32) bool {
+	p := t.cells.Load()
+	if p == nil {
+		return false
+	}
+	s := *p
+	return int(site) < len(s) && s[site].score.Load() >= invisOn
+}
+
+// at returns the score cell of a site, growing the table when needed.
+func (t *invisTable) at(site int32) *invisCell {
+	if p := t.cells.Load(); p != nil && int(site) < len(*p) {
+		return (*p)[site]
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var cur []*invisCell
+	if p := t.cells.Load(); p != nil {
+		cur = *p
+		if int(site) < len(cur) {
+			return cur[site]
+		}
+	}
+	grown := make([]*invisCell, siteCount())
+	copy(grown, cur)
+	for i := len(cur); i < len(grown); i++ {
+		grown[i] = new(invisCell)
+	}
+	t.cells.Store(&grown)
+	return grown[site]
+}
+
+// adjust moves a cell's score by d, clamped to [invisCrushFloor,
+// invisCap], and accounts a ModeFlip when the invisOn threshold is
+// crossed. Saturated cells return without a store.
+func (t *invisTable) adjust(c *invisCell, d int32) {
+	for {
+		v := c.score.Load()
+		nv := v + d
+		if nv > invisCap {
+			nv = invisCap
+		}
+		if nv < invisCrushFloor {
+			nv = invisCrushFloor
+		}
+		if nv == v {
+			return
+		}
+		if c.score.CompareAndSwap(v, nv) {
+			t.noteThreshold(c)
+			return
+		}
+	}
+}
+
+// noteThreshold records an invisOn crossing as a mode flip. Racing
+// flips may over- or under-count by one; the counter is adaptation
+// evidence, not an invariant.
+func (t *invisTable) noteThreshold(c *invisCell) {
+	on := c.score.Load() >= invisOn
+	if on != c.on.Load() {
+		c.on.Store(on)
+		t.rt.stats.ModeFlips.Add(1)
+	}
+}
+
+// boost scores a sampled read acquisition at the site.
+func (t *invisTable) boost(site int32) { t.adjust(t.at(site), invisReadBoost) }
+
+// penalizeWrite decays the score on a sampled write acquisition. Cells
+// are never created here: a site no reader ever boosted has nothing to
+// decay, and the write fast path should not grow tables.
+func (t *invisTable) penalizeWrite(site int32) {
+	if p := t.cells.Load(); p != nil && int(site) < len(*p) {
+		c := (*p)[site]
+		if c.score.Load() > invisCrushFloor {
+			t.adjust(c, -invisWritePen)
+		}
+	}
+}
+
+// crush drops the score to the cooldown floor: the site just produced a
+// validation abort (or lost an upgrade duel — RMW-hot evidence), and
+// its readers must fall back to bias/visible mode until a long run of
+// conflict-free sampled reads re-earns optimism. Cells are never
+// created here.
+func (t *invisTable) crush(site int32) {
+	if p := t.cells.Load(); p != nil && int(site) < len(*p) {
+		c := (*p)[site]
+		if v := c.score.Load(); v > invisCrushFloor {
+			c.score.Store(invisCrushFloor)
+			t.noteThreshold(c)
+		}
+	}
+}
+
+// noteInvisSample scores a sampled non-invisible lock acquisition:
+// reads are read-hot evidence, writes decay the hint hard. Out of line
+// — the lockFor fast path pays only the sampling branch it already had.
+//
+//go:noinline
+func (tx *Tx) noteInvisSample(site int32, write bool) {
+	if write {
+		tx.rt.invis.penalizeWrite(site)
+	} else {
+		tx.rt.invis.boost(site)
+	}
+}
+
+// SeedInvisible pre-loads the invisible-read score of the lock site
+// behind (class, field) to saturation, as if a long run of
+// conflict-free readers had trained it. Tests and schedule-exploration
+// scenarios use it to reach the invisible state deterministically
+// instead of replaying the sampled learning phase. The first read of
+// each object still installs the version array and stays visible; from
+// the second read on the site reads invisibly.
+func (rt *Runtime) SeedInvisible(c *Class, f FieldID) {
+	site := c.fields[f].siteID
+	if c.isArray {
+		site = c.siteID
+	}
+	if site < 0 {
+		panic("stm: SeedInvisible on a final field")
+	}
+	cell := rt.invis.at(site)
+	cell.score.Store(invisCap)
+	cell.on.Store(true)
+}

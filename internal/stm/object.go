@@ -10,6 +10,22 @@ import (
 // is what makes lazy allocation possible).
 type lockSlab struct {
 	words []uint64
+	// vers is the word-version array of the invisible-read tier
+	// (readset.go): one version stamp per lock word, nil until the first
+	// would-be-invisible reader of the object installs it. Committing
+	// writers stamp vers[i] before clearing lock word i; invisible
+	// readers validate against it. A nil vers means no reader of this
+	// object ever went invisible and writers skip stamping entirely.
+	vers atomic.Pointer[[]uint64]
+}
+
+// installVersions publishes the slab's version array if none exists,
+// reporting whether this call performed the install (for byte
+// accounting by the caller). All words start at implicit version 0,
+// below any stamped version (the clock starts at 1, see clock.go).
+func (s *lockSlab) installVersions() bool {
+	vers := make([]uint64, len(s.words))
+	return s.vers.CompareAndSwap(nil, &vers)
 }
 
 // unallocSlab is the UNALLOC constant of paper Figure 5: the instance has

@@ -87,22 +87,29 @@ type siteCounters struct {
 	deadlocks   atomic.Uint64
 	biasGrants  atomic.Uint64
 	biasRevokes atomic.Uint64
-	blockNs     atomic.Uint64
+	// invisReads and validationAborts may also be added to directly,
+	// bypassing the delta buffers: a read-only invisible section never
+	// leases a slot and so owns no buffer (readset.go).
+	invisReads       atomic.Uint64
+	validationAborts atomic.Uint64
+	blockNs          atomic.Uint64
 }
 
 // siteDelta is the per-transaction buffered contribution to one site.
 type siteDelta struct {
-	site        int32
-	acquires    uint32
-	contended   uint32
-	casFails    uint32
-	upgrades    uint32
-	promotions  uint32
-	duelLosses  uint32
-	deadlocks   uint32
-	biasGrants  uint32
-	biasRevokes uint32
-	blockNs     uint64
+	site             int32
+	acquires         uint32
+	contended        uint32
+	casFails         uint32
+	upgrades         uint32
+	promotions       uint32
+	duelLosses       uint32
+	deadlocks        uint32
+	biasGrants       uint32
+	biasRevokes      uint32
+	invisReads       uint32
+	validationAborts uint32
+	blockNs          uint64
 }
 
 // profAt returns the transaction's delta buffer entry for a site,
@@ -188,6 +195,12 @@ func (tx *Tx) flushProfile() {
 		if d.biasRevokes != 0 {
 			c.biasRevokes.Add(uint64(d.biasRevokes))
 		}
+		if d.invisReads != 0 {
+			c.invisReads.Add(uint64(d.invisReads))
+		}
+		if d.validationAborts != 0 {
+			c.validationAborts.Add(uint64(d.validationAborts))
+		}
 		if d.blockNs != 0 {
 			c.blockNs.Add(d.blockNs)
 		}
@@ -245,6 +258,8 @@ type SiteProfile struct {
 	Deadlocks   uint64        // abort involvements while acquiring (deadlock victim, duel loss)
 	BiasGrants  uint64        // reads served by the biased reader-slot path (sampled estimate)
 	BiasRevokes uint64        // writer revocations of this site's read bias (exact)
+	InvisReads  uint64        // reads served invisibly, no shared store (sampled estimate)
+	ValAborts   uint64        // commit-time validation aborts charged to this site (exact)
 	BlockTime   time.Duration // time spent parked (sampled estimate; see ProfileSampleRate)
 }
 
@@ -269,9 +284,11 @@ func (p *Profile) Snapshot() []SiteProfile {
 			Deadlocks:   c.deadlocks.Load(),
 			BiasGrants:  c.biasGrants.Load(),
 			BiasRevokes: c.biasRevokes.Load(),
+			InvisReads:  c.invisReads.Load(),
+			ValAborts:   c.validationAborts.Load(),
 			BlockTime:   time.Duration(c.blockNs.Load()),
 		}
-		if row.Acquires|row.Contended|row.CASFails|row.Upgrades|row.Promotions|row.DuelLosses|row.Deadlocks|row.BiasGrants|row.BiasRevokes == 0 && row.BlockTime == 0 {
+		if row.Acquires|row.Contended|row.CASFails|row.Upgrades|row.Promotions|row.DuelLosses|row.Deadlocks|row.BiasGrants|row.BiasRevokes|row.InvisReads|row.ValAborts == 0 && row.BlockTime == 0 {
 			continue
 		}
 		out = append(out, row)
@@ -304,6 +321,8 @@ func (p *Profile) Reset() {
 		c.deadlocks.Store(0)
 		c.biasGrants.Store(0)
 		c.biasRevokes.Store(0)
+		c.invisReads.Store(0)
+		c.validationAborts.Store(0)
 		c.blockNs.Store(0)
 	}
 }

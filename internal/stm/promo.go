@@ -181,8 +181,11 @@ func (tx *Tx) noteDuelLoss(site int32) {
 		return
 	}
 	// Bias and write-promotion are mutually exclusive: promoting a site
-	// crushes any residual read-bias score.
+	// crushes any residual read-bias score — and any invisible-read
+	// score: an RMW-hot site would turn every optimistic read into a
+	// near-certain validation abort.
 	tx.rt.bias.crush(site)
+	tx.rt.invis.crush(site)
 	tx.rt.promo.boost(site)
 }
 

@@ -20,6 +20,14 @@ import (
 // acquire a lock, so none of it affects the uncontended case the paper's
 // fast path (Figure 5) optimizes.
 //
+// Invisible readers (readset.go) are, by construction, absent from
+// everything in this file: an invisible read holds nothing — no holder
+// bit, no bias slot, no queue entry — so it can neither block a writer
+// nor appear on any deadlock cycle. Its conflicts surface only as its
+// own commit-time validation abort, which unwinds without waiting on
+// anyone. When an invisible-reading section later blocks on a lock it
+// acquires pessimistically, the ordinary waiter machinery covers it.
+//
 // Lock ordering: cycleMu before any q.mu. At most one q.mu is held at a
 // time everywhere except the confirmation pass, which (serialized by
 // cycleMu) locks the queues of all blocked waiters to take an exact

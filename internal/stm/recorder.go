@@ -35,7 +35,7 @@ const DefaultRecorderSize = 1024
 var defaultRecorderKinds = []EventKind{
 	EvBlocked, EvGranted, EvAbortWaiter, EvDeadlock, EvDuel,
 	EvSpuriousWake, EvDelayedGrant, EvInevRelease, EvPromoted, EvBackoff,
-	EvBiasRevoke, EvSlotWait, EvSlotGrant,
+	EvBiasRevoke, EvSlotWait, EvSlotGrant, EvValidationAbort,
 }
 
 // recSlot is one ring slot: a sequence word plus the packed payload.

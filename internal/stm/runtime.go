@@ -57,6 +57,11 @@ type Runtime struct {
 	// classifying read-hot sites and the distributed reader-slot lines
 	// biased readers publish visibility through.
 	bias biasTable
+	// invis is the per-site invisible-read score table (invis.go), and
+	// vc the global version clock its commit-time validation is anchored
+	// to (clock.go, readset.go).
+	invis invisTable
+	vc    versionClock
 	// profMask gates the sampled per-site acquire counter: a lock acquire
 	// is charged to its site when (nAcq+ticket)&profMask == 0.
 	profMask uint64
@@ -168,6 +173,8 @@ func NewRuntimeOpts(opts Options) *Runtime {
 	rt.profMask = uint64(pow - 1)
 	rt.slots.rt = rt
 	rt.det.rt = rt
+	rt.invis.rt = rt
+	rt.vc.init()
 	if opts.DebugLog != nil {
 		rt.debug = &debugLog{w: opts.DebugLog}
 		rt.det.debug = rt.debug
@@ -215,6 +222,9 @@ func (rt *Runtime) Begin() *Tx {
 	// Backoff state is per-transaction: a fresh transaction starts with a
 	// zero retry streak and reseeds its PRNG lazily from the new ticket.
 	tx.retries, tx.rng = 0, 0
+	// noInvis deliberately survives Reset (the replay of an aborted
+	// section must stay visible) but not reuse for a new section.
+	tx.noInvis = false
 	// Guard the Event construction, not just its delivery: with the
 	// default recorder mask, lifecycle events are unwanted and the guard
 	// lets the compiler drop the struct build from the fast path.

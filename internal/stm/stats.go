@@ -49,6 +49,11 @@ type Stats struct {
 	BiasWriteThrus   atomic.Uint64 // writes that went through the bias (W beside the marker, no revocation)
 	BiasRevokeWaitNs atomic.Uint64 // total nanoseconds writers spent draining biased readers (exact)
 
+	// Invisible reads (invis.go, readset.go).
+	InvisReads       atomic.Uint64 // reads served invisibly (no shared store at all)
+	ValidationAborts atomic.Uint64 // commit-time read-set validation failures
+	ModeFlips        atomic.Uint64 // per-site invisible-mode threshold crossings (either direction)
+
 	// Memory accounting (Table 8). Byte figures are estimates derived
 	// from entry counts, mirroring the paper's "largest contributors"
 	// reporting.
@@ -71,6 +76,7 @@ type StatsSnapshot struct {
 	Backoffs, BackoffSpins, SpinAcquires    uint64
 	BiasGrants, BiasRevokes, BiasWriteThrus uint64
 	BiasRevokeWaitNs                        uint64
+	InvisReads, ValidationAborts, ModeFlips uint64
 	LockBytes, RWSetBytes, UndoEntries      uint64
 	BufferBytes, InitEntries, TxnsMeasured  uint64
 }
@@ -103,6 +109,9 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		BiasRevokes:      s.BiasRevokes.Load(),
 		BiasWriteThrus:   s.BiasWriteThrus.Load(),
 		BiasRevokeWaitNs: s.BiasRevokeWaitNs.Load(),
+		InvisReads:       s.InvisReads.Load(),
+		ValidationAborts: s.ValidationAborts.Load(),
+		ModeFlips:        s.ModeFlips.Load(),
 		LockBytes:        s.LockBytes.Load(),
 		RWSetBytes:       s.RWSetBytes.Load(),
 		UndoEntries:      s.UndoEntries.Load(),
@@ -139,6 +148,9 @@ func (s *Stats) Reset() {
 	s.BiasRevokes.Store(0)
 	s.BiasWriteThrus.Store(0)
 	s.BiasRevokeWaitNs.Store(0)
+	s.InvisReads.Store(0)
+	s.ValidationAborts.Store(0)
+	s.ModeFlips.Store(0)
 	s.LockBytes.Store(0)
 	s.RWSetBytes.Store(0)
 	s.UndoEntries.Store(0)
@@ -176,6 +188,9 @@ func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
 		BiasRevokes:      s.BiasRevokes - prev.BiasRevokes,
 		BiasWriteThrus:   s.BiasWriteThrus - prev.BiasWriteThrus,
 		BiasRevokeWaitNs: s.BiasRevokeWaitNs - prev.BiasRevokeWaitNs,
+		InvisReads:       s.InvisReads - prev.InvisReads,
+		ValidationAborts: s.ValidationAborts - prev.ValidationAborts,
+		ModeFlips:        s.ModeFlips - prev.ModeFlips,
 		LockBytes:        s.LockBytes - prev.LockBytes,
 		RWSetBytes:       s.RWSetBytes - prev.RWSetBytes,
 		UndoEntries:      s.UndoEntries - prev.UndoEntries,

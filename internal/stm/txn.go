@@ -119,6 +119,24 @@ type Tx struct {
 	// biasLog and releaseBias owns its release. Consumed immediately
 	// after slowAcquire returns.
 	spinBiased bool
+	// readSet records the invisible reads of the current attempt
+	// (readset.go): words read with no shared store at all, revalidated
+	// by Commit before anything irreversible happens. rv is the read
+	// version — the clock snapshot of the attempt's first invisible
+	// read (0 = none yet) — and wv the write version the commit stamps
+	// written words with (0 = clock not yet ticked this commit).
+	readSet []invisRead
+	rv, wv  uint64
+	// invisVal/invisHit hand the invisibly read value from tryInvisRead
+	// (below fieldAccess/elemAccess) to the accessor: the plain slot
+	// re-read the visible paths use could race a writer's store.
+	invisVal uint64
+	invisHit bool
+	// noInvis pins the section's replays to visible reads after
+	// BecomeInevitable found a non-empty read-set: an inevitable
+	// transaction can never unwind on a validation failure. Survives
+	// Reset deliberately; cleared at Begin.
+	noInvis bool
 
 	// Per-transaction counters, flushed to Runtime.Stats at end to keep
 	// the access fast path free of shared atomics. They accumulate across
@@ -133,6 +151,7 @@ type Tx struct {
 	nBiasGrants, nBiasRevokes           uint64
 	nBiasWriteThrus                     uint64
 	nBiasRevokeWaitNs                   uint64
+	nInvisReads, nValidationAborts      uint64
 	// Table 8 memory accounting, accumulated per attempt (accountMemory)
 	// and flushed with the counters.
 	accRWSetBytes, accUndoEntries, accInitEntries uint64
@@ -187,6 +206,16 @@ func (tx *Tx) Abort(reason string) {
 func (tx *Tx) BecomeInevitable() {
 	if tx.inevitable {
 		return
+	}
+	if len(tx.readSet) != 0 {
+		// Invisible reads are only sound while a validation failure can
+		// still unwind the section, and an inevitable transaction never
+		// unwinds. Abort-and-replay instead, with invisible reads pinned
+		// off for the replay (noInvis survives Reset), so inevitability
+		// is requested with an empty — trivially valid — read-set.
+		// tryInvisRead also refuses while already inevitable.
+		tx.noInvis = true
+		tx.selfAbort("inevitability requested with invisible reads pending")
 	}
 	// Lease the lock-word slot before the token: the bounded resources
 	// are ordered slot < token < locks, so a section parked in the slot
@@ -272,12 +301,16 @@ func (tx *Tx) ensureSlab(o *Object) *lockSlab {
 // When write is true the current value of the slot is captured in the
 // undo log at acquisition time.
 func (tx *Tx) lockFor(o *Object, slot int32, kind slotKind, lockID, site int32, write bool) {
-	tx.ensureSlot()
 	slab := tx.ensureSlab(o)
 	addr := &slab.words[lockID]
 
 	w := atomic.LoadUint64(addr)
+	// mask is 0 while no slot is leased, so both ownership tests below
+	// are safely false for a section that has not acquired anything yet.
 	owned := w&tx.mask != 0
+	// fresh: the word is in none of our sets — only then may the read
+	// be redirected to the promotion or bias modes below.
+	fresh := !owned
 	if owned {
 		// Step (3): already in our read or write set.
 		if !write || wordIsWrite(w) {
@@ -302,17 +335,32 @@ func (tx *Tx) lockFor(o *Object, slot int32, kind slotKind, lockID, site int32, 
 		// own slot, so the common case writes through the marker below,
 		// and the fallback enqueues this transaction as an upgrader —
 		// front of queue, U flag, structural duel detection.
-	} else if !write && tx.rt.promo.shouldPromote(site) {
-		// Adaptive write-intent promotion: this site's reads keep
-		// upgrading and losing duels, so acquire in write mode up front.
-		// Strictly stronger than the requested read lock — always safe.
-		write = true
-		tx.notePromoted(addr, site)
-	} else if !write && tx.rt.bias.shouldBias(site) && tx.tryBiasRead(addr, site) {
-		// Read-biased site: visibility is published through the reader
-		// slots — no shared CAS, no lock log entry; releaseBias clears
-		// the slot at commit.
+		fresh = false
+	} else if !write && kind == slotWord && tx.rt.invis.shouldRead(site) &&
+		tx.tryInvisRead(o, slot, slab, lockID, site) {
+		// Invisible-read site: nothing published anywhere — the value is
+		// parked for the accessor, the (word, version) pair joins the
+		// read-set, and Commit revalidates (readset.go). Reached before
+		// ensureSlot: a read-only invisible section leases no slot.
 		return
+	}
+	// From here on the acquisition touches the lock word (or the bias
+	// slots), which needs the bounded slot lease.
+	tx.ensureSlot()
+	if fresh && !write {
+		if tx.rt.promo.shouldPromote(site) {
+			// Adaptive write-intent promotion: this site's reads keep
+			// upgrading and losing duels, so acquire in write mode up
+			// front. Strictly stronger than the requested read lock —
+			// always safe.
+			write = true
+			tx.notePromoted(addr, site)
+		} else if tx.rt.bias.shouldBias(site) && tx.tryBiasRead(addr, site) {
+			// Read-biased site: visibility is published through the reader
+			// slots — no shared CAS, no lock log entry; releaseBias clears
+			// the slot at commit.
+			return
+		}
 	}
 	// Step (4): try to lock, else enqueue. An installed queue normally
 	// forces the slow path, but a promoted site under bounded overtaking
@@ -369,6 +417,11 @@ func (tx *Tx) lockFor(o *Object, slot int32, kind slotKind, lockID, site int32, 
 	if (tx.nAcq+tx.ticket)&tx.rt.profMask == 0 {
 		tx.chargeAcquire(site)
 		tx.noteBiasSample(site, write)
+		if kind == slotWord {
+			// Only word sites can ever read invisibly (readset.go), so
+			// only they train an invisible score.
+			tx.noteInvisSample(site, write)
+		}
 	}
 	if !owned {
 		// An upgrade keeps its original log entry: the word was already
@@ -476,12 +529,33 @@ func kindOf(s slotKind) Kind {
 // ReadWord reads a word field under the SBD synchronization rules.
 func (tx *Tx) ReadWord(o *Object, f FieldID) uint64 {
 	idx := tx.fieldAccess(o, f, slotWord, false)
+	if tx.invisHit {
+		// The access went invisible: the value was loaded atomically
+		// inside tryInvisRead's double-check — the plain re-read below
+		// could race a concurrent writer's store.
+		tx.invisHit = false
+		return tx.invisVal
+	}
 	return o.words[idx]
 }
 
 // WriteWord writes a word field.
 func (tx *Tx) WriteWord(o *Object, f FieldID, v uint64) {
 	idx := tx.fieldAccess(o, f, slotWord, true)
+	storeWord(o, idx, v)
+}
+
+// storeWord performs a value store that may be observed by a racing
+// invisible reader's atomic load: words of an object whose lock slab
+// carries a version array are stored atomically (the reader's version
+// double-check discards any torn timing, never a torn value); all
+// other words — the common case, and every new/local object — keep
+// the plain store.
+func storeWord(o *Object, idx int32, v uint64) {
+	if slab := o.locks.Load(); slab != nil && slab != unallocSlab && slab.vers.Load() != nil {
+		atomic.StoreUint64(&o.words[idx], v)
+		return
+	}
 	o.words[idx] = v
 }
 
@@ -567,6 +641,10 @@ func (tx *Tx) WriteBool(o *Object, f FieldID, v bool) {
 // ReadElem reads word element i of an array.
 func (tx *Tx) ReadElem(o *Object, i int) uint64 {
 	tx.elemAccess(o, i, slotWord, false)
+	if tx.invisHit {
+		tx.invisHit = false
+		return tx.invisVal
+	}
 	return o.words[i]
 }
 
@@ -580,7 +658,7 @@ func (tx *Tx) ReadElemForWrite(o *Object, i int) uint64 {
 // WriteElem writes word element i of an array.
 func (tx *Tx) WriteElem(o *Object, i int, v uint64) {
 	tx.elemAccess(o, i, slotWord, true)
-	o.words[i] = v
+	storeWord(o, int32(i), v)
 }
 
 // ReadElemRef reads reference element i of an array.
@@ -647,6 +725,7 @@ func (tx *Tx) releaseLocks() {
 		e := &tx.lockLog[i]
 		addr := &e.slab.words[e.lockID]
 		tx.rt.yield(PointReleaseCAS)
+		stamped := false
 		for {
 			w := atomic.LoadUint64(addr)
 			if w&tx.mask == 0 {
@@ -655,6 +734,17 @@ func (tx *Tx) releaseLocks() {
 			nw := w &^ tx.mask
 			if wordIsWrite(w) {
 				nw &^= wFlag
+				if tx.ended && !stamped {
+					// Commit path: the word's new version must be public
+					// before the clearing CAS below can succeed, so an
+					// invisible reader that sees the word unlocked always
+					// sees the committed version too (readset.go). Reset
+					// reaches here with ended == false and must NOT stamp:
+					// the undo log restored the old value, so the committed
+					// version never changed.
+					tx.stampVersion(e.slab, e.lockID)
+					stamped = true
+				}
 			}
 			if tx.rt.casWord(addr, w, nw, PointReleaseCAS) {
 				// The bias marker is not a real queue (wordRealQueue);
@@ -686,7 +776,8 @@ func (tx *Tx) releaseLocks() {
 // the transaction-local accumulators (each attempt — commit or reset —
 // counts as one measured transaction).
 func (tx *Tx) accountMemory() {
-	tx.accRWSetBytes += uint64(len(tx.lockLog))*16 + uint64(len(tx.undo))*40
+	tx.accRWSetBytes += uint64(len(tx.lockLog))*16 + uint64(len(tx.undo))*40 +
+		uint64(len(tx.readSet))*24
 	tx.accUndoEntries += uint64(len(tx.undo))
 	tx.accInitEntries += uint64(len(tx.initLog))
 	for _, r := range tx.resources {
@@ -717,7 +808,7 @@ func (tx *Tx) flushCounters() {
 	if tx.nPromoted|tx.nPromoWasted|tx.nDuelLosses|
 		tx.nBackoffs|tx.nBackoffSpins|tx.nSpinAcquires|
 		tx.nBiasGrants|tx.nBiasRevokes|tx.nBiasWriteThrus|
-		tx.nBiasRevokeWaitNs != 0 {
+		tx.nBiasRevokeWaitNs|tx.nInvisReads|tx.nValidationAborts != 0 {
 		flushNZ(&st.Promotions, &tx.nPromoted)
 		flushNZ(&st.PromoWasted, &tx.nPromoWasted)
 		flushNZ(&st.DuelLosses, &tx.nDuelLosses)
@@ -728,6 +819,8 @@ func (tx *Tx) flushCounters() {
 		flushNZ(&st.BiasRevokes, &tx.nBiasRevokes)
 		flushNZ(&st.BiasWriteThrus, &tx.nBiasWriteThrus)
 		flushNZ(&st.BiasRevokeWaitNs, &tx.nBiasRevokeWaitNs)
+		flushNZ(&st.InvisReads, &tx.nInvisReads)
+		flushNZ(&st.ValidationAborts, &tx.nValidationAborts)
 	}
 	if tx.accAttempts != 0 {
 		flushNZ(&st.RWSetBytes, &tx.accRWSetBytes)
@@ -755,6 +848,12 @@ func flushNZ(dst *atomic.Uint64, src *uint64) {
 func (tx *Tx) Commit() {
 	if tx.ended {
 		panic("stm: Commit on ended transaction")
+	}
+	if len(tx.readSet) != 0 {
+		// Commit-time revalidation of the invisible reads, before ended
+		// is set and before anything irreversible: a failure unwinds with
+		// *Aborted and the section runner must still be able to Reset.
+		tx.validateReads()
 	}
 	tx.ended = true
 	tx.accountMemory()
@@ -813,7 +912,9 @@ func (tx *Tx) Reset() {
 		e := &tx.undo[i]
 		switch e.kind {
 		case slotWord:
-			e.obj.words[e.slot] = e.oldWord
+			// storeWord: the restore races invisible readers the same way
+			// the write it undoes did.
+			storeWord(e.obj, e.slot, e.oldWord)
 		case slotRef:
 			e.obj.refs[e.slot] = e.oldRef
 		case slotStr:
@@ -866,6 +967,14 @@ func (tx *Tx) clearLogs() {
 	tx.undo = tx.undo[:0]
 	tx.initLog = tx.initLog[:0]
 	tx.resources = tx.resources[:0]
+	if len(tx.readSet) != 0 {
+		for i := range tx.readSet {
+			tx.readSet[i].slab = nil // don't retain slabs past the attempt
+		}
+		tx.readSet = tx.readSet[:0]
+	}
+	tx.rv, tx.wv = 0, 0
+	tx.invisHit = false
 	// Reuse the onCommit backing array like the other logs, but zero the
 	// entries first: dropped callbacks must not be retained past the
 	// transaction (they may close over large state).
