@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-snapshot bench-compare tables examples clean ci fmt-check stress serve-smoke
+.PHONY: all build vet test race bench bench-snapshot bench-compare tables examples clean ci fmt-check stress serve-smoke ablation ablation-golden
 
 all: build vet test
 
@@ -53,7 +53,10 @@ bench:
 # (now including the invis-flipflop mix) against the committed BENCH_5
 # "after" numbers, isolating the effect of the invisible-read tier
 # (read-fan/read-mostly gains; bounded validation_aborts under mode
-# flip-flop). CI runs this non-gating and uploads every BENCH_*.json.
+# flip-flop). BENCH_10.json: the suite (now including the batch-chain
+# mix) against the committed BENCH_8 "after" numbers, isolating the
+# effect of the sorted multi-word batch acquire path. CI runs this
+# non-gating and uploads every BENCH_*.json.
 bench-snapshot: bin/sbd-serve bin/sbd-load
 	$(GO) run ./cmd/sbd-bench -scale=1 -threads=1,2,4 \
 		-bench=sunflow,tomcat -json=BENCH_2.json
@@ -67,6 +70,8 @@ bench-snapshot: bin/sbd-serve bin/sbd-load
 		-rates=300,900,1800 -duration=3s -json=BENCH_6.json
 	$(GO) run ./cmd/sbd-bench -scalability -ops=20000 \
 		-baseline=BENCH_5.json -json=BENCH_8.json
+	$(GO) run ./cmd/sbd-bench -scalability -ops=20000 \
+		-baseline=BENCH_8.json -json=BENCH_10.json
 
 bin/sbd-serve: FORCE
 	@mkdir -p bin
@@ -112,6 +117,20 @@ bench-compare:
 		cd $(CURDIR) && $(GO) test -run=NONE -bench '$(BENCH_PATTERN)' \
 			-benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . > bench-head.txt
 	$(GO) run ./cmd/sbd-benchcmp -gate 'Table6AcqRls' -threshold 5 bench-base.txt bench-head.txt
+
+# Deterministic per-pass ablation table. The target creates results/
+# itself (it used to rely on `tables` having run first) and diffs the
+# output against the committed golden so a pass regression shows up as
+# a one-line textual diff in CI. Regenerate the golden with
+# `make ablation-golden` after an intentional pass change.
+ablation:
+	mkdir -p results
+	$(GO) run ./cmd/sbdc -ablate | tee results/ablation.txt
+	diff -u bench/ablation.golden results/ablation.txt
+
+ablation-golden:
+	mkdir -p bench
+	$(GO) run ./cmd/sbdc -ablate > bench/ablation.golden
 
 # Regenerate every table and figure of the paper's evaluation into results/.
 tables:

@@ -148,6 +148,11 @@ type scalCell struct {
 	InvisReads       uint64 `json:"invis_reads,omitempty"`
 	ValidationAborts uint64 `json:"validation_aborts,omitempty"`
 	ModeFlips        uint64 `json:"mode_flips,omitempty"`
+	// Compiler-directed fast-path counters; likewise omitted from older
+	// baselines.
+	BatchAcquires uint64 `json:"batch_acquires,omitempty"`
+	BatchWords    uint64 `json:"batch_words,omitempty"`
+	IntentHints   uint64 `json:"intent_hints,omitempty"`
 }
 
 type scalSnapshot struct {
@@ -207,7 +212,7 @@ func runScalability() {
 	after := scalSnapshot{Tool: "sbd-bench", Mode: "scalability", OpsPerCell: *scalOps}
 	for _, m := range scalebench.Mixes() {
 		fmt.Printf("Scalability — %s (%s)\n", m.Name, m.Desc)
-		hdr := []string{"Thr", "Txns/s", "Abr", "Con", "Fail", "Dlk", "Bias", "Rvk", "WThr", "Invis", "VAbr"}
+		hdr := []string{"Thr", "Txns/s", "Abr", "Con", "Fail", "Dlk", "Bias", "Rvk", "WThr", "Invis", "VAbr", "Batch", "Hint"}
 		if before != nil {
 			hdr = append(hdr, "vs-base")
 		}
@@ -232,11 +237,15 @@ func runScalability() {
 				InvisReads:       res.InvisReads,
 				ValidationAborts: res.ValidationAborts,
 				ModeFlips:        res.ModeFlips,
+				BatchAcquires:    res.BatchAcquires,
+				BatchWords:       res.BatchWords,
+				IntentHints:      res.IntentHints,
 			})
 			row := []any{tc, fmt.Sprintf("%.0f", res.TxnsPerSec),
 				res.Aborts, res.Contended, res.CASFails, res.Deadlocks,
 				res.BiasGrants, res.BiasRevokes, res.BiasWriteThrus,
-				res.InvisReads, res.ValidationAborts}
+				res.InvisReads, res.ValidationAborts,
+				res.BatchAcquires, res.IntentHints}
 			if b := baseOf(res.Mix, tc); b != nil && b.TxnsPerSec > 0 {
 				row = append(row, fmt.Sprintf("%.2fx", res.TxnsPerSec/b.TxnsPerSec))
 			} else if before != nil {

@@ -40,14 +40,18 @@ type sample struct {
 
 func (s sample) mean() float64 { return s.sum / float64(s.n) }
 
-// waitUnits are the slot-lease / transaction-ID wait and invisible-read
-// counters some benchmarks report via b.ReportMetric. Their deltas are
-// printed as extra rows, informational only — counters are too
-// workload-shaped to gate on, but a slot-wait count appearing where
-// there was none flags a concurrency-ceiling change, and a validation
-// abort count swelling flags misplaced optimism, that no ns/op column
-// would show.
-var waitUnits = []string{"slotwaits/run", "idwaits/run", "invisreads/run", "valaborts/run"}
+// waitUnits are the slot-lease / transaction-ID wait, invisible-read,
+// and compiler-fast-path counters some benchmarks report via
+// b.ReportMetric. Their deltas are printed as extra rows, informational
+// only — counters are too workload-shaped to gate on, but a slot-wait
+// count appearing where there was none flags a concurrency-ceiling
+// change, a validation abort count swelling flags misplaced optimism,
+// and a batch or intent count collapsing flags a compiler pass that
+// silently stopped firing, none of which an ns/op column would show.
+var waitUnits = []string{
+	"slotwaits/run", "idwaits/run", "invisreads/run", "valaborts/run",
+	"batches/run", "batchwords/run", "intenthints/run",
+}
 
 // parseFile extracts "Benchmark<Name>[-P] <iters> <value> ns/op ..."
 // lines. Repetitions of the same name accumulate. The second map holds

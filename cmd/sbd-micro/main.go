@@ -8,6 +8,12 @@
 // the paper (different machine, managed runtime); the shape to check is
 // that New is nearly free, Owned costs a loaded check, and
 // Acquire&Release dominates (paper: +257%/+634% for reads).
+//
+// Two companion tables follow: the batched-acquire amortization table
+// (one sorted AcquireBatch traversal vs. k sequential acquires — the
+// runtime target of the compiler's batching pass) and the paper-style
+// sequential-overhead table over the six §5 workloads at one thread,
+// which is the end-to-end cost the static passes win back.
 package main
 
 import (
@@ -15,13 +21,17 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/stm"
+	"repro/internal/workloads"
 )
 
 var (
-	ops   = flag.Int("ops", 2_000_000, "operations (and instances) per cell")
-	iters = flag.Int("iters", 3, "iterations to average")
+	ops    = flag.Int("ops", 2_000_000, "operations (and instances) per cell")
+	iters  = flag.Int("iters", 3, "iterations to average")
+	seqOvr = flag.Bool("seq", true, "print the six-workload sequential-overhead table")
+	scale  = flag.Int("scale", 1, "workload input scale for the sequential-overhead table")
 )
 
 var cellClass = stm.NewClass("micro.Cell", stm.FieldSpec{Name: "v", Kind: stm.KindWord})
@@ -171,6 +181,45 @@ func run(eff effect, write, random bool, n, iters int) time.Duration {
 	return harness.Median(times)
 }
 
+// runBatch measures acquiring a k-word block `rounds` times: either as k
+// sequential lock ops, or as one sorted AcquireBatch followed by raw
+// accesses — the exact shape the batching pass compiles a basic block's
+// distinct-word run into.
+func runBatch(k, rounds, iters int, batched bool) time.Duration {
+	var times []time.Duration
+	for it := 0; it < iters; it++ {
+		rt := stm.NewRuntime()
+		arr := stm.NewCommittedArray(stm.KindWord, k)
+		// Pre-touch so lock slabs exist before the measured region.
+		pre := rt.Begin()
+		for i := 0; i < k; i++ {
+			pre.ReadElem(arr, i)
+		}
+		pre.Commit()
+		accs := make([]stm.BatchAccess, k)
+		for i := range accs {
+			accs[i] = stm.BatchAccess{Obj: arr, Index: i, IsElem: true, Write: true}
+		}
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			tx := rt.Begin()
+			if batched {
+				tx.AcquireBatch(accs)
+				for i := 0; i < k; i++ {
+					arr.SetRawElem(i, uint64(r))
+				}
+			} else {
+				for i := 0; i < k; i++ {
+					tx.WriteElem(arr, i, uint64(r))
+				}
+			}
+			tx.Commit()
+		}
+		times = append(times, time.Since(start))
+	}
+	return harness.Median(times)
+}
+
 func main() {
 	flag.Parse()
 	fmt.Printf("Table 6: microbenchmark, %d operations per cell (median of %d)\n\n", *ops, *iters)
@@ -197,4 +246,46 @@ func main() {
 	fmt.Print(tbl.String())
 	fmt.Println("\nPaper shape: New ≈ free (≤ +1.1%), Owned a loaded check (+45..114%),")
 	fmt.Println("Acq.&Rls. dominant (+110..634%).")
+
+	rounds := *ops / 8
+	if rounds < 1 {
+		rounds = 1
+	}
+	fmt.Printf("\nBatched acquire amortization: k fresh write acquires per transaction,\n")
+	fmt.Printf("%d transactions per cell (median of %d)\n\n", rounds, *iters)
+	btbl := harness.NewTable("Words", "Sequential", "Batched", "Speedup")
+	for _, k := range []int{2, 4, 8, 16} {
+		seq := runBatch(k, rounds, *iters, false)
+		bat := runBatch(k, rounds, *iters, true)
+		btbl.Row(k, seq.Round(time.Microsecond).String(),
+			bat.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.2fx", float64(seq)/float64(bat)))
+	}
+	fmt.Print(btbl.String())
+	fmt.Println("\nBatched = one sorted AcquireBatch traversal + raw accesses (the shape")
+	fmt.Println("the batching pass emits); Sequential = k single-word acquisitions.")
+
+	if !*seqOvr {
+		return
+	}
+	fmt.Printf("\nSequential overhead — the six workloads at one thread (scale %d)\n\n", *scale)
+	cfg := harness.Config{Window: 3, MaxCoV: 0.2, MaxIters: 6}
+	wtbl := harness.NewTable("Workload", "Base", "SBD", "Ovr%")
+	var ratios []float64
+	for _, w := range workloads.All() {
+		in := w.Prepare(*scale)
+		n := w.Threads(1)
+		base := harness.Measure(cfg, func() { w.Baseline(in, n) })
+		sbd := harness.Measure(cfg, func() {
+			rt := core.New()
+			w.SBD(rt, in, n)
+		})
+		wtbl.Row(w.Name, base.Mean.Round(time.Microsecond).String(),
+			sbd.Mean.Round(time.Microsecond).String(),
+			fmt.Sprintf("%+.0f%%", harness.OverheadPercent(base.Mean, sbd.Mean)))
+		ratios = append(ratios, float64(sbd.Mean)/float64(base.Mean))
+	}
+	fmt.Print(wtbl.String())
+	fmt.Printf("\nGeometric-mean SBD/baseline ratio at 1 thread: %.3f — the §5.2\n", harness.GeoMean(ratios))
+	fmt.Println("sequential overhead the transformer's static passes exist to win back.")
 }

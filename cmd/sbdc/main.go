@@ -12,27 +12,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/harness"
 	"repro/internal/instrument"
 )
 
 var (
-	ablate  = flag.Bool("ablate", false, "per-pass ablation instead of the summary")
-	file    = flag.String("file", "", "transform a textual-IR program file instead of the built-in suite")
-	naive   = flag.Bool("naive", false, "with -file: disable all optimization passes")
-	print   = flag.Bool("print", false, "with -file: print the annotated transformed program")
-	suggest = flag.Bool("suggest", false, "with -file: print modifier suggestions instead of transforming")
+	ablate    = flag.Bool("ablate", false, "per-pass ablation instead of the summary")
+	file      = flag.String("file", "", "transform a textual-IR program file instead of the built-in suite")
+	naive     = flag.Bool("naive", false, "with -file: disable all optimization passes")
+	printFlag = flag.Bool("print", false, "with -file: print the annotated transformed program")
+	suggest   = flag.Bool("suggest", false, "with -file: print modifier suggestions instead of transforming")
 )
 
 // suite builds the demo programs: the paper's Figure 2 web-shop shape,
-// a constructor-heavy program for final inference, and a loop-heavy
-// program for hoisting.
+// a constructor-heavy program for final inference, a loop-heavy program
+// for hoisting/batching, and a nested-loop program for deep hoisting.
 func suite() map[string]func() *instrument.Program {
 	return map[string]func() *instrument.Program{
 		"webshop":   webshop,
 		"ctorheavy": ctorHeavy,
 		"loops":     loops,
+		"nested":    nested,
 	}
 }
 
@@ -92,10 +94,13 @@ func loops() *instrument.Program {
 	p := instrument.NewProgram()
 	p.AddClass("Acc", "total")
 	p.AddMethod(&instrument.Method{
-		Name: "sum", Params: []string{"acc", "arr"}, ParamClasses: []string{"Acc", ""},
+		Name: "sum", Params: []string{"acc", "arr", "weights"}, ParamClasses: []string{"Acc", "", ""},
 		Body: &instrument.Block{Stmts: []instrument.Stmt{
 			&instrument.Loop{Count: 200, IdxVar: "i", Body: &instrument.Block{Stmts: []instrument.Stmt{
+				// Two distinct varying words per iteration: un-hoistable,
+				// but batchable into one sorted traversal.
 				&instrument.Access{Var: "arr", IsArray: true, Index: "i"},
+				&instrument.Access{Var: "weights", IsArray: true, Index: "i"},
 				&instrument.Access{Var: "acc", Field: "total", Write: true},
 			}}},
 		}},
@@ -103,8 +108,31 @@ func loops() *instrument.Program {
 	return p
 }
 
+// nested stresses interprocedural/deep hoisting: the inner loop's
+// invariant write hoists to a HoistedLock in the outer body (shallow
+// hoisting stops there, paying it once per outer iteration); the deep
+// pass lifts the already-hoisted lock cascade out of the outer loop too,
+// leaving a single acquisition for the whole 10x30 nest.
+func nested() *instrument.Program {
+	p := instrument.NewProgram()
+	p.AddClass("Grid", "cells")
+	p.AddMethod(&instrument.Method{
+		Name: "fill", Params: []string{"g"}, ParamClasses: []string{"Grid"},
+		Body: &instrument.Block{Stmts: []instrument.Stmt{
+			&instrument.Loop{Count: 10, Body: &instrument.Block{Stmts: []instrument.Stmt{
+				&instrument.Loop{Count: 30, Body: &instrument.Block{Stmts: []instrument.Stmt{
+					&instrument.Access{Var: "g", Field: "cells", Write: true},
+				}}},
+			}}},
+		}},
+	})
+	return p
+}
+
 // entry returns each program's entry method for the MethodOps metric.
-var entries = map[string]string{"webshop": "run", "ctorheavy": "walk", "loops": "sum"}
+var entries = map[string]string{
+	"webshop": "run", "ctorheavy": "walk", "loops": "sum", "nested": "fill",
+}
 
 func measure(name string, build func() *instrument.Program, opts instrument.Options) (instrument.Stats, int) {
 	p := build()
@@ -128,8 +156,8 @@ func main() {
 		fmt.Println("sbdc: transformation summary (all optimizations)")
 		fmt.Println()
 		tbl := harness.NewTable("Program", "Inlined", "FinalsInf", "Hoisted", "ChecksRem",
-			"NewMerged", "FullOps", "NewOnly", "RawOps")
-		for _, name := range []string{"webshop", "ctorheavy", "loops"} {
+			"NewMerged", "Batches", "OpsBatched", "IntentInf", "FullOps", "NewOnly", "RawOps")
+		for _, name := range []string{"webshop", "ctorheavy", "loops", "nested"} {
 			build := suite()[name]
 			p := build()
 			st, err := p.Transform(instrument.AllOptimizations())
@@ -138,7 +166,8 @@ func main() {
 			}
 			full, newOnly, raw := p.MethodOps(entries[name])
 			tbl.Row(name, st.CallsInlined, st.FinalsInferred, st.LocksHoisted,
-				st.ChecksRemoved, st.NewChecksMerged, full, newOnly, raw)
+				st.ChecksRemoved, st.NewChecksMerged, st.BatchesFormed, st.OpsBatched,
+				st.IntentInferred, full, newOnly, raw)
 		}
 		fmt.Print(tbl.String())
 		return
@@ -177,16 +206,31 @@ func main() {
 			o.CombineNew = false
 			return o
 		}()},
+		{"all-hoistdeep", func() instrument.Options {
+			o := instrument.AllOptimizations()
+			o.HoistDeep = false
+			return o
+		}()},
+		{"all-batch", func() instrument.Options {
+			o := instrument.AllOptimizations()
+			o.Batch = false
+			return o
+		}()},
+		{"all-intent", func() instrument.Options {
+			o := instrument.AllOptimizations()
+			o.InferIntent = false
+			return o
+		}()},
 	}
 
 	header := []string{"Config"}
-	for _, name := range []string{"webshop", "ctorheavy", "loops"} {
+	for _, name := range []string{"webshop", "ctorheavy", "loops", "nested"} {
 		header = append(header, name)
 	}
 	tbl := harness.NewTable(header...)
 	for _, cfg := range configs {
 		row := []any{cfg.name}
-		for _, name := range []string{"webshop", "ctorheavy", "loops"} {
+		for _, name := range []string{"webshop", "ctorheavy", "loops", "nested"} {
 			_, full := measure(name, suite()[name], cfg.opts)
 			row = append(row, full)
 		}
@@ -217,7 +261,7 @@ func transformFile(path string) {
 			return
 		}
 		for _, s := range suggestions {
-			fmt.Printf("sbdc: suggest %-9s %-30s (%s)\n", s.Kind, s.Target, s.Reason)
+			fmt.Printf("sbdc: suggest %-11s %-30s (%s)\n", s.Kind, s.Target, s.Reason)
 		}
 		return
 	}
@@ -236,14 +280,21 @@ func transformFile(path string) {
 	fmt.Printf("  locks hoisted:        %d\n", st.LocksHoisted)
 	fmt.Printf("  checks eliminated:    %d\n", st.ChecksRemoved)
 	fmt.Printf("  new-checks combined:  %d\n", st.NewChecksMerged)
+	fmt.Printf("  batches formed:       %d (%d ops)\n", st.BatchesFormed, st.OpsBatched)
+	fmt.Printf("  intent inferred:      %d\n", st.IntentInferred)
 	fmt.Println()
 	tbl := harness.NewTable("Method", "FullOps", "NewOnly", "RawOps")
+	names := make([]string, 0, len(p.Methods))
 	for name := range p.Methods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		full, newOnly, raw := p.MethodOps(name)
 		tbl.Row(name, full, newOnly, raw)
 	}
 	fmt.Print(tbl.String())
-	if *print {
+	if *printFlag {
 		fmt.Println()
 		fmt.Print(instrument.PrintProgram(p))
 	}

@@ -1,0 +1,122 @@
+package instrument
+
+// The basic-block lock-batching pass (beyond the paper; Options.Batch).
+//
+// A straight-line run of accesses touches several distinct locations,
+// and the single-word transformation pays the full Figure 5 operation —
+// lock-word load, CAS, log append, per-site accounting — once per
+// location. The batching pass coalesces each maximal run of consecutive
+// Access/HoistedLock statements whose lock operations cover ≥2 distinct
+// (variable, location) keys into one BatchAcquire pseudo-op executed by
+// stm.Tx.AcquireBatch: a single traversal over the address-sorted word
+// list with one slot-lease check and one guarded stats flush. The
+// covered accesses then run raw, and absorbed HoistedLock statements
+// are removed (the batch performs their acquisition).
+//
+// Sorting by word address inside AcquireBatch gives batches a global
+// acquisition order, so two transactions batching overlapping word sets
+// cannot deadlock against each other — see TestBatchSortedOrderPrevents-
+// Deadlock in internal/stm.
+
+// batchBlocks rewrites every block of b, innermost first.
+func (p *Program) batchBlocks(b *Block, st *Stats) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.Stmts {
+		switch stmt := s.(type) {
+		case *Loop:
+			p.batchBlocks(stmt.Body, st)
+		case *If:
+			p.batchBlocks(stmt.Then, st)
+			p.batchBlocks(stmt.Else, st)
+		case *NoSplit:
+			p.batchBlocks(stmt.Body, st)
+		}
+	}
+	var out []Stmt
+	i := 0
+	for i < len(b.Stmts) {
+		j := i
+		for j < len(b.Stmts) && isBatchable(b.Stmts[j]) {
+			j++
+		}
+		if j == i {
+			out = append(out, b.Stmts[i])
+			i++
+			continue
+		}
+		batch, kept := formBatch(b.Stmts[i:j])
+		if batch != nil {
+			st.BatchesFormed++
+			st.OpsBatched += len(batch.Ops)
+			out = append(out, batch)
+		}
+		out = append(out, kept...)
+		i = j
+	}
+	b.Stmts = out
+}
+
+// isBatchable reports whether s can continue a batch run. Anything else
+// — calls, splits, rebindings, control flow — ends the run: the batch
+// must execute immediately before the accesses it covers.
+func isBatchable(s Stmt) bool {
+	switch s.(type) {
+	case *Access, *HoistedLock:
+		return true
+	}
+	return false
+}
+
+// formBatch builds the BatchAcquire for one run. It returns nil (and
+// the run unchanged) when the run covers fewer than two distinct
+// locations — a single-word batch is strictly worse than the plain
+// fast path. Operations on the same key are merged, write-absorbing;
+// accesses already covered by a hoisted lock contribute no operation
+// (their acquisition happens in front of the enclosing loop).
+func formBatch(run []Stmt) (*BatchAcquire, []Stmt) {
+	index := map[lockKey]int{}
+	var ops []BatchOp
+	var covered []*Access
+	for _, s := range run {
+		var op BatchOp
+		switch a := s.(type) {
+		case *Access:
+			if a.Hoisted {
+				continue
+			}
+			op = BatchOp{
+				Var: a.Var, Field: a.Field, IsArray: a.IsArray,
+				Index: a.Index, Write: a.Write || a.WriteIntent,
+			}
+			covered = append(covered, a)
+		case *HoistedLock:
+			op = BatchOp{
+				Var: a.Var, Field: a.Field, IsArray: a.IsArray,
+				Index: a.Index, Write: a.Write,
+			}
+		}
+		key := lockKey{op.Var, accessField(op.Field, op.IsArray, op.Index)}
+		if at, ok := index[key]; ok {
+			ops[at].Write = ops[at].Write || op.Write
+		} else {
+			index[key] = len(ops)
+			ops = append(ops, op)
+		}
+	}
+	if len(ops) < 2 {
+		return nil, run
+	}
+	for _, a := range covered {
+		a.Batched = true
+	}
+	kept := make([]Stmt, 0, len(run))
+	for _, s := range run {
+		if _, isHoist := s.(*HoistedLock); isHoist {
+			continue // absorbed: the batch performs this acquisition
+		}
+		kept = append(kept, s)
+	}
+	return &BatchAcquire{Ops: ops}, kept
+}

@@ -1,0 +1,108 @@
+package instrument
+
+// Write-intent inference (beyond the paper; Options.InferIntent).
+//
+// A read that is later upgraded to a write on the same location costs
+// two lock operations — and worse, the upgrade can lose a dueling-
+// upgrade race against a concurrent upgrader and abort the whole
+// section (§3.6). When the upgrade is statically certain, acquiring the
+// write mode at the read (stm.Tx.ReadWordForWrite) makes the later
+// write a free owned-check and removes the duel entirely.
+//
+// The inference is deliberately conservative: the read and the write
+// must be top-level statements of the same block, with no split, no
+// possibly-splitting call, and no rebinding of the receiver (or index
+// variable) between them — i.e. the write is must-execute whenever the
+// read executes and still names the same location.
+
+// inferIntent marks qualifying reads in every method and returns how
+// many it marked.
+func (p *Program) inferIntent() int {
+	n := 0
+	for _, m := range p.Methods {
+		n += p.intentBlock(m.Body)
+	}
+	return n
+}
+
+func (p *Program) intentBlock(b *Block) int {
+	if b == nil {
+		return 0
+	}
+	n := 0
+	for i, s := range b.Stmts {
+		switch stmt := s.(type) {
+		case *Loop:
+			n += p.intentBlock(stmt.Body)
+		case *If:
+			n += p.intentBlock(stmt.Then)
+			n += p.intentBlock(stmt.Else)
+		case *NoSplit:
+			n += p.intentBlock(stmt.Body)
+		case *Access:
+			if !stmt.Write && !stmt.WriteIntent && p.upgradeFollows(b, i+1, stmt) {
+				stmt.WriteIntent = true
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// upgradeFollows reports whether a write to the same location as read r
+// certainly executes later in the same block, before anything that
+// could invalidate the match.
+func (p *Program) upgradeFollows(b *Block, from int, r *Access) bool {
+	key := accessField(r.Field, r.IsArray, r.Index)
+	kills := func(vars map[string]bool) bool {
+		return vars[r.Var] || (r.Index != "" && vars[r.Index])
+	}
+	for _, s := range b.Stmts[from:] {
+		switch stmt := s.(type) {
+		case *Access:
+			if stmt.Var == r.Var && stmt.Write &&
+				accessField(stmt.Field, stmt.IsArray, stmt.Index) == key {
+				return true
+			}
+		case *Split:
+			return false
+		case *New:
+			if stmt.Dst == r.Var || stmt.Dst == r.Index {
+				return false
+			}
+		case *NewArray:
+			if stmt.Dst == r.Var || stmt.Dst == r.Index {
+				return false
+			}
+		case *Assign:
+			if stmt.Dst == r.Var || stmt.Dst == r.Index {
+				return false
+			}
+		case *Call:
+			if callee, ok := p.Methods[stmt.Method]; ok && p.maySplit(callee, map[string]bool{}) {
+				return false
+			}
+		case *Loop:
+			if p.blockMaySplit(stmt.Body, map[string]bool{}) || kills(assignedVars(stmt.Body)) {
+				return false
+			}
+			if stmt.IdxVar != "" && (stmt.IdxVar == r.Var || stmt.IdxVar == r.Index) {
+				return false
+			}
+		case *If:
+			if p.blockMaySplit(stmt.Then, map[string]bool{}) ||
+				p.blockMaySplit(stmt.Else, map[string]bool{}) {
+				return false
+			}
+			if kills(assignedVars(stmt.Then)) || kills(assignedVars(stmt.Else)) {
+				return false
+			}
+		case *NoSplit:
+			// Splits inside are ignored (§3.7), but rebindings still kill.
+			if kills(assignedVars(stmt.Body)) {
+				return false
+			}
+		}
+	}
+	return false
+}

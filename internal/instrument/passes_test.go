@@ -1,0 +1,355 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stm"
+)
+
+// Tests for the beyond-the-paper passes: basic-block lock batching,
+// write-intent inference, and interprocedural (deep) hoisting — plus
+// the inliner's handling of HoistedLock pseudo-statements.
+
+// TestHoistedLockRenamedThroughInline checks that expand() substitutes
+// parameters and renames callee locals inside HoistedLock statements,
+// exactly as it does for Access.
+func TestHoistedLockRenamedThroughInline(t *testing.T) {
+	p := NewProgram()
+	p.AddClass("A", "f0", "f1")
+	p.AddMethod(&Method{
+		Name: "locker", Params: []string{"o"}, ParamClasses: []string{"A"},
+		Body: &Block{Stmts: []Stmt{
+			&HoistedLock{Var: "o", Field: "f0", Write: true},
+			&New{Dst: "tmp", Class: "A"},
+			&HoistedLock{Var: "tmp", Field: "f1"},
+		}},
+	})
+	p.AddMethod(&Method{
+		Name: "entry", Params: []string{"g"}, ParamClasses: []string{"A"},
+		Body: &Block{Stmts: []Stmt{
+			&Call{Method: "locker", Args: []string{"g"}},
+		}},
+	})
+	if n := p.inlineAll(16); n != 1 {
+		t.Fatalf("inlined %d calls, want 1", n)
+	}
+	body := p.Methods["entry"].Body.Stmts
+	if len(body) != 3 {
+		t.Fatalf("inlined body has %d stmts, want 3: %#v", len(body), body)
+	}
+	h0, ok := body[0].(*HoistedLock)
+	if !ok || h0.Var != "g" || h0.Field != "f0" || !h0.Write {
+		t.Fatalf("param not substituted into hoisted lock: %#v", body[0])
+	}
+	nw, ok := body[1].(*New)
+	if !ok || !strings.HasPrefix(nw.Dst, "$inl") {
+		t.Fatalf("callee local not renamed: %#v", body[1])
+	}
+	h1, ok := body[2].(*HoistedLock)
+	if !ok || h1.Var != nw.Dst {
+		t.Fatalf("hoisted lock var %q does not track renamed local %q", h1.Var, nw.Dst)
+	}
+}
+
+// TestBatchAcrossInlinedCalleeBoundary checks the payoff the issue asks
+// for: after inlining, a callee's access sits between the caller's
+// accesses, and the batching pass fuses ops from BOTH sides of the
+// (former) call boundary into one BatchAcquire.
+func TestBatchAcrossInlinedCalleeBoundary(t *testing.T) {
+	src := `
+class A { f0, f1 }
+class B { g0 }
+method upd(a A) {
+  write a.f0
+}
+method entry(a A, b B) {
+  write b.g0
+  call upd(a)
+  write a.f1
+}
+`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Transform(AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CallsInlined != 1 {
+		t.Fatalf("CallsInlined = %d, want 1", st.CallsInlined)
+	}
+	if st.BatchesFormed != 1 || st.OpsBatched != 3 {
+		t.Fatalf("BatchesFormed=%d OpsBatched=%d, want 1 batch of 3 ops",
+			st.BatchesFormed, st.OpsBatched)
+	}
+	var batch *BatchAcquire
+	for _, s := range p.Methods["entry"].Body.Stmts {
+		if b, ok := s.(*BatchAcquire); ok {
+			batch = b
+			break
+		}
+	}
+	if batch == nil {
+		t.Fatalf("no BatchAcquire in entry body:\n%s", PrintProgram(p))
+	}
+	keys := map[string]bool{}
+	for _, op := range batch.Ops {
+		keys[op.Var+"."+op.Field] = true
+		if !op.Write {
+			t.Fatalf("op %s.%s lost write mode", op.Var, op.Field)
+		}
+	}
+	for _, want := range []string{"b.g0", "a.f0", "a.f1"} {
+		if !keys[want] {
+			t.Fatalf("batch %v missing op %s (callee boundary not crossed)", keys, want)
+		}
+	}
+	// Every covered access runs raw; entry's one remaining FullOp is the
+	// batch itself (MethodOps, since whole-program Stats still count the
+	// inlined-away callee's own body).
+	if full, _, raw := p.MethodOps("entry"); full != 1 || raw != 3 {
+		t.Fatalf("entry MethodOps full=%d raw=%d, want 1 and 3", full, raw)
+	}
+}
+
+// TestDeepHoistLiftsThroughNestedLoops: without HoistDeep, a lock
+// hoisted out of an inner loop still executes once per outer iteration;
+// with it, the HoistedLock is lifted in front of the outer loop too.
+func TestDeepHoistLiftsThroughNestedLoops(t *testing.T) {
+	src := `
+class A { f0 }
+method entry(a A) {
+  loop 5 {
+    loop 4 {
+      write a.f0
+    }
+  }
+}
+`
+	shallow, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stShallow, err := shallow.Transform(Options{Hoist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, _ := ParseProgram(src)
+	stDeep, err := deep.Transform(Options{Hoist: true, HoistDeep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stShallow.FullOps != 5 {
+		t.Fatalf("shallow FullOps = %d, want 5 (hoisted lock re-runs per outer iteration)", stShallow.FullOps)
+	}
+	if stDeep.FullOps != 1 {
+		t.Fatalf("deep FullOps = %d, want 1 (lock lifted out of both loops)", stDeep.FullOps)
+	}
+	if h, ok := deep.Methods["entry"].Body.Stmts[0].(*HoistedLock); !ok || h.Var != "a" {
+		t.Fatalf("first stmt of deep-hoisted body is %#v, want the lifted HoistedLock",
+			deep.Methods["entry"].Body.Stmts[0])
+	}
+}
+
+// TestDeepHoistFromNoSplitBody: accesses inside a noSplit composition
+// are must-execute, so HoistDeep hoists them out of the enclosing loop.
+func TestDeepHoistFromNoSplitBody(t *testing.T) {
+	src := `
+class A { f0 }
+method entry(a A) {
+  loop 6 {
+    nosplit {
+      write a.f0
+    }
+  }
+}
+`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Transform(Options{Hoist: true, HoistDeep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FullOps != 1 {
+		t.Fatalf("FullOps = %d, want 1 (nosplit access hoisted)", st.FullOps)
+	}
+}
+
+// TestInferIntentMarksUpgradedReads covers the positive case and the
+// kill conditions: a split or a receiver rebinding between read and
+// write defeats the inference.
+func TestInferIntentMarksUpgradedReads(t *testing.T) {
+	src := `
+class A { f0, f1 }
+method entry(a A) canSplit {
+  read a.f0
+  write a.f1
+  write a.f0
+  read a.f1
+  split
+  write a.f1
+}
+`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Transform(Options{InferIntent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IntentInferred != 1 {
+		t.Fatalf("IntentInferred = %d, want 1 (only the pre-split upgraded read)", st.IntentInferred)
+	}
+	body := p.Methods["entry"].Body.Stmts
+	if a := body[0].(*Access); !a.WriteIntent {
+		t.Fatal("read a.f0 not marked WriteIntent despite certain later write")
+	}
+	if a := body[3].(*Access); a.WriteIntent {
+		t.Fatal("read a.f1 marked WriteIntent across a split")
+	}
+
+	// Rebinding the receiver between read and write kills the pattern.
+	src2 := `
+class A { f0 }
+method entry(a A) {
+  read a.f0
+  new a A
+  write a.f0
+}
+`
+	p2, _ := ParseProgram(src2)
+	st2, err := p2.Transform(Options{InferIntent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.IntentInferred != 0 {
+		t.Fatalf("IntentInferred = %d after receiver rebinding, want 0", st2.IntentInferred)
+	}
+}
+
+// TestIntentReachesRuntime: a WriteIntent read goes through
+// Tx.ReadWordForWrite, which shows up in the runtime's IntentHints
+// counter and leaves the later write a free owned-check (no second
+// acquire).
+func TestIntentReachesRuntime(t *testing.T) {
+	src := `
+class A { f0 }
+method entry(a A) {
+  read a.f0
+  write a.f0
+}
+`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Transform(Options{InferIntent: true}); err != nil {
+		t.Fatal(err)
+	}
+	rt := stm.NewRuntime()
+	in := NewInterp(p, rt)
+	a := stm.NewCommitted(in.ClassOf("A"))
+	if _, err := in.Run("entry",
+		map[string]*stm.Object{"a": a}, map[string]string{"a": "A"}); err != nil {
+		t.Fatal(err)
+	}
+	snap := rt.Stats().Snapshot()
+	if snap.IntentHints != 1 {
+		t.Fatalf("IntentHints = %d, want 1", snap.IntentHints)
+	}
+	if snap.Acquire != 1 {
+		t.Fatalf("Acquire = %d, want 1 (the write upgrades for free)", snap.Acquire)
+	}
+	// The write (a locked read-modify-write in the interpreter) finds the
+	// mode already held both times.
+	if snap.CheckOwned != 2 {
+		t.Fatalf("CheckOwned = %d, want 2", snap.CheckOwned)
+	}
+}
+
+// TestBatchReachesRuntime: a transformed straight-line program drives
+// the runtime's batched acquire path, visible in BatchAcquires and
+// BatchWords, with identical committed state to the unbatched runs.
+func TestBatchReachesRuntime(t *testing.T) {
+	src := `
+class A { f0, f1 }
+class B { g0 }
+method entry(a A, b B) {
+  write a.f0
+  write a.f1
+  write b.g0
+}
+`
+	run := func(opts Options) ([3]uint64, stm.StatsSnapshot) {
+		p, err := ParseProgram(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Transform(opts); err != nil {
+			t.Fatal(err)
+		}
+		rt := stm.NewRuntime()
+		in := NewInterp(p, rt)
+		a := stm.NewCommitted(in.ClassOf("A"))
+		b := stm.NewCommitted(in.ClassOf("B"))
+		if _, err := in.Run("entry",
+			map[string]*stm.Object{"a": a, "b": b},
+			map[string]string{"a": "A", "b": "B"}); err != nil {
+			t.Fatal(err)
+		}
+		heap := [3]uint64{
+			a.RawWord(in.ClassOf("A").Field("f0")),
+			a.RawWord(in.ClassOf("A").Field("f1")),
+			b.RawWord(in.ClassOf("B").Field("g0")),
+		}
+		return heap, rt.Stats().Snapshot()
+	}
+	plainHeap, plainSnap := run(NoOptimizations())
+	batchHeap, batchSnap := run(AllOptimizations())
+	if plainHeap != batchHeap {
+		t.Fatalf("batching changed committed state: %v vs %v", plainHeap, batchHeap)
+	}
+	if batchSnap.BatchAcquires != 1 || batchSnap.BatchWords != 3 {
+		t.Fatalf("BatchAcquires=%d BatchWords=%d, want 1 and 3",
+			batchSnap.BatchAcquires, batchSnap.BatchWords)
+	}
+	if plainSnap.BatchAcquires != 0 {
+		t.Fatalf("unoptimized run batched: %d", plainSnap.BatchAcquires)
+	}
+}
+
+// TestFuzzBatchingSoundness is the issue's dedicated oracle: across
+// random programs, the batched and unbatched transforms must commit
+// identical heaps (both If arms exercised). Intent inference gets the
+// same treatment.
+func TestFuzzBatchingSoundness(t *testing.T) {
+	seeds := 120
+	if testing.Short() {
+		seeds = 20
+	}
+	allNoBatch := AllOptimizations()
+	allNoBatch.Batch = false
+	allNoIntent := AllOptimizations()
+	allNoIntent.InferIntent = false
+	for s := 1; s <= seeds; s++ {
+		seed := uint64(s) * 0xBF58476D1CE4E5B9
+		for _, takeElse := range []bool{false, true} {
+			batched, _ := runGenerated(t, seed, AllOptimizations(), takeElse)
+			unbatched, _ := runGenerated(t, seed, allNoBatch, takeElse)
+			if batched != unbatched {
+				t.Fatalf("seed %d else=%t: batching changed behaviour: %v vs %v",
+					s, takeElse, batched, unbatched)
+			}
+			noIntent, _ := runGenerated(t, seed, allNoIntent, takeElse)
+			if batched != noIntent {
+				t.Fatalf("seed %d else=%t: intent inference changed behaviour: %v vs %v",
+					s, takeElse, batched, noIntent)
+			}
+		}
+	}
+}

@@ -115,6 +115,24 @@ func printBlock(b *strings.Builder, blk *Block, depth int) {
 				note = "elided (final or already locked)"
 			}
 			fmt.Fprintf(b, "%slock %s %s  # %s\n", indent, op, target, note)
+		case *BatchAcquire:
+			parts := make([]string, len(st.Ops))
+			for i, opn := range st.Ops {
+				mode := "read"
+				if opn.Write {
+					mode = "write"
+				}
+				target := opn.Var + "." + opn.Field
+				if opn.IsArray {
+					target = opn.Var + "[" + opn.Index + "]"
+				}
+				parts[i] = mode + " " + target
+			}
+			note := fmt.Sprintf("%d words, one sorted traversal", len(st.Ops))
+			if st.Elided {
+				note = "elided (all words final or already locked)"
+			}
+			fmt.Fprintf(b, "%sbatch [%s]  # %s\n", indent, strings.Join(parts, ", "), note)
 		case *New:
 			fmt.Fprintf(b, "%snew %s %s\n", indent, st.Dst, st.Class)
 		case *NewArray:
@@ -154,19 +172,27 @@ func printBlock(b *strings.Builder, blk *Block, depth int) {
 }
 
 func accessNote(a *Access) string {
+	intent := func(s string) string {
+		if a.WriteIntent && !a.Write {
+			return s + ", write intent"
+		}
+		return s
+	}
 	switch {
 	case a.FinalAccess:
 		return "  # final: no synchronization"
 	case a.Hoisted:
 		return "  # elided: lock hoisted"
+	case a.Batched:
+		return "  # elided: acquired by batch"
 	case !a.NeedsLockOp && !a.NeedsNewCheck:
 		return "  # elided: already locked"
 	case !a.NeedsLockOp && a.NeedsNewCheck:
 		return "  # new-check only"
 	case a.NeedsLockOp && !a.NeedsNewCheck:
-		return "  # full (new-check combined)"
+		return intent("  # full (new-check combined)")
 	default:
-		return "  # full"
+		return intent("  # full")
 	}
 }
 
@@ -174,7 +200,7 @@ func accessNote(a *Access) string {
 // "can benefit from code editor support, e.g., by using static analysis
 // to suggest addition of the modifier").
 type Suggestion struct {
-	Kind   string // "final" or "canSplit"
+	Kind   string // "final", "writeIntent", or "canSplit"
 	Target string // Class.field or method name
 	Reason string
 }
@@ -218,6 +244,44 @@ func Suggest(p *Program) []Suggestion {
 			pr.f.Final = false
 			pr.f.Inferred = false
 		}
+	}
+
+	// Write-intent candidates: reads the intent-inference pass would
+	// promote to write-mode acquisitions (upgraded by a certain later
+	// write in the same block). The scan is read-only: upgradeFollows
+	// never mutates the program.
+	for _, mname := range sortedMethodNames(p) {
+		m := p.Methods[mname]
+		var walk func(b *Block)
+		walk = func(b *Block) {
+			if b == nil {
+				return
+			}
+			for i, s := range b.Stmts {
+				switch stmt := s.(type) {
+				case *Access:
+					if !stmt.Write && !stmt.WriteIntent && p.upgradeFollows(b, i+1, stmt) {
+						target := stmt.Var + "." + stmt.Field
+						if stmt.IsArray {
+							target = stmt.Var + "[" + stmt.Index + "]"
+						}
+						out = append(out, Suggestion{
+							Kind:   "writeIntent",
+							Target: mname + ": " + target,
+							Reason: "read is certainly upgraded by a later write in the same block",
+						})
+					}
+				case *Loop:
+					walk(stmt.Body)
+				case *If:
+					walk(stmt.Then)
+					walk(stmt.Else)
+				case *NoSplit:
+					walk(stmt.Body)
+				}
+			}
+		}
+		walk(m.Body)
 	}
 
 	// canSplit requirements: methods that transitively split but are not

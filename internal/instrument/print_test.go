@@ -37,7 +37,10 @@ func TestPrintProgramShowsAnnotations(t *testing.T) {
 	text := PrintProgram(p)
 	for _, want := range []string{
 		"# final: no synchronization", // read a.price
-		"# hoisted out of the loop",   // article locks moved out
+		"# elided: lock hoisted",      // in-loop article accesses
+		"batch [",                     // hoisted locks coalesced per block
+		"one sorted traversal",        // BatchAcquire note
+		"# elided: acquired by batch", // straight-line accesses covered
 		"# full",                      // stats.processed write
 	} {
 		if !strings.Contains(text, want) {

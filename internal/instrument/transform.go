@@ -9,6 +9,23 @@ type Options struct {
 	Hoist          bool // §3.3 (2): move lock ops out of loops
 	EliminateRedun bool // §3.3 (1): dataflow removal of redundant checks
 	CombineNew     bool // §3.3 (3): combine is-new checks per instance
+
+	// Beyond-the-paper passes (this repo):
+
+	// HoistDeep extends Hoist interprocedurally: after inlining, lock
+	// operations are hoisted out of must-execute nested positions
+	// (noSplit bodies, already-hoisted locks of inner loops) instead of
+	// stopping at the immediate loop body — acquisitions that crossed an
+	// inlined call boundary keep bubbling up. Requires Hoist.
+	HoistDeep bool
+	// Batch coalesces a straight-line run of accesses on ≥2 distinct
+	// locations into one BatchAcquire pseudo-op, executed by the
+	// runtime's sorted multi-word acquire path (stm.Tx.AcquireBatch).
+	Batch bool
+	// InferIntent marks reads that are provably upgraded by a later
+	// write in the same straight-line block; they acquire in write mode
+	// up front (Tx.ReadWordForWrite) so the upgrade duel never happens.
+	InferIntent bool
 }
 
 // AllOptimizations enables every pass.
@@ -16,6 +33,7 @@ func AllOptimizations() Options {
 	return Options{
 		InferFinals: true, Inline: true, InlineBudget: 16,
 		Hoist: true, EliminateRedun: true, CombineNew: true,
+		HoistDeep: true, Batch: true, InferIntent: true,
 	}
 }
 
@@ -31,8 +49,14 @@ type Stats struct {
 	LocksHoisted    int
 	ChecksRemoved   int // redundant lock ops eliminated by dataflow
 	NewChecksMerged int
+	IntentInferred  int // reads marked WriteIntent by intent inference
+	BatchesFormed   int // BatchAcquire pseudo-ops inserted
+	OpsBatched      int // lock operations absorbed into batches
 
-	// Weighted dynamic-estimate counts over all methods.
+	// Weighted dynamic-estimate counts over all methods. A non-elided
+	// BatchAcquire counts as ONE FullOp regardless of its width: the
+	// batch performs a single sorted traversal with one stats flush and
+	// one slot-lease check, which is the cost the metric models.
 	FullOps      int // accesses performing the full Figure 5 operation
 	NewCheckOnly int // accesses needing only the is-new check
 	RawOps       int // accesses with no synchronization at all
@@ -57,9 +81,17 @@ func (p *Program) Transform(opts Options) (Stats, error) {
 		}
 		st.CallsInlined = p.inlineAll(budget)
 	}
+	if opts.InferIntent {
+		st.IntentInferred = p.inferIntent()
+	}
 	if opts.Hoist {
 		for _, m := range p.Methods {
-			st.LocksHoisted += p.hoistLoops(m.Body)
+			st.LocksHoisted += p.hoistLoops(m.Body, opts.HoistDeep)
+		}
+	}
+	if opts.Batch {
+		for _, m := range p.Methods {
+			p.batchBlocks(m.Body, &st)
 		}
 	}
 	for _, m := range p.Methods {
@@ -306,6 +338,43 @@ func (p *Program) annotateBlock(m *Method, b *Block, f *flow, st *Stats, opts Op
 				f.locks[key] = mode
 			}
 			f.newOK[stmt.Var] = true
+		case *BatchAcquire:
+			// Each operation of the batch establishes its lock mode and
+			// is-new fact; the batch itself is elided only when EVERY
+			// operation resolves to a final field or a location already
+			// locked on entry (the runtime per-word owned-check makes a
+			// partially redundant batch cheap, a fully redundant one free).
+			live := 0
+			pruned := stmt.Ops[:0:0]
+			for _, op := range stmt.Ops {
+				if !op.IsArray {
+					if cls := p.Classes[f.types[op.Var]]; cls != nil {
+						if fd := cls.Field(op.Field); fd != nil && fd.Final {
+							// Final field: no lock exists; drop the op at
+							// record time (finality contributes no flow
+							// facts, so pruning cannot perturb the fixpoint).
+							continue
+						}
+					}
+				}
+				pruned = append(pruned, op)
+				key := lockKey{op.Var, accessField(op.Field, op.IsArray, op.Index)}
+				mode := uint8(1)
+				if op.Write {
+					mode = 2
+				}
+				if !(opts.EliminateRedun && f.locks[key] >= mode) {
+					live++
+				}
+				if f.locks[key] < mode {
+					f.locks[key] = mode
+				}
+				f.newOK[op.Var] = true
+			}
+			if record {
+				stmt.Ops = pruned
+				stmt.Elided = live == 0
+			}
 		case *Access:
 			p.annotateAccess(m, stmt, f, st, opts, record)
 		case *Loop:
@@ -363,10 +432,12 @@ func (p *Program) annotateAccess(m *Method, a *Access, f *flow, st *Stats, opts 
 
 	key := lockKey{a.Var, accessField(a.Field, a.IsArray, a.Index)}
 	mode := uint8(1)
-	if a.Write {
+	if a.Write || a.WriteIntent {
+		// A WriteIntent read acquires (and therefore establishes) the
+		// write mode up front.
 		mode = 2
 	}
-	haveLock := (opts.EliminateRedun && f.locks[key] >= mode) || a.Hoisted
+	haveLock := (opts.EliminateRedun && f.locks[key] >= mode) || a.Hoisted || a.Batched
 	haveNew := opts.CombineNew && f.newOK[a.Var]
 
 	if record {
@@ -389,7 +460,17 @@ func (p *Program) annotateAccess(m *Method, a *Access, f *flow, st *Stats, opts 
 // no split inside, preserving the relative locking order of the hoisted
 // operations. Only direct statements of the loop body are candidates;
 // nested loops are processed recursively first.
-func (p *Program) hoistLoops(b *Block) int {
+//
+// With deep set (Options.HoistDeep), candidates additionally come from
+// must-execute nested positions of the loop body: accesses inside
+// noSplit compositions, and HoistedLock statements the recursive pass
+// already placed in front of inner loops — those are lifted out of this
+// loop too, so an acquisition hoisted inside an inlined callee keeps
+// bubbling up through every enclosing loop instead of being re-executed
+// per outer iteration. If arms are deliberately NOT candidates: they
+// are not must-execute, and hoisting them would acquire locks the
+// original program never touches on the taken path.
+func (p *Program) hoistLoops(b *Block, deep bool) int {
 	if b == nil {
 		return 0
 	}
@@ -398,38 +479,76 @@ func (p *Program) hoistLoops(b *Block) int {
 	for _, s := range b.Stmts {
 		switch stmt := s.(type) {
 		case *Loop:
-			hoisted += p.hoistLoops(stmt.Body)
+			hoisted += p.hoistLoops(stmt.Body, deep)
 			if !p.blockMaySplit(stmt.Body, map[string]bool{}) && stmt.Count > 0 {
 				assigned := assignedVars(stmt.Body)
 				if stmt.IdxVar != "" {
 					assigned[stmt.IdxVar] = true
 				}
-				for _, bs := range stmt.Body.Stmts {
-					a, ok := bs.(*Access)
-					if !ok || assigned[a.Var] {
-						continue
+				invariant := func(v string, isArray bool, index string) bool {
+					if assigned[v] {
+						return false
 					}
-					if a.IsArray && (a.Index == "" || assigned[a.Index]) && a.Index != "" {
-						continue // varying element: not invariant
+					if isArray && index != "" && assigned[index] {
+						return false // varying element: not invariant
 					}
-					if a.IsArray && a.Index == stmt.IdxVar {
-						continue
+					return true
+				}
+				hoistAccess := func(a *Access) {
+					if a.Hoisted || !invariant(a.Var, a.IsArray, a.Index) {
+						return
 					}
 					out = append(out, &HoistedLock{
 						Var: a.Var, Field: a.Field, IsArray: a.IsArray,
-						Index: a.Index, Write: a.Write,
+						Index: a.Index, Write: a.Write || a.WriteIntent,
 					})
 					a.Hoisted = true
 					hoisted++
 				}
+				var kept []Stmt
+				for _, bs := range stmt.Body.Stmts {
+					switch a := bs.(type) {
+					case *Access:
+						hoistAccess(a)
+					case *HoistedLock:
+						if deep && invariant(a.Var, a.IsArray, a.Index) {
+							// Lift an inner loop's hoisted lock out of this
+							// loop as well; it now executes once instead of
+							// once per outer iteration.
+							out = append(out, a)
+							hoisted++
+							continue
+						}
+					case *NoSplit:
+						if deep {
+							var walk func(nb *Block)
+							walk = func(nb *Block) {
+								if nb == nil {
+									return
+								}
+								for _, ns := range nb.Stmts {
+									switch na := ns.(type) {
+									case *Access:
+										hoistAccess(na)
+									case *NoSplit:
+										walk(na.Body)
+									}
+								}
+							}
+							walk(a.Body)
+						}
+					}
+					kept = append(kept, bs)
+				}
+				stmt.Body.Stmts = kept
 			}
 			out = append(out, stmt)
 		case *If:
-			hoisted += p.hoistLoops(stmt.Then)
-			hoisted += p.hoistLoops(stmt.Else)
+			hoisted += p.hoistLoops(stmt.Then, deep)
+			hoisted += p.hoistLoops(stmt.Else, deep)
 			out = append(out, stmt)
 		case *NoSplit:
-			hoisted += p.hoistLoops(stmt.Body)
+			hoisted += p.hoistLoops(stmt.Body, deep)
 			out = append(out, stmt)
 		default:
 			out = append(out, s)
@@ -503,6 +622,10 @@ func (p *Program) countDynamic(b *Block, weight int, st *Stats, stack map[string
 			if !stmt.Elided {
 				st.FullOps += weight
 			}
+		case *BatchAcquire:
+			if !stmt.Elided {
+				st.FullOps += weight
+			}
 		case *Call:
 			callee, ok := p.Methods[stmt.Method]
 			if ok && !stack[stmt.Method] {
@@ -538,6 +661,10 @@ func countOps(b *Block, weight int, st *Stats) {
 				st.NewCheckOnly += weight
 			}
 		case *HoistedLock:
+			if !stmt.Elided {
+				st.FullOps += weight
+			}
+		case *BatchAcquire:
 			if !stmt.Elided {
 				st.FullOps += weight
 			}

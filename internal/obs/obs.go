@@ -130,6 +130,9 @@ func Metrics(snap stm.StatsSnapshot, sites []stm.SiteProfile, rec *stm.FlightRec
 	counter("sbd_invis_reads_total", "Reads served by the invisible optimistic tier.", snap.InvisReads)
 	counter("sbd_validation_aborts_total", "Commit-time read-set validation failures.", snap.ValidationAborts)
 	counter("sbd_mode_flips_total", "Per-site read-mode threshold crossings (visible<->invisible).", snap.ModeFlips)
+	counter("sbd_batch_acquires_total", "Compiler-batched multi-word acquisitions (one per AcquireBatch).", snap.BatchAcquires)
+	counter("sbd_batch_words_total", "Distinct lock words covered by batched acquisitions.", snap.BatchWords)
+	counter("sbd_intent_hints_total", "Reads carrying compiler-inferred write intent (ReadWordForWrite).", snap.IntentHints)
 
 	fmt.Fprintf(&b, "# HELP sbd_abort_rate Aborts per commit; +Inf when aborting without commits.\n")
 	fmt.Fprintf(&b, "# TYPE sbd_abort_rate gauge\n")

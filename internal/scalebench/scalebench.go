@@ -170,6 +170,44 @@ func Mixes() []Mix {
 			},
 		},
 		{
+			Name:  "batch-chain",
+			Desc:  "each transaction batch-acquires a rotating 3-cell window of an 8-cell set, yielding with the whole batch held",
+			cells: 8,
+			body: func(tx *stm.Tx, cells []*stm.Object, w, i int) {
+				// Workers batch overlapping windows starting at rotating,
+				// *unsorted* bases — exactly the shape that deadlocks with
+				// naive in-order blocking acquisition. The trylock phase
+				// plus the sorted fallback keep it live, and the window
+				// overlap forces both phases to run regularly. The first
+				// cell's increment goes through ReadWordForWrite so the
+				// declared-intent path is exercised under contention too.
+				const window = 3
+				base := (w*5 + i) % len(cells)
+				accs := [window]stm.BatchAccess{}
+				for j := 0; j < window; j++ {
+					accs[j] = stm.BatchAccess{Obj: cells[(base+j)%len(cells)], Field: cellV, Write: true}
+				}
+				tx.AcquireBatch(accs[:])
+				runtime.Gosched() // hold the whole batch across a reschedule
+				v := tx.ReadWordForWrite(cells[base], cellV)
+				cells[base].SetRawWord(cellV, v+1)
+				for j := 1; j < window; j++ {
+					c := cells[(base+j)%len(cells)]
+					c.SetRawWord(cellV, c.RawWord(cellV)+1)
+				}
+			},
+			verify: func(cells []*stm.Object, ops uint64) error {
+				var sum uint64
+				for _, c := range cells {
+					sum += stm.CommittedWord(c, cellV)
+				}
+				if sum != 3*ops {
+					return fmt.Errorf("cell set sums to %d after %d committed 3-cell batches", sum, ops)
+				}
+				return nil
+			},
+		},
+		{
 			Name:  "rmw-hotset",
 			Desc:  "read-modify-write over an 8-cell hot set, yielding while the read lock is held",
 			cells: 8,
@@ -234,6 +272,12 @@ type Result struct {
 	InvisReads       uint64
 	ValidationAborts uint64
 	ModeFlips        uint64
+	// Compiler-directed fast-path counters (batch.go): BatchAcquires are
+	// multi-word AcquireBatch calls, BatchWords the distinct lock words
+	// they covered, IntentHints the reads carrying declared write intent.
+	BatchAcquires uint64
+	BatchWords    uint64
+	IntentHints   uint64
 }
 
 // Run executes totalOps transactions of the mix spread over the given
@@ -297,6 +341,9 @@ func Run(m Mix, threads, totalOps int) Result {
 		InvisReads:       snap.InvisReads,
 		ValidationAborts: snap.ValidationAborts,
 		ModeFlips:        snap.ModeFlips,
+		BatchAcquires:    snap.BatchAcquires,
+		BatchWords:       snap.BatchWords,
+		IntentHints:      snap.IntentHints,
 	}
 }
 

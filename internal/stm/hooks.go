@@ -70,6 +70,9 @@ const (
 	// between an invisible read and its validation, forcing a
 	// validation abort.
 	PointValidate
+	// PointBatchCAS is the per-word fast-path CAS of Tx.AcquireBatch
+	// (batch.go), the batched counterpart of PointFastCAS.
+	PointBatchCAS
 )
 
 var pointNames = [...]string{
@@ -90,6 +93,7 @@ var pointNames = [...]string{
 	PointBiasPublish:  "bias-publish",
 	PointVersionStamp: "version-stamp",
 	PointValidate:     "validate",
+	PointBatchCAS:     "batch-cas",
 }
 
 func (p YieldPoint) String() string {

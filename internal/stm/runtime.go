@@ -225,6 +225,9 @@ func (rt *Runtime) Begin() *Tx {
 	// noInvis deliberately survives Reset (the replay of an aborted
 	// section must stay visible) but not reuse for a new section.
 	tx.noInvis = false
+	// batchNoSort is a per-section test switch; never leak it through
+	// the pool into an unrelated section.
+	tx.batchNoSort = false
 	// Guard the Event construction, not just its delivery: with the
 	// default recorder mask, lifecycle events are unwanted and the guard
 	// lets the compiler drop the struct build from the fast path.

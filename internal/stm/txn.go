@@ -137,6 +137,11 @@ type Tx struct {
 	// transaction can never unwind on a validation failure. Survives
 	// Reset deliberately; cleared at Begin.
 	noInvis bool
+	// batchScratch is AcquireBatch's reusable resolved-word buffer.
+	// batchNoSort disables the address sort (tests only: it exists to
+	// demonstrate the deadlock the sort prevents).
+	batchScratch []batchWord
+	batchNoSort  bool
 
 	// Per-transaction counters, flushed to Runtime.Stats at end to keep
 	// the access fast path free of shared atomics. They accumulate across
@@ -152,6 +157,8 @@ type Tx struct {
 	nBiasWriteThrus                     uint64
 	nBiasRevokeWaitNs                   uint64
 	nInvisReads, nValidationAborts      uint64
+	nBatchAcquires, nBatchWords         uint64
+	nIntentHints                        uint64
 	// Table 8 memory accounting, accumulated per attempt (accountMemory)
 	// and flushed with the counters.
 	accRWSetBytes, accUndoEntries, accInitEntries uint64
@@ -589,18 +596,21 @@ func (tx *Tx) WriteStr(o *Object, f FieldID, v string) {
 // Use it for the read half of a read-modify-write; the declared intent
 // skips the adaptive promoter's learning phase entirely.
 func (tx *Tx) ReadWordForWrite(o *Object, f FieldID) uint64 {
+	tx.nIntentHints++
 	idx := tx.fieldAccess(o, f, slotWord, true)
 	return o.words[idx]
 }
 
 // ReadRefForWrite reads a reference field with declared write intent.
 func (tx *Tx) ReadRefForWrite(o *Object, f FieldID) *Object {
+	tx.nIntentHints++
 	idx := tx.fieldAccess(o, f, slotRef, true)
 	return o.refs[idx]
 }
 
 // ReadStrForWrite reads a string field with declared write intent.
 func (tx *Tx) ReadStrForWrite(o *Object, f FieldID) string {
+	tx.nIntentHints++
 	idx := tx.fieldAccess(o, f, slotStr, true)
 	return o.strs[idx]
 }
@@ -651,6 +661,7 @@ func (tx *Tx) ReadElem(o *Object, i int) uint64 {
 // ReadElemForWrite reads word element i of an array with declared write
 // intent (see ReadWordForWrite).
 func (tx *Tx) ReadElemForWrite(o *Object, i int) uint64 {
+	tx.nIntentHints++
 	tx.elemAccess(o, i, slotWord, true)
 	return o.words[i]
 }
@@ -719,9 +730,17 @@ type queueWake struct {
 // waiter is never woken into a lock the releasing transaction still
 // holds (it would just fail its grant and re-park, a wasted wake and, on
 // multi-lock conflicts, a source of grant/release churn).
-func (tx *Tx) releaseLocks() {
+func (tx *Tx) releaseLocks() { tx.releaseLockEntries(0) }
+
+// releaseLockEntries releases every lock-log entry from mark on and
+// truncates the log back to mark, waking any queues that installed
+// themselves while the words were held. Commit-time version stamping
+// applies only once the transaction has ended; a mid-transaction release
+// (the batch fast-path rollback) leaves versions untouched — the
+// released words' committed values were never modified.
+func (tx *Tx) releaseLockEntries(mark int) {
 	wakes := tx.wakeScratch[:0]
-	for i := range tx.lockLog {
+	for i := mark; i < len(tx.lockLog); i++ {
 		e := &tx.lockLog[i]
 		addr := &e.slab.words[e.lockID]
 		tx.rt.yield(PointReleaseCAS)
@@ -769,7 +788,7 @@ func (tx *Tx) releaseLocks() {
 		tx.rt.wakeQueue(wk.qid, wk.addr)
 	}
 	tx.wakeScratch = wakes[:0]
-	tx.lockLog = tx.lockLog[:0]
+	tx.lockLog = tx.lockLog[:mark]
 }
 
 // accountMemory accumulates the Table 8 components of this attempt into
@@ -803,12 +822,23 @@ func (tx *Tx) flushCounters() {
 	flushNZ(&st.Acquire, &tx.nAcq)
 	flushNZ(&st.Contended, &tx.nContended)
 	flushNZ(&st.CASFail, &tx.nCASFail)
+	// Both batch counters flush as one packed add — a batching
+	// transaction pays a single LOCK-prefixed RMW at commit where two
+	// would eat the per-word saving on small batches. The spill check is
+	// a predictable not-taken branch (see batchSpillMask).
+	if tx.nBatchAcquires != 0 {
+		if st.batchPacked.Add(tx.nBatchAcquires|tx.nBatchWords<<32)&batchSpillMask != 0 {
+			st.spillBatchPacked()
+		}
+		tx.nBatchAcquires, tx.nBatchWords = 0, 0
+	}
 	// The adaptation counters are all zero on the uncontended non-biased
 	// path; one branch keeps their individual checks off it entirely.
 	if tx.nPromoted|tx.nPromoWasted|tx.nDuelLosses|
 		tx.nBackoffs|tx.nBackoffSpins|tx.nSpinAcquires|
 		tx.nBiasGrants|tx.nBiasRevokes|tx.nBiasWriteThrus|
-		tx.nBiasRevokeWaitNs|tx.nInvisReads|tx.nValidationAborts != 0 {
+		tx.nBiasRevokeWaitNs|tx.nInvisReads|tx.nValidationAborts|
+		tx.nIntentHints != 0 {
 		flushNZ(&st.Promotions, &tx.nPromoted)
 		flushNZ(&st.PromoWasted, &tx.nPromoWasted)
 		flushNZ(&st.DuelLosses, &tx.nDuelLosses)
@@ -821,6 +851,7 @@ func (tx *Tx) flushCounters() {
 		flushNZ(&st.BiasRevokeWaitNs, &tx.nBiasRevokeWaitNs)
 		flushNZ(&st.InvisReads, &tx.nInvisReads)
 		flushNZ(&st.ValidationAborts, &tx.nValidationAborts)
+		flushNZ(&st.IntentHints, &tx.nIntentHints)
 	}
 	if tx.accAttempts != 0 {
 		flushNZ(&st.RWSetBytes, &tx.accRWSetBytes)
